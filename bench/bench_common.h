@@ -1,0 +1,68 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "puppies/jpeg/codec.h"
+#include "puppies/synth/synth.h"
+
+namespace puppies::bench {
+
+/// Five-number summary used by the paper's size/time tables.
+struct Stats {
+  double mean = 0, median = 0, stddev = 0, min = 0, max = 0;
+
+  static Stats of(std::vector<double> xs) {
+    Stats s;
+    if (xs.empty()) return s;
+    std::sort(xs.begin(), xs.end());
+    s.min = xs.front();
+    s.max = xs.back();
+    s.median = xs[xs.size() / 2];
+    for (double x : xs) s.mean += x;
+    s.mean /= static_cast<double>(xs.size());
+    for (double x : xs) s.stddev += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(s.stddev / static_cast<double>(xs.size()));
+    return s;
+  }
+};
+
+/// INRIA is generated at reduced resolution by default so every bench runs
+/// in minutes on one core; PUPPIES_INRIA_FULL=1 restores 2448x3264.
+inline synth::SceneImage load(synth::Dataset d, int index) {
+  if (d == synth::Dataset::kInria) {
+    const bool full = std::getenv("PUPPIES_INRIA_FULL") != nullptr;
+    if (!full) return synth::generate(d, index, 816, 1088);
+  }
+  return synth::generate(d, index);
+}
+
+inline Rect full_roi(const jpeg::CoefficientImage& img) {
+  return Rect{0, 0, img.blocks_w() * 8, img.blocks_h() * 8};
+}
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  const char* scale = std::getenv("PUPPIES_SCALE");
+  std::printf("PUPPIES_SCALE=%s (set to 1.0 for the paper's full counts)\n",
+              scale ? scale : "(default 0.02)");
+  std::printf("================================================================\n");
+}
+
+inline void print_stats_row(const char* label, const Stats& s) {
+  std::printf("%-28s %8.2f %8.2f %8.3f %8.2f %8.2f\n", label, s.mean,
+              s.median, s.stddev, s.min, s.max);
+}
+
+inline void print_stats_heading(const char* first_col) {
+  std::printf("%-28s %8s %8s %8s %8s %8s\n", first_col, "mean", "median",
+              "std", "min", "max");
+}
+
+}  // namespace puppies::bench

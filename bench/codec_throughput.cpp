@@ -1,0 +1,95 @@
+// Substrate microbenchmarks: the JPEG codec and perturbation primitives that
+// every experiment sits on (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "puppies/core/perturb.h"
+#include "puppies/jpeg/dct.h"
+
+using namespace puppies;
+
+namespace {
+
+const synth::SceneImage& scene() {
+  static const synth::SceneImage s =
+      synth::generate(synth::Dataset::kPascal, 0, 496, 328);
+  return s;
+}
+
+void BM_Fdct8x8(benchmark::State& state) {
+  jpeg::FloatBlock block;
+  Rng rng("bench-dct");
+  for (float& v : block) v = static_cast<float>(rng.range(-128, 127));
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::fdct8x8(block));
+}
+BENCHMARK(BM_Fdct8x8);
+
+void BM_ForwardTransform444(benchmark::State& state) {
+  const YccImage ycc = rgb_to_ycc(scene().image);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(jpeg::forward_transform(ycc, 75));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ycc.width() * ycc.height() * 3);
+}
+BENCHMARK(BM_ForwardTransform444)->Unit(benchmark::kMillisecond);
+
+void BM_ForwardTransform420(benchmark::State& state) {
+  const YccImage ycc = rgb_to_ycc(scene().image);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        jpeg::forward_transform(ycc, 75, jpeg::ChromaMode::k420));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ycc.width() * ycc.height() * 3);
+}
+BENCHMARK(BM_ForwardTransform420)->Unit(benchmark::kMillisecond);
+
+void BM_SerializeOptimized(benchmark::State& state) {
+  const jpeg::CoefficientImage img =
+      jpeg::forward_transform(rgb_to_ycc(scene().image), 75);
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::serialize(img));
+}
+BENCHMARK(BM_SerializeOptimized)->Unit(benchmark::kMillisecond);
+
+void BM_SerializeStandardTables(benchmark::State& state) {
+  const jpeg::CoefficientImage img =
+      jpeg::forward_transform(rgb_to_ycc(scene().image), 75);
+  const jpeg::EncodeOptions opts{jpeg::HuffmanMode::kStandard,
+                                 jpeg::ChromaMode::k444, 0};
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::serialize(img, opts));
+}
+BENCHMARK(BM_SerializeStandardTables)->Unit(benchmark::kMillisecond);
+
+void BM_Parse(benchmark::State& state) {
+  const Bytes data = jpeg::compress(scene().image, 75);
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::parse(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Parse)->Unit(benchmark::kMillisecond);
+
+void BM_InverseTransform(benchmark::State& state) {
+  const jpeg::CoefficientImage img =
+      jpeg::forward_transform(rgb_to_ycc(scene().image), 75);
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::inverse_transform(img));
+}
+BENCHMARK(BM_InverseTransform)->Unit(benchmark::kMillisecond);
+
+void BM_PerturbRoiQuarterImage(benchmark::State& state) {
+  const jpeg::CoefficientImage img =
+      jpeg::forward_transform(rgb_to_ycc(scene().image), 75);
+  const core::MatrixPair pair =
+      core::MatrixPair::derive(SecretKey::from_label("bench"));
+  const Rect roi{0, 0, 248 / 8 * 8, 164 / 8 * 8};
+  const core::PerturbParams params =
+      core::params_for(core::PrivacyLevel::kMedium);
+  for (auto _ : state) {
+    jpeg::CoefficientImage copy = img;
+    core::perturb_roi(copy, roi, pair, core::Scheme::kCompression, params);
+    benchmark::DoNotOptimize(copy);
+  }
+}
+BENCHMARK(BM_PerturbRoiQuarterImage)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

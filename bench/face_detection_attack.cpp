@@ -1,0 +1,73 @@
+// Section VI-B.3: face-detection attack on the Caltech face dataset.
+// Run the face detector on originals, PuPPIeS-perturbed images (face ROI)
+// and P3 public parts; count correctly detected ground-truth faces.
+//
+// Paper: 596 faces detected in originals; 53 (PuPPIeS-C) / 52 (PuPPIeS-Z)
+// vs 140 (P3 public) — PuPPIeS leaks fewer faces than P3.
+#include "bench_common.h"
+#include "puppies/core/pipeline.h"
+#include "puppies/p3/p3.h"
+#include "puppies/vision/face_detect.h"
+
+using namespace puppies;
+
+int main() {
+  bench::header("VI-B.3: face-detection attack (Caltech)", "Section VI-B.3");
+  const int n = std::min(synth::bench_sample_count(synth::Dataset::kCaltech, 10), 40);
+  std::printf("images: %d of %d\n\n", n,
+              synth::profile(synth::Dataset::kCaltech).count);
+
+  int truth_total = 0;
+  int detected_original = 0, detected_c = 0, detected_z = 0, detected_p3 = 0;
+
+  for (int i = 0; i < n; ++i) {
+    // Reduced resolution keeps the sliding-window detector fast.
+    const synth::SceneImage scene =
+        synth::generate(synth::Dataset::kCaltech, i, 448, 296);
+    truth_total += static_cast<int>(scene.faces.size());
+    const jpeg::CoefficientImage original =
+        jpeg::forward_transform(rgb_to_ycc(scene.image), 75);
+
+    // The attacker matches in gradient space — the stronger detector
+    // against P3's DC-stripped public parts (see vision/face_detect.h).
+    vision::FaceDetectorOptions attacker;
+    attacker.gradient_mode = true;
+    attacker.threshold = 0.30f;
+    auto count = [&](const jpeg::CoefficientImage& img) {
+      return vision::count_detected(
+          scene.faces, vision::detect_faces(jpeg::decode_to_rgb(img), attacker),
+          0.25);
+    };
+    detected_original += count(original);
+
+    const SecretKey key = SecretKey::from_label("facedet/" + std::to_string(i));
+    for (auto [scheme, counter] :
+         {std::pair{core::Scheme::kCompression, &detected_c},
+          std::pair{core::Scheme::kZero, &detected_z}}) {
+      jpeg::CoefficientImage img = original;
+      // Perturb the face regions (the attack scenario: the ROI covers the
+      // private faces).
+      for (const Rect& face : scene.faces)
+        core::perturb_roi(
+            img, face.aligned_to(8, bench::full_roi(img)),
+            core::MatrixPair::derive(key), scheme,
+            core::params_for(core::PrivacyLevel::kMedium));
+      *counter += count(img);
+    }
+    detected_p3 += count(p3::split(original, 20).public_part);
+  }
+
+  std::printf("%-22s %10s %10s\n", "image set", "detected", "rate");
+  auto row = [&](const char* name, int v) {
+    std::printf("%-22s %6d/%-4d %9.1f%%\n", name, v, truth_total,
+                truth_total ? 100.0 * v / truth_total : 0.0);
+  };
+  row("original", detected_original);
+  row("PuPPIeS-C perturbed", detected_c);
+  row("PuPPIeS-Z perturbed", detected_z);
+  row("P3 public part", detected_p3);
+  std::printf(
+      "\npaper shape: originals mostly detected (596 ground truth); P3\n"
+      "leaks noticeably more faces (140/596=23%%) than PuPPIeS (~9%%).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Fig. 22 / Section VI-B.4: face-recognition attack (FERET, eigenfaces).
+// Train a PCA gallery on clean face crops; probe with crops from protected
+// images; report the cumulative ratio of probes whose true identity appears
+// in the attacker's top-k ranking, k = 1..50.
+//
+// Paper: P3 public reaches ~50% by rank 50; PuPPIeS-Z stays below ~5%.
+#include "bench_common.h"
+#include "puppies/core/pipeline.h"
+#include "puppies/p3/p3.h"
+#include "puppies/vision/eigenfaces.h"
+
+using namespace puppies;
+
+int main() {
+  bench::header("Fig. 22 / VI-B.4: cumulative face recognition ratio (FERET)",
+                "Fig. 22");
+  const int identities = 200;
+  const int gallery_per_id = 2;
+  const int probes = std::min(
+      std::max(identities, synth::bench_sample_count(synth::Dataset::kFeret, 40)),
+      240);
+
+  // Gallery: clean crops, instances not reused as probes.
+  vision::EigenfaceModel model;
+  for (int id = 0; id < identities; ++id)
+    for (int g = 0; g < gallery_per_id; ++g) {
+      const int index = id + (g + 1) * 200;  // same identity, other instances
+      const synth::SceneImage scene =
+          synth::generate(synth::Dataset::kFeret, index, 128, 192);
+      model.add(vision::EigenfaceModel::normalize_crop(scene.image,
+                                                       scene.faces[0]),
+                scene.identity % identities);
+    }
+  model.train(32);
+  std::printf("gallery: %d crops, %d identities; probes: %d\n\n",
+              model.gallery_size(), model.label_count(), probes);
+
+  struct Series {
+    const char* name;
+    std::vector<int> rank_hits = std::vector<int>(51, 0);
+    int count = 0;
+  };
+  Series clean{"original"}, puppies_med{"PuPPIeS med"},
+      puppies_high{"PuPPIeS high"}, p3_pub{"P3 public"};
+
+  for (int i = 0; i < probes; ++i) {
+    const synth::SceneImage scene =
+        synth::generate(synth::Dataset::kFeret, i % identities, 128, 192);
+    const int label = scene.identity % identities;
+    const jpeg::CoefficientImage original =
+        jpeg::forward_transform(rgb_to_ycc(scene.image), 75);
+
+    auto probe = [&](const jpeg::CoefficientImage& img, Series& series) {
+      const GrayU8 crop = vision::EigenfaceModel::normalize_crop(
+          jpeg::decode_to_rgb(img), scene.faces[0]);
+      const std::vector<int> ranked = model.rank(crop);
+      ++series.count;
+      for (int k = 0; k < static_cast<int>(ranked.size()) && k < 50; ++k)
+        if (ranked[static_cast<std::size_t>(k)] == label) {
+          for (int j = k + 1; j <= 50; ++j) ++series.rank_hits[static_cast<std::size_t>(j)];
+          break;
+        }
+    };
+
+    probe(original, clean);
+    for (auto [level, series] :
+         {std::pair{core::PrivacyLevel::kMedium, &puppies_med},
+          std::pair{core::PrivacyLevel::kHigh, &puppies_high}}) {
+      jpeg::CoefficientImage perturbed = original;
+      core::perturb_roi(
+          perturbed, scene.faces[0].aligned_to(8, bench::full_roi(perturbed)),
+          core::MatrixPair::derive(
+              SecretKey::from_label("fig22/" + std::to_string(i))),
+          core::Scheme::kZero, core::params_for(level));
+      probe(perturbed, *series);
+    }
+    probe(p3::split(original, 20).public_part, p3_pub);
+  }
+
+  std::printf("%-6s %12s %13s %13s %12s %9s\n", "rank", "original",
+              "PuPPIeS med", "PuPPIeS high", "P3 public", "chance");
+  for (const int k : {1, 5, 10, 20, 30, 40, 50}) {
+    std::printf("%-6d %11.1f%% %12.1f%% %12.1f%% %11.1f%% %8.1f%%\n", k,
+                100.0 * clean.rank_hits[static_cast<std::size_t>(k)] / clean.count,
+                100.0 * puppies_med.rank_hits[static_cast<std::size_t>(k)] / puppies_med.count,
+                100.0 * puppies_high.rank_hits[static_cast<std::size_t>(k)] / puppies_high.count,
+                100.0 * p3_pub.rank_hits[static_cast<std::size_t>(k)] / p3_pub.count,
+                100.0 * k / identities);
+  }
+  std::printf(
+      "\npaper shape: clean probes recognized readily; P3 public climbs\n"
+      "toward ~50%% by rank 50; PuPPIeS stays near the floor. At the HIGH\n"
+      "level PuPPIeS tracks the chance line; at MEDIUM the 55 unperturbed\n"
+      "high-frequency AC coefficients leak some identity signal to a\n"
+      "contrast-normalizing attacker - a finding the paper's user-facing\n"
+      "evaluation does not surface (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Fig. 23 / Section VI-B.5 + the user study: signal-correlation attacks on
+// the "HELLO WORLD!" probe and on dataset photos, judged by the machine
+// proxy for the MTurk study (ROI PSNR/SSIM + glyph legibility).
+#include "bench_common.h"
+#include "puppies/attacks/correlation.h"
+#include "puppies/attacks/judge.h"
+#include "puppies/core/pipeline.h"
+#include "puppies/image/draw.h"
+#include "puppies/image/metrics.h"
+
+using namespace puppies;
+
+int main() {
+  bench::header("Fig. 23 / VI-B.5: signal-correlation attacks + user-study proxy",
+                "Fig. 23, Section VI-B.5");
+
+  // --- Part 1: the Fig. 23 "HELLO WORLD!" probe. -------------------------
+  const RgbImage hello = synth::hello_world_image(256, 128);
+  const int scale = std::max(1, 256 / 90);
+  const int tx = (256 - text_width("HELLO WORLD!", scale)) / 2;
+  const int ty = (128 - text_height(scale)) / 2;
+  const Rect text_roi =
+      Rect{tx, ty, text_width("HELLO WORLD!", scale), text_height(scale)}
+          .aligned_to(8, Rect{0, 0, 256, 128});
+
+  const jpeg::CoefficientImage original =
+      jpeg::forward_transform(rgb_to_ycc(hello), 75);
+  const SecretKey key = SecretKey::from_label("fig23");
+  const core::ProtectResult shared = core::protect(
+      original, {core::RoiPolicy{text_roi, key, core::Scheme::kCompression,
+                                 core::PrivacyLevel::kMedium}});
+  const RgbImage perturbed_rgb = jpeg::decode_to_rgb(shared.perturbed);
+
+  struct Attempt {
+    const char* name;
+    RgbImage image;
+  };
+  const Attempt attempts[] = {
+      {"perturbed (no attack)", perturbed_rgb},
+      {"matrix inference",
+       attacks::matrix_inference_attack(shared.perturbed, shared.params)},
+      {"neighbour inpainting", attacks::inpaint_attack(perturbed_rgb, text_roi)},
+      {"PCA reconstruction", attacks::pca_attack(perturbed_rgb, text_roi, 8)},
+  };
+
+  std::printf("HELLO WORLD! probe (text ROI %s):\n", text_roi.to_string().c_str());
+  std::printf("%-24s %10s %8s %12s\n", "attack", "roi-PSNR", "SSIM",
+              "legibility");
+  std::printf("%-24s %10s %8s %11.2f\n", "original (sanity)", "inf", "1.000",
+              attacks::text_legibility(to_gray(hello), tx, ty, "HELLO WORLD!",
+                                       scale));
+  for (const Attempt& a : attempts) {
+    const attacks::RecoveryJudgement j =
+        attacks::judge_recovery(hello, a.image, text_roi);
+    const double leg = attacks::text_legibility(to_gray(a.image), tx, ty,
+                                                "HELLO WORLD!", scale);
+    std::printf("%-24s %10.2f %8.3f %11.2f\n", a.name,
+                std::isinf(j.roi_psnr) ? 99.0 : j.roi_psnr, j.roi_ssim, leg);
+  }
+
+  // --- Part 2: user-study proxy over dataset photos. ---------------------
+  std::printf("\nuser-study proxy: attacks on dataset photos "
+              "(ROI = centre quarter):\n");
+  std::printf("%-24s %10s %8s\n", "attack (mean over photos)", "roi-PSNR",
+              "SSIM");
+  const int per_dataset = 3;
+  std::vector<double> psnr_by_attack[3], ssim_by_attack[3];
+  for (const synth::Dataset d : synth::all_datasets()) {
+    for (int i = 0; i < per_dataset; ++i) {
+      const synth::SceneImage scene = synth::generate(d, i, 256, 192);
+      const jpeg::CoefficientImage coeffs =
+          jpeg::forward_transform(rgb_to_ycc(scene.image), 75);
+      const Rect roi{64, 48, 128, 96};
+      const core::ProtectResult prot = core::protect(
+          coeffs,
+          {core::RoiPolicy{roi,
+                           SecretKey::from_label("study/" + std::to_string(i)),
+                           core::Scheme::kCompression,
+                           core::PrivacyLevel::kMedium}});
+      const RgbImage pert = jpeg::decode_to_rgb(prot.perturbed);
+      const RgbImage recovered[3] = {
+          attacks::matrix_inference_attack(prot.perturbed, prot.params),
+          attacks::inpaint_attack(pert, roi),
+          attacks::pca_attack(pert, roi, 8),
+      };
+      for (int a = 0; a < 3; ++a) {
+        const attacks::RecoveryJudgement j =
+            attacks::judge_recovery(scene.image, recovered[a], roi);
+        psnr_by_attack[a].push_back(std::isinf(j.roi_psnr) ? 99 : j.roi_psnr);
+        ssim_by_attack[a].push_back(j.roi_ssim);
+      }
+    }
+  }
+  const char* names[3] = {"matrix inference", "neighbour inpainting",
+                          "PCA reconstruction"};
+  for (int a = 0; a < 3; ++a)
+    std::printf("%-24s %10.2f %8.3f\n", names[a],
+                bench::Stats::of(psnr_by_attack[a]).mean,
+                bench::Stats::of(ssim_by_attack[a]).mean);
+
+  std::printf(
+      "\npaper shape: none of the three attacks recovers recognizable\n"
+      "content ('nothing but mosaic' — MTurk N=53); legibility of the\n"
+      "HELLO WORLD! probe stays near zero for every attack.\n"
+      "observed partial leak (documented in EXPERIMENTS.md): matrix\n"
+      "inference approximates the block-shared AC delta, but the per-block\n"
+      "DC entries keep brightness scrambled and content unreadable.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Attack lab: run the paper's Section VI attacks against a protected photo
+// and print how little each recovers (brute force, SIFT, edges, faces,
+// signal correlation).
+#include <cstdio>
+#include <filesystem>
+
+#include "puppies/attacks/bruteforce.h"
+#include "puppies/attacks/correlation.h"
+#include "puppies/attacks/judge.h"
+#include "puppies/core/pipeline.h"
+#include "puppies/image/ppm.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/synth/synth.h"
+#include "puppies/vision/canny.h"
+#include "puppies/vision/face_detect.h"
+#include "puppies/vision/sift.h"
+
+using namespace puppies;
+
+int main() {
+  std::filesystem::create_directories("puppies_out");
+
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kCaltech, 11, 448, 296);
+  const jpeg::CoefficientImage original =
+      jpeg::forward_transform(rgb_to_ycc(scene.image), 75);
+  const Rect roi = scene.faces[0];
+  const core::ProtectResult shared = core::protect(
+      original,
+      {core::RoiPolicy{roi, SecretKey::from_label("attack-lab"),
+                       core::Scheme::kCompression,
+                       core::PrivacyLevel::kMedium}});
+  const RgbImage perturbed = jpeg::decode_to_rgb(shared.perturbed);
+  write_ppm("puppies_out/attacklab_target.ppm", perturbed);
+
+  std::printf("target: Caltech-style photo, face ROI %s, medium privacy\n\n",
+              roi.to_string().c_str());
+
+  // Brute force.
+  const attacks::BruteForceReport bf =
+      attacks::analyze(core::PrivacyLevel::kMedium);
+  std::printf("[brute force]   keyspace %.0f bits (NIST floor 256) -> "
+              "10^%.0f years at 10^12 guesses/s\n",
+              bf.total_bits, bf.log10_years_at_terahertz);
+
+  // SIFT.
+  const auto of = vision::detect_features(to_gray(scene.image));
+  const auto pf = vision::detect_features(to_gray(perturbed));
+  std::printf("[SIFT]          %zu features in original, %zu matches into "
+              "the perturbed image\n",
+              of.size(), vision::match_features(of, pf, 0.7f).size());
+
+  // Edges.
+  const GrayU8 edges = vision::canny(to_gray(perturbed));
+  std::printf("[Canny]         %.1f%% of pixels flagged as edges "
+              "(structure-free noise)\n",
+              100.0 * vision::edge_pixel_ratio(edges));
+
+  // Face detection.
+  vision::FaceDetectorOptions attacker;
+  attacker.gradient_mode = true;
+  attacker.threshold = 0.30f;
+  const int hits = vision::count_detected(
+      scene.faces, vision::detect_faces(perturbed, attacker), 0.25);
+  std::printf("[face detector] ground-truth faces re-detected: %d of %zu\n",
+              hits, scene.faces.size());
+
+  // Correlation attacks.
+  struct Attack {
+    const char* name;
+    RgbImage image;
+    const char* file;
+  };
+  const Attack attempts[] = {
+      {"matrix inference",
+       attacks::matrix_inference_attack(shared.perturbed, shared.params),
+       "attacklab_matrix.ppm"},
+      {"inpainting", attacks::inpaint_attack(perturbed, roi),
+       "attacklab_inpaint.ppm"},
+      {"PCA", attacks::pca_attack(perturbed, roi, 8), "attacklab_pca.ppm"},
+  };
+  for (const Attack& a : attempts) {
+    const attacks::RecoveryJudgement j =
+        attacks::judge_recovery(scene.image, a.image, roi);
+    write_ppm(std::string("puppies_out/") + a.file, a.image);
+    std::printf("[%-15s] ROI PSNR %.1f dB, SSIM %.2f -> %s\n", a.name,
+                j.roi_psnr, j.roi_ssim, a.file);
+  }
+  std::printf("\nnone of the attacks reconstructs the face; see the PPMs.\n");
+  return 0;
+}

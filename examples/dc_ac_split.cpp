@@ -1,0 +1,38 @@
+// Figs. 13/14: what the DC and AC coefficients each carry. Writes an image
+// decoded from only its DC components and one from only its AC components —
+// the observation motivating per-block DC protection (PuPPIeS-B).
+#include <cstdio>
+#include <filesystem>
+
+#include "puppies/image/ppm.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/synth/synth.h"
+
+using namespace puppies;
+
+int main() {
+  std::filesystem::create_directories("puppies_out");
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kInria, 4, 512, 384);
+  const jpeg::CoefficientImage original =
+      jpeg::forward_transform(rgb_to_ycc(scene.image), 80);
+  write_ppm("puppies_out/dcac_original.ppm", jpeg::decode_to_rgb(original));
+
+  jpeg::CoefficientImage dc_only = original;
+  jpeg::CoefficientImage ac_only = original;
+  for (int c = 0; c < original.component_count(); ++c)
+    for (std::size_t b = 0; b < original.component(c).blocks.size(); ++b) {
+      for (int z = 1; z < 64; ++z)
+        dc_only.component(c).blocks[b][static_cast<std::size_t>(z)] = 0;
+      ac_only.component(c).blocks[b][0] = 0;
+    }
+
+  write_ppm("puppies_out/dcac_dc_only.ppm", jpeg::decode_to_rgb(dc_only));
+  write_ppm("puppies_out/dcac_ac_only.ppm", jpeg::decode_to_rgb(ac_only));
+  std::printf(
+      "wrote puppies_out/dcac_{original,dc_only,ac_only}.ppm\n"
+      "DC-only keeps a blocky but recognizable thumbnail (most of the\n"
+      "visual information); AC-only keeps edges/texture without brightness.\n"
+      "This is why every PuPPIeS scheme protects DC with per-block entries.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: protect a photo's sensitive region, share it through the
+// simulated PSP, and recover it with the right key.
+//
+// Run from anywhere; writes its images to ./puppies_out/.
+#include <cstdio>
+#include <filesystem>
+
+#include "puppies/core/pipeline.h"
+#include "puppies/image/metrics.h"
+#include "puppies/image/ppm.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/psp/psp.h"
+#include "puppies/roi/detect.h"
+#include "puppies/synth/synth.h"
+
+using namespace puppies;
+
+int main() {
+  std::filesystem::create_directories("puppies_out");
+
+  // 1. A photo. (Procedural here; any RGB image works.)
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kCaltech, 7, 448, 296);
+  write_ppm("puppies_out/quickstart_original.ppm", scene.image);
+
+  // 2. Let the recommendation engine propose privacy-sensitive regions.
+  const std::vector<Rect> recommended = roi::recommend(scene.image);
+  std::printf("recommended ROIs: %zu\n", recommended.size());
+  for (const Rect& r : recommended) std::printf("  %s\n", r.to_string().c_str());
+
+  // 3. Protect: perturb the first recommended ROI (or the ground-truth face
+  //    if detection came up empty) under a fresh secret key.
+  const Rect roi = recommended.empty() ? scene.faces.at(0) : recommended[0];
+  Rng entropy("quickstart/keygen");
+  const SecretKey key = SecretKey::generate(entropy);
+  const jpeg::CoefficientImage original =
+      jpeg::forward_transform(rgb_to_ycc(scene.image), 75);
+  const core::ProtectResult shared = core::protect(
+      original, {core::RoiPolicy{roi, key, core::Scheme::kCompression,
+                                 core::PrivacyLevel::kMedium}});
+  write_ppm("puppies_out/quickstart_perturbed.ppm",
+            jpeg::decode_to_rgb(shared.perturbed));
+
+  // 4. Upload the perturbed JPEG + public parameters to the PSP.
+  psp::PspService cloud;
+  const std::string id = cloud.upload(jpeg::serialize(shared.perturbed),
+                                      shared.params.serialize());
+  std::printf("uploaded as %s (%zu bytes stored at the PSP)\n", id.c_str(),
+              cloud.stored_bytes(id));
+
+  // 5. A friend downloads it and recovers with the key Alice sent over the
+  //    secure channel.
+  psp::SecureChannel channel;
+  channel.send_matrices("friend", key);
+  const psp::Download download = cloud.download(id);
+  const jpeg::CoefficientImage recovered = core::recover(
+      jpeg::parse(download.jfif),
+      core::PublicParameters::parse(download.public_params),
+      channel.ring_for("friend"));
+  write_ppm("puppies_out/quickstart_recovered.ppm",
+            jpeg::decode_to_rgb(recovered));
+
+  // 6. Exact recovery (Lemma III.1): the recovered coefficients are
+  //    bit-identical to the original upload.
+  std::printf("exact recovery: %s\n", recovered == original ? "yes" : "NO");
+  std::printf("perturbed-vs-original PSNR: %.1f dB (ROI destroyed)\n",
+              psnr(to_gray(scene.image),
+                   to_gray(jpeg::decode_to_rgb(shared.perturbed))));
+  std::printf("wrote puppies_out/quickstart_{original,perturbed,recovered}.ppm\n");
+  return 0;
+}

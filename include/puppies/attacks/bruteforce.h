@@ -1,0 +1,24 @@
+#pragma once
+
+#include "puppies/core/matrix.h"
+
+namespace puppies::attacks {
+
+/// NIST SP 800-57 minimum symmetric-key strength the paper compares against.
+inline constexpr double kNistMinBits = 256.0;
+
+/// Keyspace accounting for the brute-force attack of Section VI-A.
+struct BruteForceReport {
+  core::PerturbParams params;
+  double dc_bits = 0;     ///< 64 entries x 11 bits (PDC)
+  double ac_bits = 0;     ///< sum of log2(Q'[i]) over perturbed ACs (PAC)
+  double total_bits = 0;
+  bool exceeds_nist = false;
+  /// log10 of expected years to enumerate the keyspace at 10^12 guesses/s.
+  double log10_years_at_terahertz = 0;
+};
+
+BruteForceReport analyze(const core::PerturbParams& params);
+BruteForceReport analyze(core::PrivacyLevel level);
+
+}  // namespace puppies::attacks

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "puppies/core/params.h"
+#include "puppies/image/image.h"
+#include "puppies/jpeg/coeffs.h"
+
+namespace puppies::attacks {
+
+/// Attack 1 (Section VI-B.5 (1)): infer the private matrix from signal
+/// continuity. Averages the coefficient blocks of all unperturbed regions,
+/// subtracts that from the ROI's upper-left block to "infer" the delta, and
+/// applies it as if it were the key. Returns the attacker's best-effort
+/// decode of the whole image.
+RgbImage matrix_inference_attack(const jpeg::CoefficientImage& perturbed,
+                                 const core::PublicParameters& params);
+
+/// Attack 2 (VI-B.5 (2)): iterative spiral inpainting. Every ROI pixel is
+/// re-estimated from its already-known neighbours, peeling from the ROI
+/// boundary inward.
+RgbImage inpaint_attack(const RgbImage& perturbed, const Rect& roi);
+
+/// Attack 3 (VI-B.5 (3)): PCA patch reconstruction. Learns a PCA basis from
+/// 8x8 patches of the unperturbed area and projects each ROI patch onto the
+/// top `components` principal components.
+RgbImage pca_attack(const RgbImage& perturbed, const Rect& roi,
+                    int components = 8);
+
+}  // namespace puppies::attacks

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string_view>
+
+#include "puppies/image/image.h"
+
+namespace puppies::attacks {
+
+/// Objective recovery-quality judgement — the machine proxy for the paper's
+/// MTurk user study ("can anyone tell what this photo shows?").
+struct RecoveryJudgement {
+  double roi_psnr = 0;     ///< PSNR inside the ROI vs. the original
+  double roi_ssim = 0;     ///< mean SSIM inside the ROI
+  double legibility = -1;  ///< glyph-level legibility, if text was expected
+};
+
+RecoveryJudgement judge_recovery(const RgbImage& original,
+                                 const RgbImage& recovered, const Rect& roi);
+
+/// Fraction of glyphs of `expected` (rendered at (x, y) with `scale`) whose
+/// normalized correlation against `img` exceeds 0.6 — i.e. how much of the
+/// text a template-matching "reader" can still make out.
+double text_legibility(const GrayU8& img, int x, int y,
+                       std::string_view expected, int scale);
+
+}  // namespace puppies::attacks

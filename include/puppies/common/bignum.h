@@ -1,0 +1,66 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace puppies {
+
+/// Fixed-width 1024-bit unsigned integer with the modular arithmetic needed
+/// for classic Diffie-Hellman (the paper's reference [32] for distributing
+/// private matrices over insecure channels). Little-endian 64-bit limbs.
+///
+/// Only the operations the key exchange needs are provided; everything is
+/// constant-width (no allocation) and branch patterns are data-dependent —
+/// adequate for a research reproduction, NOT hardened against timing
+/// side channels.
+class U1024 {
+ public:
+  static constexpr int kLimbs = 16;
+  static constexpr int kBits = 1024;
+
+  U1024() : limbs_{} {}
+  static U1024 from_u64(std::uint64_t v);
+  /// Parses big-endian hex (whitespace allowed). Throws ParseError if the
+  /// value does not fit.
+  static U1024 from_hex(std::string_view hex);
+  /// Lowercase big-endian hex without leading zeros ("0" for zero).
+  std::string to_hex() const;
+
+  bool is_zero() const;
+  /// Value of bit i (0 = least significant).
+  int bit(int i) const;
+  /// Index of the highest set bit, or -1 for zero.
+  int top_bit() const;
+
+  /// Comparison: <0, 0, >0.
+  int compare(const U1024& other) const;
+  bool operator==(const U1024&) const = default;
+
+  /// this + other mod m (all operands must be < m).
+  U1024 addmod(const U1024& other, const U1024& m) const;
+  /// this - other mod m.
+  U1024 submod(const U1024& other, const U1024& m) const;
+  /// this * other mod m (binary/"Russian peasant" method).
+  U1024 mulmod(const U1024& other, const U1024& m) const;
+
+  /// Raw limb access for serialization / key derivation.
+  const std::array<std::uint64_t, kLimbs>& limbs() const { return limbs_; }
+  std::array<std::uint64_t, kLimbs>& limbs() { return limbs_; }
+
+ private:
+  /// Doubles in place; returns the carried-out bit.
+  int shl1();
+  /// this += other; returns carry.
+  int add_raw(const U1024& other);
+  /// this -= other (requires this >= other).
+  void sub_raw(const U1024& other);
+
+  std::array<std::uint64_t, kLimbs> limbs_;
+};
+
+/// base^exp mod m via square-and-multiply. Requires base < m, m odd > 1.
+U1024 modexp(const U1024& base, const U1024& exp, const U1024& m);
+
+}  // namespace puppies

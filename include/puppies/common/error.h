@@ -1,0 +1,38 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace puppies {
+
+/// Base class for all errors thrown by the PUPPIES library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or truncated serialized data (JPEG streams, public parameters).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error("parse error: " + what) {}
+};
+
+/// An argument violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what)
+      : Error("invalid argument: " + what) {}
+};
+
+/// A cryptographic/key-management failure (missing key, wrong matrix id...).
+class KeyError : public Error {
+ public:
+  explicit KeyError(const std::string& what) : Error("key error: " + what) {}
+};
+
+/// Throws InvalidArgument with `msg` unless `cond` holds.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
+
+}  // namespace puppies

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "puppies/common/rng.h"
+
+namespace puppies {
+
+/// A 256-bit secret from which private matrices are derived.
+///
+/// The paper distributes the private matrix itself over a secure channel; we
+/// model the matrix as derived from a compact key so the key-ring and
+/// channel layers can move fixed-size secrets around. Derivation is a
+/// domain-separated PRF built on splitmix64 (deterministic, not intended as
+/// production crypto — see DESIGN.md threat-model notes).
+class SecretKey {
+ public:
+  static constexpr std::size_t kWords = 4;
+
+  SecretKey() : words_{} {}
+  explicit SecretKey(const std::array<std::uint64_t, kWords>& words)
+      : words_(words) {}
+
+  /// Deterministic key for tests/benches: expands a label.
+  static SecretKey from_label(std::string_view label);
+
+  /// Fresh key drawn from `rng` (the simulation's entropy source).
+  static SecretKey generate(Rng& rng);
+
+  /// Derives an independent sub-key for `purpose` (e.g. "dc", "ac", "roi/3").
+  SecretKey derive(std::string_view purpose) const;
+
+  /// Seeds an Rng stream with this key's material.
+  Rng stream() const { return Rng(words_); }
+
+  /// Short stable identifier (hex of the first word) for key references
+  /// placed in *public* parameters. Does not reveal key material beyond a
+  /// 64-bit lookup tag derived one-way from the key.
+  std::string id() const;
+
+  /// Hex serialization of the full key (private! only for secure channels).
+  std::string to_hex() const;
+  static SecretKey from_hex(std::string_view hex);
+
+  bool operator==(const SecretKey&) const = default;
+
+ private:
+  std::array<std::uint64_t, kWords> words_;
+};
+
+}  // namespace puppies

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace puppies {
+
+/// Deterministic pseudo-random generator (xoshiro256**).
+///
+/// All randomness in the library flows through named instances of this
+/// generator so that every experiment is reproducible bit-for-bit. It is NOT
+/// a cryptographic PRNG; the threat-model experiments only need keyspace
+/// *accounting*, not actual hardness (see attacks/bruteforce.h).
+class Rng {
+ public:
+  /// Seeds from a 64-bit value, expanded with splitmix64.
+  explicit Rng(std::uint64_t seed);
+
+  /// Seeds from a string label (FNV-1a hashed), so call sites can write
+  /// `Rng rng{"fig17/pascal"}` and stay collision-free and self-documenting.
+  explicit Rng(std::string_view label);
+
+  /// Seeds from raw 256-bit state (used to derive matrices from SecretKey).
+  explicit Rng(const std::array<std::uint64_t, 4>& state);
+
+  /// Next 64 uniform random bits.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Standard normal deviate (Box-Muller, no caching).
+  double gaussian();
+
+  /// Bernoulli with probability p.
+  bool chance(double p);
+
+  /// Derives an independent child generator for sub-stream `label`.
+  Rng fork(std::string_view label);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// splitmix64 step; exposed because key expansion reuses it.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// 64-bit FNV-1a hash of a string.
+std::uint64_t fnv1a(std::string_view text);
+
+}  // namespace puppies

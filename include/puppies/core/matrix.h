@@ -1,0 +1,133 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "puppies/common/bytes.h"
+#include "puppies/common/key.h"
+
+namespace puppies::core {
+
+/// The modular ring perturbation arithmetic lives on (Lemma III.1).
+///
+/// DC uses the paper's ring exactly: 2048 values on [-1024, 1023].
+/// AC uses 2047 values on [-1023, 1023] — one value narrower — because
+/// baseline JPEG cannot entropy-code an AC of -1024 (magnitude category 11).
+/// Every Lemma III.1 property holds unchanged on either ring; see DESIGN.md.
+struct Ring {
+  int lo;
+  int hi;
+  constexpr int size() const { return hi - lo + 1; }
+};
+
+inline constexpr Ring kDcRing{-1024, 1023};
+inline constexpr Ring kAcRing{-1023, 1023};
+
+/// e = ((b + p - lo) mod size) + lo, with p in [0, size).
+/// Returns the wrapped sum and whether the addition overflowed the ring
+/// (needed by the wrap-index extension, DESIGN.md §5.3).
+struct WrapResult {
+  int value;
+  bool wrapped;
+};
+constexpr WrapResult wrap_add(int b, int p, Ring r) {
+  const int raw = b + p;
+  if (raw > r.hi) return {raw - r.size(), true};
+  return {raw, false};
+}
+
+/// Lemma III.1: b = ((e - p - lo) mod size) + lo.
+constexpr int wrap_sub(int e, int p, Ring r) {
+  int raw = e - p;
+  if (raw < r.lo) raw += r.size();
+  return raw;
+}
+
+/// An 8x8 private matrix in vectorized (zig-zag order) form P'. Entries are
+/// non-negative residues in [0, ring.size()): the paper's "normalized by mR"
+/// representation used in the Lemma III.1 arithmetic.
+struct PrivateMatrix {
+  std::array<std::int32_t, 64> p{};
+
+  bool operator==(const PrivateMatrix&) const = default;
+};
+
+/// Draws a uniform private matrix for ring `r` from `rng`.
+PrivateMatrix random_matrix(Rng& rng, Ring r);
+
+/// The PDC / PAC pair the paper actually deploys (Section IV-D): independent
+/// matrices for DC and AC coefficients, derived from one ROI secret key.
+struct MatrixPair {
+  PrivateMatrix dc;  ///< entries in [0, 2048)
+  PrivateMatrix ac;  ///< entries in [0, 2047)
+
+  /// Deterministic derivation from an ROI key (domain-separated sub-keys).
+  static MatrixPair derive(const SecretKey& key);
+
+  /// Secret-channel serialization (what the sender actually transmits when
+  /// sharing raw matrices instead of the key).
+  void serialize(ByteWriter& out) const;
+  static MatrixPair parse(ByteReader& in);
+
+  /// Size in bytes of the serialized private part (Fig. 11 accounting):
+  /// 64 DC entries of 11 bits + 64 AC entries of 11 bits, byte-padded.
+  static constexpr std::size_t kWireBits = 64 * 11 * 2;
+
+  bool operator==(const MatrixPair&) const = default;
+};
+
+/// Section IV-D extension: an ROI may be perturbed with an arbitrary number
+/// of matrix pairs; block k uses pairs[(k / 64) mod count], so every run of
+/// 64 blocks gets fresh DC entries and fresh AC deltas. The private part
+/// grows linearly with the count (Fig. 11's x-axis).
+struct MatrixSet {
+  std::vector<MatrixPair> pairs;
+
+  /// Derives `count` independent pairs from one ROI key.
+  static MatrixSet derive(const SecretKey& key, int count = 1);
+
+  const MatrixPair& for_block(int k) const {
+    return pairs[static_cast<std::size_t>(k / 64) % pairs.size()];
+  }
+  int count() const { return static_cast<int>(pairs.size()); }
+  std::size_t wire_bytes() const {
+    return pairs.size() * (MatrixPair::kWireBits / 8);
+  }
+
+  void serialize(ByteWriter& out) const;
+  static MatrixSet parse(ByteReader& in);
+  bool operator==(const MatrixSet&) const = default;
+};
+
+/// The paper's privacy levels (Table IV).
+enum class PrivacyLevel : std::uint8_t { kLow = 0, kMedium = 1, kHigh = 2 };
+
+struct PerturbParams {
+  int mR = 32;  ///< minimum range of entries in P
+  int K = 8;    ///< number of coefficients perturbed (DC counts as 1)
+
+  bool operator==(const PerturbParams&) const = default;
+};
+
+/// Table IV: low=(1,1), medium=(32,8), high=(2048,64).
+PerturbParams params_for(PrivacyLevel level);
+std::string_view to_string(PrivacyLevel level);
+
+/// The vectorized private range matrix Q' (Algorithm 3). Entry i is the
+/// modulus applied to the AC perturbation of zig-zag coefficient i; 1 means
+/// "not perturbed". Q'[0] corresponds to DC, which is always perturbed with
+/// the full-range PDC regardless.
+///
+/// Implements the text-consistent variant: exactly K coefficients perturbed
+/// (DC + the first K-1 ACs); the paper's printed pseudocode would perturb
+/// K+1 (see DESIGN.md §5.6 / EXPERIMENTS.md).
+using RangeMatrix = std::array<std::int32_t, 64>;
+RangeMatrix make_range_matrix(const PerturbParams& params);
+
+/// Number of secret bits protecting one ROI under `params`:
+/// 64 x 11 DC bits + sum over AC of log2(Q'[i]) (Section VI-A accounting).
+double secure_bits(const PerturbParams& params);
+
+}  // namespace puppies::core

@@ -1,0 +1,63 @@
+#pragma once
+
+#include "puppies/core/params.h"
+#include "puppies/image/image.h"
+
+namespace puppies::core {
+
+/// One privacy policy the image owner attaches to a region: which rectangle,
+/// how strongly to perturb it, and under which secret key (i.e. which
+/// receiver group can undo it). Personalized sharing = different keys on
+/// different ROIs.
+struct RoiPolicy {
+  Rect rect{};  ///< any pixel rect; the sender 8-aligns it outward
+  SecretKey key;
+  Scheme scheme = Scheme::kCompression;
+  PrivacyLevel level = PrivacyLevel::kMedium;
+  /// Section IV-D: number of matrix pairs cycled over the ROI's blocks.
+  /// More pairs = more key material per ROI (176 bytes each).
+  int matrix_count = 1;
+};
+
+/// Sender output: the perturbed image (safe to upload) plus the public
+/// parameter record the PSP stores next to it.
+struct ProtectResult {
+  jpeg::CoefficientImage perturbed;
+  PublicParameters params;
+};
+
+/// Sender side (Fig. 6): perturbs every policy's ROI in the coefficient
+/// domain. ROI rects are aligned outward to the 8x8 block grid; overlapping
+/// aligned ROIs are rejected (use split_disjoint upstream).
+ProtectResult protect(const jpeg::CoefficientImage& original,
+                      const std::vector<RoiPolicy>& policies);
+
+/// Receiver side, scenario 1 (Fig. 7, no PSP transformation): recovers every
+/// ROI whose matrix id is present in `keys`; others stay perturbed. Exact
+/// (Lemma III.1).
+jpeg::CoefficientImage recover(const jpeg::CoefficientImage& shared,
+                               const PublicParameters& params,
+                               const KeyRing& keys);
+
+/// Receiver side, scenario 2, lossless PSP chain (rotate/flip/aligned crop):
+/// exact coefficient-domain recovery. Works for all schemes including
+/// PuPPIeS-Z. Throws if the chain contains a non-lossless step.
+jpeg::CoefficientImage recover_lossless(
+    const jpeg::CoefficientImage& transformed, const PublicParameters& params,
+    const transform::Chain& chain, const KeyRing& keys);
+
+/// Receiver side, scenario 2, pixel-domain PSP chain (scaling, filtering,
+/// arbitrary mixes; Fig. 8): shadow-ROI recovery. `transformed` is the
+/// linear (unclamped float) pixel image served by the PSP. Recompress steps
+/// pass the shadow through unchanged (bounded approximation; see DESIGN.md).
+/// Throws for ROIs using PuPPIeS-Z whose key is held (its shadow is
+/// undefined); ROIs without keys are simply left perturbed.
+YccImage recover_pixels(const YccImage& transformed,
+                        const PublicParameters& params,
+                        const transform::Chain& chain, const KeyRing& keys);
+
+/// The pixel-domain shadow of all ROIs recoverable with `keys`: decoded
+/// deltas around 0 (Fig. 9's "shadow ROI generator" for the whole canvas).
+YccImage build_shadow(const PublicParameters& params, const KeyRing& keys);
+
+}  // namespace puppies::core

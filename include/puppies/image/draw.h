@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "puppies/common/rng.h"
+#include "puppies/image/image.h"
+
+namespace puppies {
+
+struct Color {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+void fill(RgbImage& img, Color c);
+void fill_rect(RgbImage& img, const Rect& r, Color c);
+/// 1px-thick rectangle outline (thickness can be widened).
+void draw_rect_outline(RgbImage& img, const Rect& r, Color c,
+                       int thickness = 1);
+/// Vertical linear gradient from `top` to `bottom` over the whole image.
+void fill_vgradient(RgbImage& img, Color top, Color bottom);
+/// Horizontal linear gradient within rect `r`.
+void fill_hgradient(RgbImage& img, const Rect& r, Color left, Color right);
+/// Filled axis-aligned ellipse inscribed in `r`.
+void fill_ellipse(RgbImage& img, const Rect& r, Color c);
+/// Bresenham line.
+void draw_line(RgbImage& img, int x0, int y0, int x1, int y1, Color c);
+/// Additive Gaussian pixel noise with std deviation `sigma` (clamped).
+void add_noise(RgbImage& img, Rng& rng, double sigma);
+
+/// Renders `text` with the built-in 5x7 font at integer `scale`.
+/// Supports digits, uppercase letters (lowercase is uppercased), space and
+/// - . ! : / #. Unknown characters render as solid blocks.
+void draw_text(RgbImage& img, int x, int y, std::string_view text, Color c,
+               int scale = 1);
+/// Pixel width/height of rendered text at `scale` (including 1-col spacing).
+int text_width(std::string_view text, int scale = 1);
+int text_height(int scale = 1);
+
+/// Grayscale variants used by vision tests.
+void fill_rect(GrayU8& img, const Rect& r, std::uint8_t v);
+void draw_text(GrayU8& img, int x, int y, std::string_view text,
+               std::uint8_t v, int scale = 1);
+
+}  // namespace puppies

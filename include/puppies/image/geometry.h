@@ -1,0 +1,82 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace puppies {
+
+/// Integer pixel rectangle: origin (x, y), size w x h. Empty iff w<=0 || h<=0.
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  bool empty() const { return w <= 0 || h <= 0; }
+  long long area() const {
+    return empty() ? 0 : static_cast<long long>(w) * h;
+  }
+  int right() const { return x + w; }    // exclusive
+  int bottom() const { return y + h; }   // exclusive
+
+  bool contains(int px, int py) const {
+    return px >= x && py >= y && px < right() && py < bottom();
+  }
+  bool contains(const Rect& o) const {
+    return !o.empty() && o.x >= x && o.y >= y && o.right() <= right() &&
+           o.bottom() <= bottom();
+  }
+  bool intersects(const Rect& o) const {
+    return !intersect(*this, o).empty();
+  }
+
+  static Rect intersect(const Rect& a, const Rect& b) {
+    const int x0 = std::max(a.x, b.x);
+    const int y0 = std::max(a.y, b.y);
+    const int x1 = std::min(a.right(), b.right());
+    const int y1 = std::min(a.bottom(), b.bottom());
+    return Rect{x0, y0, x1 - x0, y1 - y0};
+  }
+
+  /// Smallest rect containing both (bounding union).
+  static Rect bound(const Rect& a, const Rect& b) {
+    if (a.empty()) return b;
+    if (b.empty()) return a;
+    const int x0 = std::min(a.x, b.x);
+    const int y0 = std::min(a.y, b.y);
+    const int x1 = std::max(a.right(), b.right());
+    const int y1 = std::max(a.bottom(), b.bottom());
+    return Rect{x0, y0, x1 - x0, y1 - y0};
+  }
+
+  /// Expands outward so that origin and size are multiples of `grid`
+  /// (JPEG needs 8x8-block-aligned ROIs), clipped to `bounds`.
+  Rect aligned_to(int grid, const Rect& bounds) const {
+    const int x0 = (x / grid) * grid;
+    const int y0 = (y / grid) * grid;
+    int x1 = ((right() + grid - 1) / grid) * grid;
+    int y1 = ((bottom() + grid - 1) / grid) * grid;
+    Rect r{x0, y0, x1 - x0, y1 - y0};
+    return intersect(r, bounds);
+  }
+
+  bool operator==(const Rect&) const = default;
+
+  std::string to_string() const;
+};
+
+/// Splits a set of possibly-overlapping rectangles into disjoint rectangles
+/// whose union equals the union of the inputs (Section IV-A "split the
+/// overall detected regions into disjoint regions"). Output rects are
+/// maximal row-merged cells of the coordinate-compacted grid; deterministic.
+std::vector<Rect> split_disjoint(const std::vector<Rect>& rects);
+
+/// True iff no two rects in the list overlap.
+bool pairwise_disjoint(const std::vector<Rect>& rects);
+
+/// Sum of areas of the union of `rects` (inclusion-free via splitting).
+long long union_area(const std::vector<Rect>& rects);
+
+}  // namespace puppies

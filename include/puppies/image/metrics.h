@@ -1,0 +1,27 @@
+#pragma once
+
+#include "puppies/image/image.h"
+
+namespace puppies {
+
+/// Mean squared error between two same-sized planes / images.
+double mse(const GrayU8& a, const GrayU8& b);
+double mse(const GrayF& a, const GrayF& b);
+double mse(const RgbImage& a, const RgbImage& b);
+
+/// Peak signal-to-noise ratio in dB (peak = 255). Returns +inf for identical
+/// inputs (reported as 99.0 by callers that need a finite number).
+double psnr(const GrayU8& a, const GrayU8& b);
+double psnr(const RgbImage& a, const RgbImage& b);
+
+/// Global SSIM (single window over the whole plane, luma only) — the
+/// coarse-grained structural-similarity figure used by the fidelity benches.
+double ssim_global(const GrayU8& a, const GrayU8& b);
+
+/// Mean SSIM over 8x8 windows (closer to the standard metric).
+double ssim(const GrayU8& a, const GrayU8& b);
+
+/// Fraction of pixels differing by more than `tolerance` levels.
+double fraction_different(const GrayU8& a, const GrayU8& b, int tolerance = 0);
+
+}  // namespace puppies

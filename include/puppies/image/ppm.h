@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "puppies/image/image.h"
+
+namespace puppies {
+
+/// Writes `img` as binary PPM (P6). Throws Error on I/O failure.
+void write_ppm(const std::string& path, const RgbImage& img);
+
+/// Writes `img` as binary PGM (P5).
+void write_pgm(const std::string& path, const GrayU8& img);
+
+/// Reads a binary PPM (P6) file. Throws ParseError on malformed input.
+RgbImage read_ppm(const std::string& path);
+
+/// Reads a binary PGM (P5) file.
+GrayU8 read_pgm(const std::string& path);
+
+}  // namespace puppies

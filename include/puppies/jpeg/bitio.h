@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "puppies/common/bytes.h"
+
+namespace puppies::jpeg {
+
+/// MSB-first bit writer for JPEG entropy-coded segments. Emits a 0x00 stuff
+/// byte after every 0xFF, as the standard requires.
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes& out) : out_(out) {}
+
+  /// Writes the low `count` bits of `bits` (count in [0,24]).
+  void put(std::uint32_t bits, int count);
+
+  /// Pads the final partial byte with 1-bits and flushes it.
+  void flush();
+
+  /// Flushes, then emits restart marker RSTn (n in 0..7) unstuffed.
+  void restart_marker(int n);
+
+ private:
+  void emit_byte(std::uint8_t b);
+  Bytes& out_;
+  std::uint32_t acc_ = 0;
+  int nbits_ = 0;
+};
+
+/// MSB-first bit reader that un-stuffs 0xFF00 and stops at any other marker.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Reads `count` bits (count in [0,24]). Throws ParseError past the end of
+  /// the entropy-coded segment.
+  std::uint32_t get(int count);
+  /// Reads a single bit.
+  int bit();
+
+  /// Byte offset of the first unconsumed byte (after discarding bit
+  /// remainder); used to locate the trailing marker.
+  std::size_t byte_position() const { return pos_; }
+
+  /// Consumes a restart marker RSTn (discarding any partial byte first).
+  /// Throws ParseError if the next marker is not RST(expected_n).
+  void expect_restart_marker(int expected_n);
+
+ private:
+  int next_bit();
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint32_t cur_ = 0;
+  int avail_ = 0;
+};
+
+}  // namespace puppies::jpeg

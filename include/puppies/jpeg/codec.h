@@ -1,0 +1,59 @@
+#pragma once
+
+#include <span>
+
+#include "puppies/common/bytes.h"
+#include "puppies/image/image.h"
+#include "puppies/jpeg/coeffs.h"
+
+namespace puppies::jpeg {
+
+/// Which Huffman tables serialize() uses.
+///
+/// kStandard = Annex K typical tables (what the paper's PuPPIeS-B overhead
+/// numbers implicitly measure: default tables mismatched to perturbed
+/// statistics). kOptimized = tables rebuilt from the actual symbol histogram
+/// (libjpeg -optimize; the paper's fix in PuPPIeS-C).
+enum class HuffmanMode { kStandard, kOptimized };
+
+struct EncodeOptions {
+  HuffmanMode huffman = HuffmanMode::kOptimized;
+  /// Chroma layout used by compress() when encoding pixels.
+  ChromaMode chroma = ChromaMode::k444;
+  /// Restart interval in MCUs (DRI segment + RSTn markers); 0 = none.
+  /// Restart markers bound error propagation in damaged streams.
+  int restart_interval = 0;
+};
+
+/// Pixel -> quantized-coefficient domain at the given JPEG quality.
+/// `mode` selects full-resolution (4:4:4) or subsampled (4:2:0) chroma.
+CoefficientImage forward_transform(const YccImage& img, int quality,
+                                   ChromaMode mode = ChromaMode::k444);
+CoefficientImage forward_transform(const GrayU8& img, int quality);
+
+/// Coefficient -> pixel domain. The YccImage result is float and UNCLAMPED:
+/// perturbed regions may exceed [0,255], and keeping them linear is what
+/// makes shadow-ROI subtraction exact (DESIGN.md §5.3).
+YccImage inverse_transform(const CoefficientImage& coeffs);
+GrayU8 inverse_transform_gray(const CoefficientImage& coeffs);
+
+/// Convenience: decode straight to clamped 8-bit RGB (display path).
+RgbImage decode_to_rgb(const CoefficientImage& coeffs);
+
+/// Entropy-encodes a coefficient image into a JFIF byte stream. Lossless:
+/// parse(serialize(x)) == x.
+Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts = {});
+
+/// Parses a JFIF stream produced by serialize() (baseline, 4:4:4 or gray).
+CoefficientImage parse(std::span<const std::uint8_t> data);
+
+/// End-to-end conveniences.
+Bytes compress(const RgbImage& img, int quality,
+               const EncodeOptions& opts = {});
+RgbImage decompress(std::span<const std::uint8_t> data);
+
+/// The PSP-side "compression" transform: requantizes all coefficients to a
+/// coarser quality level (new tables, values re-rounded).
+CoefficientImage requantize(const CoefficientImage& coeffs, int new_quality);
+
+}  // namespace puppies::jpeg

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <array>
+
+namespace puppies::jpeg {
+
+/// 8x8 sample/coefficient block in natural (row-major) order.
+using FloatBlock = std::array<float, 64>;
+
+/// Forward 8x8 DCT-II with JPEG normalization. Input: level-shifted samples
+/// (pixel - 128) in natural order. Output: raw (unquantized) coefficients in
+/// natural order; DC of a uniform block of value v is 8*v.
+FloatBlock fdct8x8(const FloatBlock& samples);
+
+/// Inverse 8x8 DCT (exact inverse of fdct8x8 up to float rounding). Output
+/// samples are still level-shifted; caller adds 128.
+FloatBlock idct8x8(const FloatBlock& coefficients);
+
+}  // namespace puppies::jpeg

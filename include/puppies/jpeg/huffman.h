@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "puppies/jpeg/bitio.h"
+
+namespace puppies::jpeg {
+
+/// A Huffman table in JPEG DHT form: bits[l] = number of codes of length l
+/// (l in 1..16), `values` = symbols in code order.
+struct HuffmanSpec {
+  std::array<std::uint8_t, 17> bits{};  // index 0 unused
+  std::vector<std::uint8_t> values;
+
+  int total_codes() const {
+    int n = 0;
+    for (int l = 1; l <= 16; ++l) n += bits[static_cast<std::size_t>(l)];
+    return n;
+  }
+};
+
+/// ITU-T T.81 Annex K typical tables.
+const HuffmanSpec& std_dc_luma();
+const HuffmanSpec& std_dc_chroma();
+const HuffmanSpec& std_ac_luma();
+const HuffmanSpec& std_ac_chroma();
+
+/// Builds a frequency-optimal spec from a 256-entry symbol histogram using
+/// the libjpeg algorithm (max code length 16, all-ones code reserved).
+/// Symbols with zero frequency get no code.
+HuffmanSpec build_optimal_spec(const std::array<long, 256>& freq);
+
+/// Encoder-side derived table: code + length per symbol.
+class HuffmanEncoder {
+ public:
+  explicit HuffmanEncoder(const HuffmanSpec& spec);
+
+  /// True iff `symbol` has a code.
+  bool can_encode(std::uint8_t symbol) const {
+    return size_[symbol] != 0;
+  }
+  /// Writes the code for `symbol`; throws InvalidArgument if it has none.
+  void emit(BitWriter& out, std::uint8_t symbol) const;
+
+ private:
+  std::array<std::uint16_t, 256> code_{};
+  std::array<std::uint8_t, 256> size_{};
+};
+
+/// Decoder-side derived table (MAXCODE/MINCODE/VALPTR method from T.81 F.2).
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(const HuffmanSpec& spec);
+
+  /// Reads one symbol from the bit stream. Throws ParseError on invalid code.
+  std::uint8_t decode(BitReader& in) const;
+
+ private:
+  std::array<std::int32_t, 17> mincode_{};
+  std::array<std::int32_t, 17> maxcode_{};  // -1 = no codes of this length
+  std::array<std::int32_t, 17> valptr_{};
+  std::vector<std::uint8_t> values_;
+};
+
+/// JPEG magnitude category of v (number of bits needed): 0 for 0, etc.
+int magnitude_category(int v);
+
+/// The `category`-bit raw representation JPEG appends after the Huffman
+/// symbol (negative values use one's-complement form).
+std::uint32_t magnitude_bits(int v, int category);
+
+/// Inverse: expands `bits` (of width `category`) back to a signed value.
+int extend_magnitude(std::uint32_t bits, int category);
+
+}  // namespace puppies::jpeg

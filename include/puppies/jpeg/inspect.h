@@ -1,0 +1,17 @@
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "puppies/common/bytes.h"
+
+namespace puppies::jpeg {
+
+/// Human-readable summary of a JFIF stream: markers, segment sizes, frame
+/// geometry, sampling factors, table ids, restart interval. Used by the
+/// `puppies` CLI's `inspect` command and handy when debugging interop.
+/// Tolerant: stops (with a note) at the first malformed marker instead of
+/// throwing.
+std::string describe_stream(std::span<const std::uint8_t> data);
+
+}  // namespace puppies::jpeg

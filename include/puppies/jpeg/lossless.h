@@ -1,0 +1,24 @@
+#pragma once
+
+#include "puppies/jpeg/coeffs.h"
+
+namespace puppies::jpeg {
+
+/// Lossless coefficient-domain transforms (jpegtran-style). These are the
+/// PSP-side operations for which PUPPIES achieves bit-exact recovery:
+/// each maps quantized blocks to quantized blocks with no re-rounding.
+///
+/// Flips and rotations require the image dimensions to be multiples of 8
+/// (the jpegtran "perfect transform" condition); otherwise InvalidArgument.
+
+CoefficientImage flip_horizontal(const CoefficientImage& img);
+CoefficientImage flip_vertical(const CoefficientImage& img);
+CoefficientImage transpose(const CoefficientImage& img);
+CoefficientImage rotate90(const CoefficientImage& img);   ///< clockwise
+CoefficientImage rotate180(const CoefficientImage& img);
+CoefficientImage rotate270(const CoefficientImage& img);  ///< counter-clockwise
+
+/// Crops to the 8-aligned pixel rect `r` (must lie inside the image).
+CoefficientImage crop_aligned(const CoefficientImage& img, const Rect& r);
+
+}  // namespace puppies::jpeg

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "puppies/jpeg/dct.h"
+
+namespace puppies::jpeg {
+
+/// Quantized-coefficient value limits. DC occupies the full 12-bit signed
+/// range; AC is capped at +-1023 (baseline JPEG magnitude category 10).
+/// See DESIGN.md §5.2: the PUPPIES perturbation ring matches these ranges.
+inline constexpr int kDcMin = -1024;
+inline constexpr int kDcMax = 1023;
+inline constexpr int kAcMin = -1023;
+inline constexpr int kAcMax = 1023;
+
+/// 64 quantizer step sizes stored in ZIG-ZAG order (matching CoefBlock and
+/// the on-stream DQT layout).
+struct QuantTable {
+  std::array<std::uint16_t, 64> q{};
+
+  bool operator==(const QuantTable&) const = default;
+};
+
+/// ITU-T T.81 Annex K example tables scaled to `quality` in [1,100] with the
+/// IJG curve (quality 50 = Annex K verbatim).
+QuantTable luma_quant_table(int quality);
+QuantTable chroma_quant_table(int quality);
+
+/// A flat table of constant step `step` (used by tests and by lossless-domain
+/// experiments that want unquantized-like coefficients).
+QuantTable flat_quant_table(std::uint16_t step);
+
+/// Quantizes raw natural-order DCT output into a zig-zag-ordered block,
+/// clamping to the DC/AC ranges above.
+std::array<std::int16_t, 64> quantize(const FloatBlock& raw,
+                                      const QuantTable& table);
+
+/// Dequantizes a zig-zag block back to natural-order raw coefficients.
+FloatBlock dequantize(const std::array<std::int16_t, 64>& block,
+                      const QuantTable& table);
+
+}  // namespace puppies::jpeg

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "puppies/image/image.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/transform/transform.h"
+
+namespace puppies::p3 {
+
+/// P3 (Ra et al., NSDI'13) baseline: whole-image threshold split.
+///
+/// Public part: every DC removed (0), every AC clamped to [-T, T].
+/// Private part: the DCs plus the residual a - sign(a)*T for |a| > T.
+/// Recombining is coefficient-wise addition.
+struct Split {
+  jpeg::CoefficientImage public_part;
+  jpeg::CoefficientImage private_part;
+};
+
+inline constexpr int kDefaultThreshold = 20;  ///< the authors' recommendation
+
+Split split(const jpeg::CoefficientImage& img,
+            int threshold = kDefaultThreshold);
+
+/// Exact inverse of split() when nothing was transformed in between.
+jpeg::CoefficientImage recombine(const jpeg::CoefficientImage& public_part,
+                                 const jpeg::CoefficientImage& private_part);
+
+/// Serialized sizes (bytes) of the two parts — the paper's storage metric.
+std::size_t public_size(const Split& s);
+std::size_t private_size(const Split& s);
+
+/// The paper's Fig. 4 scenario: the PSP transforms the *public* JPEG with a
+/// standard library (clamped 8-bit decode, transform, re-encode), the client
+/// transforms its *private* JPEG the same way and adds the pixel results.
+/// Clamping destroys the private part's out-of-range residual information
+/// and each re-encode quantizes it further, so fine detail degrades — P3's
+/// documented weakness. `reencode_quality` models the JPEG round trip both
+/// parts take (0 disables re-encoding, leaving only the clamp loss).
+/// Returns the recombined RGB image after applying `step` to both parts.
+RgbImage recombine_after_pixel_transform(const Split& s,
+                                         const transform::Step& step,
+                                         int reencode_quality = 85);
+
+}  // namespace puppies::p3

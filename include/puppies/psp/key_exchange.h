@@ -1,0 +1,38 @@
+#pragma once
+
+#include "puppies/common/bignum.h"
+#include "puppies/common/key.h"
+
+namespace puppies::psp {
+
+/// Classic finite-field Diffie-Hellman over RFC 2409 Oakley Group 2
+/// (1024-bit MODP, generator 2) — the paper's reference [32] for
+/// establishing the matrix-distribution channel over an insecure link.
+///
+/// The agreed group element is funnelled through the library's
+/// deterministic KDF into a SecretKey, from which ROI matrix pairs derive.
+/// Note: 1024-bit MODP and the non-cryptographic KDF are fine for a
+/// reproduction; a production deployment would use a modern group and HKDF.
+class DiffieHellman {
+ public:
+  /// Draws a 256-bit private exponent from `rng`.
+  explicit DiffieHellman(Rng& rng);
+
+  /// g^x mod p — send this to the peer in the clear.
+  const U1024& public_value() const { return public_value_; }
+
+  /// Computes the shared secret key from the peer's public value.
+  /// Both sides derive the same SecretKey. Throws on degenerate peer values
+  /// (0, 1, p-1 — small-subgroup/identity probes).
+  SecretKey agree(const U1024& peer_public) const;
+
+  /// The group parameters (exposed for tests).
+  static const U1024& prime();
+  static const U1024& generator();
+
+ private:
+  U1024 private_exp_;
+  U1024 public_value_;
+};
+
+}  // namespace puppies::psp

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "puppies/core/params.h"
+#include "puppies/transform/transform.h"
+
+namespace puppies::psp {
+
+/// How the PSP delivers a transformed image to a downloader.
+enum class DeliveryMode : std::uint8_t {
+  /// Lossless chain: the coefficient-domain result, re-encoded JFIF.
+  kCoefficients,
+  /// Pixel chain, idealized: linear unclamped float planes ("the PSP
+  /// processes losslessly"); the assumption behind the paper's Fig. 16.
+  kLinearFloat,
+  /// Pixel chain, realistic: clamp to 8 bit and re-encode as JPEG.
+  kClampedReencode,
+};
+
+/// What a receiver gets back: the (possibly transformed) image plus the
+/// public metadata — parameters and the applied transformation chain
+/// ("transformation type at PSP side" is public data, Section III-C).
+struct Download {
+  transform::Chain chain;
+  DeliveryMode mode = DeliveryMode::kCoefficients;
+  Bytes jfif;             ///< kCoefficients / kClampedReencode
+  YccImage pixels;        ///< kLinearFloat
+  Bytes public_params;
+};
+
+/// The semi-honest Photo Sharing Platform: stores perturbed images and
+/// public parameters, applies transformations on request, serves downloads.
+/// It never sees key material.
+class PspService {
+ public:
+  /// Stores an uploaded perturbed image; returns its id.
+  std::string upload(const Bytes& jfif, const Bytes& public_params);
+
+  /// Applies `chain` to the stored image. Lossless chains run in the
+  /// coefficient domain; pixel chains decode first and deliver per `mode`.
+  void apply_transform(const std::string& id, const transform::Chain& chain,
+                       DeliveryMode mode = DeliveryMode::kLinearFloat,
+                       int reencode_quality = 85);
+
+  Download download(const std::string& id) const;
+
+  /// Cloud-side storage in bytes for this image (perturbed image + public
+  /// parameters + transformed variant).
+  std::size_t stored_bytes(const std::string& id) const;
+
+  std::size_t image_count() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    Bytes jfif;
+    Bytes public_params;
+    transform::Chain chain;
+    DeliveryMode mode = DeliveryMode::kCoefficients;
+    Bytes transformed_jfif;
+    YccImage transformed_pixels;
+    bool transformed = false;
+  };
+  const Entry& entry(const std::string& id) const;
+
+  std::map<std::string, Entry> entries_;
+  int next_id_ = 0;
+};
+
+/// The sender->receiver secure channel of Fig. 5: distributes private
+/// matrices (or the compact keys they derive from) and accounts the bytes
+/// moved — the paper's "private part" size metric (Fig. 11).
+class SecureChannel {
+ public:
+  /// Ships the ROI's matrix material (`count` pairs, Section IV-D) to
+  /// `receiver`.
+  void send_matrices(const std::string& receiver, const SecretKey& key,
+                     int count = 1);
+
+  /// The receiving side's assembled key ring.
+  core::KeyRing ring_for(const std::string& receiver) const;
+
+  /// Total private bytes sent to `receiver` (11-bit-packed matrix entries,
+  /// the paper's accounting).
+  std::size_t private_bytes(const std::string& receiver) const;
+
+ private:
+  struct Delivery {
+    std::string matrix_id;
+    core::MatrixSet set;
+  };
+  std::map<std::string, std::vector<Delivery>> deliveries_;
+};
+
+}  // namespace puppies::psp

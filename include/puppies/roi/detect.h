@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "puppies/image/image.h"
+
+namespace puppies::roi {
+
+/// Raw detections from the three recommendation engines of Section IV-A
+/// (face detection, OCR-style text detection, general object proposal).
+struct Detections {
+  std::vector<Rect> faces;
+  std::vector<Rect> text;
+  std::vector<Rect> objects;
+
+  std::vector<Rect> all() const;
+};
+
+/// Text-region detector: dense strong vertical/horizontal gradient cells
+/// (stroke structure) merged into boxes. Stands in for Tesseract OCR region
+/// proposal (DESIGN.md §2).
+std::vector<Rect> detect_text(const GrayU8& img);
+
+/// Salient-object proposals: cells whose local statistics deviate most from
+/// the global image statistics, merged and ranked; top-N returned. Stands in
+/// for the objectness measure [35].
+std::vector<Rect> detect_objects(const GrayU8& img, int top_n = 3);
+
+/// Runs all three engines.
+Detections detect(const RgbImage& img);
+
+/// The full recommendation pipeline: detect, then split the overlapping
+/// boxes into disjoint rectangles (the paper's split step, Fig. 12), then
+/// align each to the 8x8 block grid of a `width` x `height` image.
+std::vector<Rect> recommend(const RgbImage& img);
+
+}  // namespace puppies::roi

@@ -1,0 +1,60 @@
+#pragma once
+
+#include "puppies/common/bytes.h"
+#include "puppies/roi/detect.h"
+
+namespace puppies::roi {
+
+/// Where a candidate ROI came from.
+enum class Category : std::uint8_t { kFace = 0, kText = 1, kObject = 2 };
+std::string_view to_string(Category c);
+
+/// Section IV-A's proposed extension, implemented: "log different image
+/// owners' choices and preferences ... train an automated detection and
+/// recommendation classifier by capturing users' privacy preference."
+///
+/// A per-user Beta-Bernoulli model over (category x relative-size bucket):
+/// every accept/reject of a recommended region updates the corresponding
+/// cell; future recommendations are ranked and filtered by the posterior
+/// acceptance probability (Laplace-smoothed, so an unseen user starts from
+/// an uninformative prior of 1/2).
+class PreferenceModel {
+ public:
+  static constexpr int kCategories = 3;
+  static constexpr int kSizeBuckets = 3;  ///< <1%, 1-10%, >10% of image area
+
+  /// Records that the user accepted (protected) or rejected a recommended
+  /// region of `category` covering `rect` in a `width` x `height` image.
+  void record(Category category, const Rect& rect, int width, int height,
+              bool accepted);
+
+  /// Posterior probability that this user protects such a region.
+  double acceptance_probability(Category category, const Rect& rect,
+                                int width, int height) const;
+
+  /// Personalized recommendation: keep the detections the model predicts
+  /// this user protects (probability >= threshold), then split into disjoint
+  /// 8-aligned rects exactly like roi::recommend().
+  std::vector<Rect> personalize(const Detections& detections, int width,
+                                int height, double threshold = 0.5) const;
+
+  long observations() const;
+
+  /// Persistence (the sender device keeps this locally).
+  void serialize(ByteWriter& out) const;
+  static PreferenceModel parse(ByteReader& in);
+  bool operator==(const PreferenceModel&) const = default;
+
+  /// The size bucket a rect falls into (exposed for tests).
+  static int size_bucket(const Rect& rect, int width, int height);
+
+ private:
+  struct Cell {
+    std::int64_t accepted = 0;
+    std::int64_t rejected = 0;
+    bool operator==(const Cell&) const = default;
+  };
+  Cell cells_[kCategories][kSizeBuckets];
+};
+
+}  // namespace puppies::roi

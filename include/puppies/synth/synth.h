@@ -1,0 +1,57 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "puppies/common/rng.h"
+#include "puppies/image/draw.h"
+#include "puppies/image/image.h"
+
+namespace puppies::synth {
+
+/// The four evaluation datasets of Table III, reproduced as deterministic
+/// procedural generators (see DESIGN.md §2 for the substitution argument).
+enum class Dataset { kCaltech, kFeret, kInria, kPascal };
+
+struct DatasetProfile {
+  std::string_view name;
+  int count;   ///< image count in the paper
+  int width;   ///< typical resolution
+  int height;
+  std::string_view purpose;
+};
+
+DatasetProfile profile(Dataset d);
+std::vector<Dataset> all_datasets();
+
+/// A generated image plus its ground truth.
+struct SceneImage {
+  RgbImage image;
+  std::vector<Rect> faces;         ///< ground-truth face boxes
+  std::vector<Rect> text_regions;  ///< ground-truth text boxes
+  std::vector<Rect> objects;       ///< ground-truth salient-object boxes
+  int identity = -1;               ///< face identity (Caltech/FERET), or -1
+};
+
+/// Deterministically generates image `index` of dataset `d` at the profile
+/// resolution. Same (d, index) always yields the same image.
+SceneImage generate(Dataset d, int index);
+
+/// Same, at an overridden resolution (benches shrink INRIA for runtime).
+SceneImage generate(Dataset d, int index, int width, int height);
+
+/// Renders a parameterized human face into `rect`. `identity` controls the
+/// stable geometry (eye spacing, skin tone, hair, mouth width) so that
+/// eigenface recognition has signal; `rng` adds per-instance pose/lighting
+/// variation.
+void draw_face(RgbImage& img, const Rect& rect, int identity, Rng& rng);
+
+/// The Fig. 23 probe: white background, "HELLO WORLD!" in the foreground.
+RgbImage hello_world_image(int width = 256, int height = 128);
+
+/// Number of images to actually process per dataset in benches: scales the
+/// paper's counts by env var PUPPIES_SCALE (default 0.02, clamped so at
+/// least `min_images` are used).
+int bench_sample_count(Dataset d, int min_images = 8);
+
+}  // namespace puppies::synth

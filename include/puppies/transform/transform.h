@@ -1,0 +1,80 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "puppies/common/bytes.h"
+#include "puppies/image/image.h"
+#include "puppies/jpeg/coeffs.h"
+
+namespace puppies::transform {
+
+/// The PSP-side image transformations PUPPIES supports (Table I columns).
+enum class Kind : std::uint8_t {
+  kIdentity = 0,
+  kScale,        ///< bilinear resize to (arg0 x arg1)
+  kCropAligned,  ///< crop to 8-aligned `rect`
+  kRotate90,     ///< clockwise
+  kRotate180,
+  kRotate270,
+  kFlipH,
+  kFlipV,
+  kFilter3x3,    ///< convolution with `kernel` (filtering / blur / sharpen)
+  kRecompress,   ///< requantize to quality arg0 (lossy "compression")
+};
+
+/// One transformation step with its public parameters. The PSP publishes the
+/// steps it applied (the paper's "transformation type at PSP side" public
+/// datum); receivers replay them on shadow ROIs.
+struct Step {
+  Kind kind = Kind::kIdentity;
+  int arg0 = 0;
+  int arg1 = 0;
+  Rect rect{};
+  std::array<float, 9> kernel{};
+
+  /// True if this step can run losslessly in the coefficient domain.
+  bool lossless() const;
+  /// True if the step is linear in pixel values (shadow-ROI recoverable).
+  bool linear() const;
+
+  std::string to_string() const;
+  bool operator==(const Step&) const = default;
+};
+
+using Chain = std::vector<Step>;
+
+// Factories.
+Step identity();
+Step scale(int new_w, int new_h);
+Step crop_aligned(const Rect& r);
+Step rotate(int degrees_cw);  ///< 90 / 180 / 270
+Step flip_h();
+Step flip_v();
+Step filter3x3(const std::array<float, 9>& kernel);
+Step box_blur();
+Step sharpen();
+Step recompress(int quality);
+
+/// Applies a step / chain in the float pixel domain (unclamped, linear).
+YccImage apply(const Step& step, const YccImage& img);
+YccImage apply(const Chain& chain, YccImage img);
+
+/// Applies a lossless step in the coefficient domain.
+/// Throws InvalidArgument for non-lossless steps.
+jpeg::CoefficientImage apply_lossless(const Step& step,
+                                      const jpeg::CoefficientImage& img);
+
+/// Maps a pixel rect through a step/chain: where an ROI lands after the PSP
+/// transformation (image size `w` x `h` before the step).
+Rect map_rect(const Step& step, const Rect& r, int w, int h);
+Rect map_rect(const Chain& chain, Rect r, int w, int h);
+/// Output image size of a step applied to a w x h image.
+std::pair<int, int> map_size(const Step& step, int w, int h);
+std::pair<int, int> map_size(const Chain& chain, int w, int h);
+
+/// Chain (de)serialization for the PSP's public metadata.
+void write_chain(ByteWriter& out, const Chain& chain);
+Chain read_chain(ByteReader& in);
+
+}  // namespace puppies::transform

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "puppies/core/pipeline.h"
+
+namespace puppies::video {
+
+/// Motion-JPEG-style privacy-preserving video sharing — the first step of
+/// the paper's "other image or video standards" future work. Every frame is
+/// an independent baseline JPEG protected with PUPPIES; the ROI may move
+/// from frame to frame (a track).
+///
+/// Temporal-correlation hardening: each frame's matrices derive from a
+/// per-frame subkey of the track's root key. A static region perturbed with
+/// the SAME matrices in every frame would let an attacker difference
+/// consecutive frames and cancel the perturbation wherever the content is
+/// static; per-frame derivation removes that channel (tested in
+/// test_video.cpp).
+struct ProtectedVideo {
+  /// Perturbed JFIF bytes per frame (what the PSP stores).
+  std::vector<Bytes> frames;
+  /// Public parameters per frame (what the PSP stores next to each frame).
+  std::vector<core::PublicParameters> params;
+
+  std::size_t frame_count() const { return frames.size(); }
+  /// Total cloud-side bytes.
+  std::size_t public_bytes() const;
+};
+
+struct VideoPolicy {
+  SecretKey root_key;  ///< one secret for the whole track
+  core::Scheme scheme = core::Scheme::kCompression;
+  core::PrivacyLevel level = core::PrivacyLevel::kMedium;
+  int quality = 75;
+  jpeg::ChromaMode chroma = jpeg::ChromaMode::k444;
+  /// true = harden against temporal differencing (the default). false reuses
+  /// the root key in every frame — INSECURE, kept only so the ablation tests
+  /// and bench can demonstrate the attack this flag defeats.
+  bool per_frame_keys = true;
+};
+
+/// The per-frame subkey of a track root (receivers re-derive it).
+SecretKey frame_key(const SecretKey& root, std::size_t frame_index);
+
+/// Protects `frames` with ROI track `track` (one rect per frame; an empty
+/// rect means the region is absent from that frame).
+ProtectedVideo protect_video(const std::vector<RgbImage>& frames,
+                             const std::vector<Rect>& track,
+                             const VideoPolicy& policy);
+
+/// Full recovery with the track's root key (exact per frame).
+std::vector<RgbImage> recover_video(const ProtectedVideo& video,
+                                    const SecretKey& root_key);
+
+/// What a viewer without the key sees (ROIs stay perturbed).
+std::vector<RgbImage> public_view(const ProtectedVideo& video);
+
+}  // namespace puppies::video

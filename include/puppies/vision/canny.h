@@ -1,0 +1,25 @@
+#pragma once
+
+#include "puppies/image/image.h"
+
+namespace puppies::vision {
+
+struct CannyOptions {
+  double sigma = 1.4;
+  float low_threshold = 20.f;   ///< gradient-magnitude hysteresis low
+  float high_threshold = 60.f;  ///< gradient-magnitude hysteresis high
+};
+
+/// Canny edge detection (blur, Sobel, non-maximum suppression, hysteresis).
+/// Returns a binary map (255 = edge pixel).
+GrayU8 canny(const GrayU8& img, const CannyOptions& opts = {});
+
+/// Fraction of pixels marked as edges.
+double edge_pixel_ratio(const GrayU8& edges);
+
+/// Fraction of `reference` edge pixels that are also edges in `probe`
+/// (within a 1-pixel tolerance) — how much original structure an attacker's
+/// edge map recovers (Fig. 21 metric).
+double matched_edge_ratio(const GrayU8& reference, const GrayU8& probe);
+
+}  // namespace puppies::vision

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <vector>
+
+#include "puppies/image/image.h"
+#include "puppies/vision/linalg.h"
+
+namespace puppies::vision {
+
+/// Eigenfaces (Turk & Pentland) face recognizer for the Fig. 22 attack:
+/// PCA on a gallery of normalized face crops, nearest-neighbour ranking in
+/// the projected subspace.
+class EigenfaceModel {
+ public:
+  static constexpr int kSize = 32;  ///< crops are kSize x kSize grayscale
+
+  /// Adds a gallery face. `label` is the subject identity.
+  void add(const GrayU8& crop, int label);
+
+  /// Fits the PCA basis with `components` eigenfaces (Gram-matrix trick).
+  void train(int components = 32);
+
+  /// Ranks all known labels by subspace distance to `crop` (best first).
+  std::vector<int> rank(const GrayU8& crop) const;
+
+  /// True iff the true label appears within the first k entries of rank().
+  bool hit_within(const GrayU8& crop, int true_label, int k) const;
+
+  int gallery_size() const { return static_cast<int>(samples_.size()); }
+  int label_count() const;
+
+  /// Crops `rect` out of `img`, converts to grayscale and resizes to
+  /// kSize x kSize — the normalization applied to gallery and probes alike.
+  static GrayU8 normalize_crop(const RgbImage& img, const Rect& rect);
+
+ private:
+  std::vector<float> project(const GrayU8& crop) const;
+
+  std::vector<std::vector<float>> samples_;  ///< raw pixel vectors (training)
+  std::vector<int> labels_;
+  std::vector<float> mean_;
+  std::vector<std::vector<float>> basis_;        ///< eigenfaces (unit vectors)
+  std::vector<std::vector<float>> projections_;  ///< gallery projections
+  bool trained_ = false;
+};
+
+}  // namespace puppies::vision

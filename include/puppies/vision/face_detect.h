@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "puppies/image/image.h"
+
+namespace puppies::vision {
+
+struct FaceDetectorOptions {
+  float threshold = 0.40f;     ///< NCC acceptance score (noise NCC ~ N(0, 0.036))
+  int stride = 2;              ///< sliding-window step (template scale)
+  float pyramid_factor = 1.3f; ///< downscale per pyramid level
+  int max_levels = 14;
+  float nms_iou = 0.3f;        ///< non-max suppression overlap
+  /// Match in Sobel-gradient-magnitude space instead of intensity space.
+  /// This is the stronger attacker against P3: DC removal flattens
+  /// intensities but leaves edge structure intact (use threshold ~0.15).
+  bool gradient_mode = false;
+};
+
+/// Sliding-window face detector: normalized cross-correlation against a
+/// procedural average-face template over a downscale pyramid, followed by
+/// non-maximum suppression. Stands in for the OpenCV Haar cascade of the
+/// paper's face-detection attack (Section VI-B.3); see DESIGN.md §2.
+std::vector<Rect> detect_faces(const GrayU8& img,
+                               const FaceDetectorOptions& opts = {});
+std::vector<Rect> detect_faces(const RgbImage& img,
+                               const FaceDetectorOptions& opts = {});
+
+/// Intersection-over-union of two rects.
+double iou(const Rect& a, const Rect& b);
+
+/// How many ground-truth boxes have a detection with IoU above `min_iou`.
+int count_detected(const std::vector<Rect>& truth,
+                   const std::vector<Rect>& detections, double min_iou = 0.3);
+
+/// The 24x32 grayscale average-face template (exposed for tests).
+GrayF face_template();
+
+}  // namespace puppies::vision

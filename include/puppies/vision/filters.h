@@ -1,0 +1,37 @@
+#pragma once
+
+#include "puppies/image/image.h"
+
+namespace puppies::vision {
+
+/// Separable Gaussian blur with standard deviation `sigma` (kernel radius
+/// ceil(3 sigma)).
+GrayF gaussian_blur(const GrayF& img, double sigma);
+
+/// Sobel gradients.
+struct Gradients {
+  GrayF gx, gy;
+  GrayF magnitude;
+};
+Gradients sobel(const GrayF& img);
+
+/// Summed-area table: sums[x][y] = sum of img over [0,x) x [0,y).
+/// sum(rect) in O(1) via rect_sum.
+class Integral {
+ public:
+  explicit Integral(const GrayF& img);
+  /// Sum over pixel rect r (clipped to bounds by caller).
+  double rect_sum(const Rect& r) const;
+
+ private:
+  int w_ = 0, h_ = 0;
+  std::vector<double> s_;  // (w+1) x (h+1)
+};
+
+/// Downscales by exactly 2x with 2x2 box averaging.
+GrayF half_size(const GrayF& img);
+
+/// Bilinear resize.
+GrayF resize(const GrayF& img, int new_w, int new_h);
+
+}  // namespace puppies::vision

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "puppies/common/error.h"
+
+namespace puppies::vision {
+
+/// Minimal dense double matrix for the PCA paths (eigenfaces, PCA recovery
+/// attack). Row-major.
+class MatD {
+ public:
+  MatD() = default;
+  MatD(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {
+    require(rows >= 0 && cols >= 0, "matrix dimensions");
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  double& at(int r, int c) { return data_[static_cast<std::size_t>(r) * cols_ + c]; }
+  double at(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+ private:
+  int rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Eigen-decomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Returns eigenvalues (descending) and the matching eigenvectors as the
+/// COLUMNS of `eigenvectors`.
+struct EigenResult {
+  std::vector<double> values;
+  MatD vectors;
+};
+EigenResult jacobi_eigensymm(MatD a, int max_sweeps = 50);
+
+}  // namespace puppies::vision

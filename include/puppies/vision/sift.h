@@ -1,0 +1,45 @@
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "puppies/image/image.h"
+
+namespace puppies::vision {
+
+/// A detected scale-space keypoint with its 128-dimensional SIFT-style
+/// descriptor (4x4 spatial cells x 8 orientation bins).
+struct Feature {
+  float x = 0;       ///< position in original-image coordinates
+  float y = 0;
+  float scale = 1;   ///< pyramid scale factor at detection
+  float angle = 0;   ///< dominant gradient orientation, radians
+  std::array<float, 128> descriptor{};
+};
+
+struct SiftOptions {
+  int octaves = 4;
+  int scales_per_octave = 3;
+  float contrast_threshold = 0.01f;  ///< DoG response threshold (of 1.0 range)
+  float edge_ratio = 10.f;           ///< Hessian edge-rejection ratio
+  int max_features = 2000;
+};
+
+/// Detects DoG extrema and computes descriptors.
+std::vector<Feature> detect_features(const GrayU8& img,
+                                     const SiftOptions& opts = {});
+
+struct Match {
+  int a = 0;  ///< index into the first feature list
+  int b = 0;  ///< index into the second
+  float distance = 0;
+};
+
+/// Lowe ratio-test matching (default 0.8): a feature in `a` matches its
+/// nearest neighbour in `b` if it is sufficiently better than the second
+/// nearest.
+std::vector<Match> match_features(const std::vector<Feature>& a,
+                                  const std::vector<Feature>& b,
+                                  float ratio = 0.8f);
+
+}  // namespace puppies::vision

@@ -1,0 +1,26 @@
+#include "puppies/attacks/bruteforce.h"
+
+#include <cmath>
+
+namespace puppies::attacks {
+
+BruteForceReport analyze(const core::PerturbParams& params) {
+  BruteForceReport report;
+  report.params = params;
+  report.dc_bits = 64.0 * 11.0;
+  report.ac_bits = core::secure_bits(params) - report.dc_bits;
+  report.total_bits = report.dc_bits + report.ac_bits;
+  report.exceeds_nist = report.total_bits >= kNistMinBits;
+  // 2^bits guesses at 1e12/s -> years; log10 form avoids overflow.
+  const double log10_seconds =
+      report.total_bits * std::log10(2.0) - 12.0;
+  report.log10_years_at_terahertz =
+      log10_seconds - std::log10(3600.0 * 24.0 * 365.25);
+  return report;
+}
+
+BruteForceReport analyze(core::PrivacyLevel level) {
+  return analyze(core::params_for(level));
+}
+
+}  // namespace puppies::attacks

@@ -1,0 +1,191 @@
+#include "puppies/attacks/correlation.h"
+
+#include <cmath>
+#include <tuple>
+
+#include "puppies/core/perturb.h"
+#include "puppies/image/draw.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/vision/linalg.h"
+
+namespace puppies::attacks {
+
+namespace {
+
+bool block_in_any_roi(const core::PublicParameters& params, int bx, int by) {
+  const Rect pixel{bx * 8, by * 8, 8, 8};
+  for (const core::ProtectedRoi& roi : params.rois)
+    if (roi.rect.intersects(pixel)) return true;
+  return false;
+}
+
+}  // namespace
+
+RgbImage matrix_inference_attack(const jpeg::CoefficientImage& perturbed,
+                                 const core::PublicParameters& params) {
+  jpeg::CoefficientImage guess = perturbed;
+
+  for (int c = 0; c < perturbed.component_count(); ++c) {
+    const jpeg::Component& comp = perturbed.component(c);
+
+    // Average coefficient vector over unperturbed blocks.
+    std::array<double, 64> avg{};
+    long count = 0;
+    for (int by = 0; by < comp.blocks_h; ++by)
+      for (int bx = 0; bx < comp.blocks_w; ++bx) {
+        if (block_in_any_roi(params, bx, by)) continue;
+        const jpeg::CoefBlock& b = comp.block(bx, by);
+        for (int z = 0; z < 64; ++z) avg[static_cast<std::size_t>(z)] += b[static_cast<std::size_t>(z)];
+        ++count;
+      }
+    if (count == 0) continue;
+    for (double& v : avg) v /= static_cast<double>(count);
+
+    for (const core::ProtectedRoi& roi : params.rois) {
+      const Rect br = jpeg::CoefficientImage::pixel_to_block_rect(roi.rect);
+      // "Inferred matrix" = upper-left perturbed block minus the average
+      // unperturbed block.
+      const jpeg::CoefBlock& corner = comp.block(br.x, br.y);
+      std::array<int, 64> inferred{};
+      for (int z = 0; z < 64; ++z)
+        inferred[static_cast<std::size_t>(z)] = static_cast<int>(
+            std::lround(corner[static_cast<std::size_t>(z)] - avg[static_cast<std::size_t>(z)]));
+
+      jpeg::Component& out_comp = guess.component(c);
+      for (int by = br.y; by < br.bottom(); ++by)
+        for (int bx = br.x; bx < br.right(); ++bx) {
+          jpeg::CoefBlock& b = out_comp.block(bx, by);
+          for (int z = 0; z < 64; ++z) {
+            const core::Ring ring = z == 0 ? core::kDcRing : core::kAcRing;
+            int p = inferred[static_cast<std::size_t>(z)] % ring.size();
+            if (p < 0) p += ring.size();
+            b[static_cast<std::size_t>(z)] = static_cast<std::int16_t>(
+                core::wrap_sub(b[static_cast<std::size_t>(z)], p, ring));
+          }
+        }
+    }
+  }
+  return jpeg::decode_to_rgb(guess);
+}
+
+RgbImage inpaint_attack(const RgbImage& perturbed, const Rect& roi) {
+  RgbImage out = perturbed;
+  const Rect r = Rect::intersect(roi, perturbed.bounds());
+  if (r.empty()) return out;
+
+  Plane<std::uint8_t> known(perturbed.width(), perturbed.height(), 1);
+  for (int y = r.y; y < r.bottom(); ++y)
+    for (int x = r.x; x < r.right(); ++x) known.at(x, y) = 0;
+
+  // Peel inward: each pass re-estimates every unknown pixel that touches at
+  // least one known pixel, then marks the whole ring known.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    std::vector<std::tuple<int, int, Color>> updates;
+    for (int y = r.y; y < r.bottom(); ++y)
+      for (int x = r.x; x < r.right(); ++x) {
+        if (known.at(x, y)) continue;
+        int n = 0;
+        float sr = 0, sg = 0, sb = 0;
+        for (int dy = -1; dy <= 1; ++dy)
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int px = x + dx, py = y + dy;
+            if (px < 0 || py < 0 || px >= out.width() || py >= out.height())
+              continue;
+            if (!known.at(px, py)) continue;
+            sr += out.r.at(px, py);
+            sg += out.g.at(px, py);
+            sb += out.b.at(px, py);
+            ++n;
+          }
+        if (n > 0)
+          updates.emplace_back(
+              x, y,
+              Color{clamp_u8(sr / n), clamp_u8(sg / n), clamp_u8(sb / n)});
+      }
+    for (const auto& [x, y, c] : updates) {
+      out.r.at(x, y) = c.r;
+      out.g.at(x, y) = c.g;
+      out.b.at(x, y) = c.b;
+      known.at(x, y) = 1;
+      progressed = true;
+    }
+  }
+  return out;
+}
+
+RgbImage pca_attack(const RgbImage& perturbed, const Rect& roi,
+                    int components) {
+  constexpr int kPatch = 8;
+  constexpr int kDim = kPatch * kPatch;
+  RgbImage out = perturbed;
+  const Rect r = Rect::intersect(roi, perturbed.bounds());
+  if (r.empty()) return out;
+
+  for (Plane<std::uint8_t>* plane : {&out.r, &out.g, &out.b}) {
+    // Collect training patches outside the ROI.
+    std::vector<std::array<double, kDim>> patches;
+    for (int y = 0; y + kPatch <= plane->height(); y += kPatch)
+      for (int x = 0; x + kPatch <= plane->width(); x += kPatch) {
+        if (Rect{x, y, kPatch, kPatch}.intersects(r)) continue;
+        std::array<double, kDim> p{};
+        for (int dy = 0; dy < kPatch; ++dy)
+          for (int dx = 0; dx < kPatch; ++dx)
+            p[static_cast<std::size_t>(dy * kPatch + dx)] =
+                plane->at(x + dx, y + dy);
+        patches.push_back(p);
+      }
+    if (patches.size() < 8) continue;
+
+    // Mean + covariance (64x64).
+    std::array<double, kDim> mean{};
+    for (const auto& p : patches)
+      for (int d = 0; d < kDim; ++d) mean[static_cast<std::size_t>(d)] += p[static_cast<std::size_t>(d)];
+    for (double& m : mean) m /= static_cast<double>(patches.size());
+
+    vision::MatD cov(kDim, kDim);
+    for (const auto& p : patches)
+      for (int i = 0; i < kDim; ++i)
+        for (int j = i; j < kDim; ++j) {
+          const double v = (p[static_cast<std::size_t>(i)] - mean[static_cast<std::size_t>(i)]) *
+                           (p[static_cast<std::size_t>(j)] - mean[static_cast<std::size_t>(j)]);
+          cov.at(i, j) += v;
+        }
+    for (int i = 0; i < kDim; ++i)
+      for (int j = i; j < kDim; ++j) {
+        cov.at(i, j) /= static_cast<double>(patches.size());
+        cov.at(j, i) = cov.at(i, j);
+      }
+
+    const vision::EigenResult eig = vision::jacobi_eigensymm(std::move(cov), 20);
+    const int k = std::min(components, kDim);
+
+    // Reconstruct every ROI patch from the top-k basis.
+    for (int y = (r.y / kPatch) * kPatch; y < r.bottom(); y += kPatch)
+      for (int x = (r.x / kPatch) * kPatch; x < r.right(); x += kPatch) {
+        if (x < 0 || y < 0 || x + kPatch > plane->width() ||
+            y + kPatch > plane->height())
+          continue;
+        std::array<double, kDim> p{};
+        for (int dy = 0; dy < kPatch; ++dy)
+          for (int dx = 0; dx < kPatch; ++dx)
+            p[static_cast<std::size_t>(dy * kPatch + dx)] =
+                plane->at(x + dx, y + dy) - mean[static_cast<std::size_t>(dy * kPatch + dx)];
+        std::array<double, kDim> rec = mean;
+        for (int c = 0; c < k; ++c) {
+          double coef = 0;
+          for (int d = 0; d < kDim; ++d) coef += p[static_cast<std::size_t>(d)] * eig.vectors.at(d, c);
+          for (int d = 0; d < kDim; ++d)
+            rec[static_cast<std::size_t>(d)] += coef * eig.vectors.at(d, c);
+        }
+        for (int dy = 0; dy < kPatch; ++dy)
+          for (int dx = 0; dx < kPatch; ++dx)
+            plane->at(x + dx, y + dy) =
+                clamp_u8(static_cast<float>(rec[static_cast<std::size_t>(dy * kPatch + dx)]));
+      }
+  }
+  return out;
+}
+
+}  // namespace puppies::attacks

@@ -1,0 +1,79 @@
+#include "puppies/attacks/judge.h"
+
+#include <cmath>
+
+#include "puppies/image/draw.h"
+#include "puppies/image/metrics.h"
+
+namespace puppies::attacks {
+
+namespace {
+
+RgbImage crop_rgb(const RgbImage& img, const Rect& r) {
+  RgbImage out(r.w, r.h);
+  for (int y = 0; y < r.h; ++y)
+    for (int x = 0; x < r.w; ++x) {
+      out.r.at(x, y) = img.r.clamped_at(r.x + x, r.y + y);
+      out.g.at(x, y) = img.g.clamped_at(r.x + x, r.y + y);
+      out.b.at(x, y) = img.b.clamped_at(r.x + x, r.y + y);
+    }
+  return out;
+}
+
+}  // namespace
+
+RecoveryJudgement judge_recovery(const RgbImage& original,
+                                 const RgbImage& recovered, const Rect& roi) {
+  const Rect r = Rect::intersect(roi, original.bounds());
+  RecoveryJudgement j;
+  const RgbImage orig_crop = crop_rgb(original, r);
+  const RgbImage rec_crop = crop_rgb(recovered, r);
+  j.roi_psnr = psnr(orig_crop, rec_crop);
+  j.roi_ssim = ssim(to_gray(orig_crop), to_gray(rec_crop));
+  return j;
+}
+
+double text_legibility(const GrayU8& img, int x, int y,
+                       std::string_view expected, int scale) {
+  if (expected.empty()) return 0;
+  const int gw = 6 * scale;  // glyph advance
+  const int gh = 7 * scale;
+  int legible = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    // Render the reference glyph on a white card.
+    GrayU8 ref(gw, gh, 255);
+    draw_text(ref, 0, 0, expected.substr(i, 1), 0, scale);
+
+    const int gx = x + static_cast<int>(i) * gw;
+    // Normalized correlation between reference glyph and the image window.
+    double mean_a = 0, mean_b = 0;
+    const int n = gw * gh;
+    for (int dy = 0; dy < gh; ++dy)
+      for (int dx = 0; dx < gw; ++dx) {
+        mean_a += ref.at(dx, dy);
+        mean_b += img.clamped_at(gx + dx, y + dy);
+      }
+    mean_a /= n;
+    mean_b /= n;
+    double cov = 0, var_a = 0, var_b = 0;
+    for (int dy = 0; dy < gh; ++dy)
+      for (int dx = 0; dx < gw; ++dx) {
+        const double a = ref.at(dx, dy) - mean_a;
+        const double b = img.clamped_at(gx + dx, y + dy) - mean_b;
+        cov += a * b;
+        var_a += a * a;
+        var_b += b * b;
+      }
+    if (var_a < 1e-9) continue;  // blank glyph (space)
+    const double ncc =
+        var_b < 1e-9 ? 0.0 : cov / std::sqrt(var_a * var_b);
+    if (ncc > 0.6) ++legible;
+  }
+  // Count only non-space glyphs in the denominator.
+  int glyphs = 0;
+  for (char c : expected)
+    if (c != ' ') ++glyphs;
+  return glyphs == 0 ? 0.0 : static_cast<double>(legible) / glyphs;
+}
+
+}  // namespace puppies::attacks

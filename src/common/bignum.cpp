@@ -1,0 +1,166 @@
+#include "puppies/common/bignum.h"
+
+#include "puppies/common/error.h"
+
+namespace puppies {
+
+U1024 U1024::from_u64(std::uint64_t v) {
+  U1024 out;
+  out.limbs_[0] = v;
+  return out;
+}
+
+U1024 U1024::from_hex(std::string_view hex) {
+  U1024 out;
+  int nibbles = 0;
+  // Walk from the end (least-significant nibble first).
+  for (std::size_t pos = hex.size(); pos-- > 0;) {
+    const char c = hex[pos];
+    if (c == ' ' || c == '\n' || c == '\t') continue;
+    int v;
+    if (c >= '0' && c <= '9')
+      v = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      v = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F')
+      v = c - 'A' + 10;
+    else
+      throw ParseError("invalid hex digit in bignum");
+    if (nibbles >= kBits / 4) {
+      if (v != 0) throw ParseError("bignum literal exceeds 1024 bits");
+      continue;
+    }
+    out.limbs_[static_cast<std::size_t>(nibbles / 16)] |=
+        static_cast<std::uint64_t>(v) << (4 * (nibbles % 16));
+    ++nibbles;
+  }
+  return out;
+}
+
+std::string U1024::to_hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  bool started = false;
+  for (int i = kLimbs - 1; i >= 0; --i)
+    for (int n = 15; n >= 0; --n) {
+      const int v = static_cast<int>((limbs_[static_cast<std::size_t>(i)] >> (4 * n)) & 0xf);
+      if (!started && v == 0) continue;
+      started = true;
+      out.push_back(kDigits[v]);
+    }
+  return started ? out : "0";
+}
+
+bool U1024::is_zero() const {
+  for (auto limb : limbs_)
+    if (limb) return false;
+  return true;
+}
+
+int U1024::bit(int i) const {
+  if (i < 0 || i >= kBits) return 0;
+  return static_cast<int>((limbs_[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1);
+}
+
+int U1024::top_bit() const {
+  for (int i = kBits - 1; i >= 0; --i)
+    if (bit(i)) return i;
+  return -1;
+}
+
+int U1024::compare(const U1024& other) const {
+  for (int i = kLimbs - 1; i >= 0; --i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (limbs_[idx] < other.limbs_[idx]) return -1;
+    if (limbs_[idx] > other.limbs_[idx]) return 1;
+  }
+  return 0;
+}
+
+int U1024::shl1() {
+  int carry = 0;
+  for (auto& limb : limbs_) {
+    const int out = static_cast<int>(limb >> 63);
+    limb = (limb << 1) | static_cast<std::uint64_t>(carry);
+    carry = out;
+  }
+  return carry;
+}
+
+int U1024::add_raw(const U1024& other) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < kLimbs; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const unsigned __int128 sum =
+        static_cast<unsigned __int128>(limbs_[idx]) + other.limbs_[idx] + carry;
+    limbs_[idx] = static_cast<std::uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return static_cast<int>(carry);
+}
+
+void U1024::sub_raw(const U1024& other) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < kLimbs; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const unsigned __int128 diff =
+        static_cast<unsigned __int128>(limbs_[idx]) - other.limbs_[idx] - borrow;
+    limbs_[idx] = static_cast<std::uint64_t>(diff);
+    borrow = (diff >> 64) & 1;
+  }
+}
+
+U1024 U1024::addmod(const U1024& other, const U1024& m) const {
+  U1024 out = *this;
+  const int carry = out.add_raw(other);
+  if (carry || out.compare(m) >= 0) out.sub_raw(m);
+  return out;
+}
+
+U1024 U1024::submod(const U1024& other, const U1024& m) const {
+  U1024 out = *this;
+  if (compare(other) >= 0) {
+    out.sub_raw(other);
+  } else {
+    out.add_raw(m);  // cannot overflow: this < m, so this + m < 2m < 2^1025
+    out.sub_raw(other);
+  }
+  return out;
+}
+
+U1024 U1024::mulmod(const U1024& other, const U1024& m) const {
+  require(!m.is_zero(), "modulus must be nonzero");
+  // Binary multiplication: walk the other operand's bits from the top,
+  // doubling the accumulator mod m and conditionally adding `this` mod m.
+  U1024 acc;
+  const int top = other.top_bit();
+  U1024 base = *this;
+  if (base.compare(m) >= 0)
+    throw InvalidArgument("mulmod operand must be reduced");
+  for (int i = top; i >= 0; --i) {
+    const int carry = acc.shl1();
+    if (carry || acc.compare(m) >= 0) acc.sub_raw(m);
+    if (other.bit(i)) {
+      const int add_carry = acc.add_raw(base);
+      if (add_carry || acc.compare(m) >= 0) acc.sub_raw(m);
+    }
+  }
+  return acc;
+}
+
+U1024 modexp(const U1024& base, const U1024& exp, const U1024& m) {
+  require(!m.is_zero(), "modulus must be nonzero");
+  U1024 result = U1024::from_u64(1);
+  if (m.compare(U1024::from_u64(1)) == 0) return U1024{};
+  U1024 b = base;
+  if (b.compare(m) >= 0)
+    throw InvalidArgument("modexp base must be reduced mod m");
+  const int top = exp.top_bit();
+  for (int i = top; i >= 0; --i) {
+    result = result.mulmod(result, m);
+    if (exp.bit(i)) result = result.mulmod(b, m);
+  }
+  return result;
+}
+
+}  // namespace puppies

@@ -1,0 +1,57 @@
+#include "puppies/common/key.h"
+
+#include "puppies/common/bytes.h"
+#include "puppies/common/error.h"
+
+namespace puppies {
+
+SecretKey SecretKey::from_label(std::string_view label) {
+  std::uint64_t state = fnv1a(label);
+  std::array<std::uint64_t, kWords> words{};
+  for (auto& w : words) w = splitmix64(state);
+  return SecretKey(words);
+}
+
+SecretKey SecretKey::generate(Rng& rng) {
+  std::array<std::uint64_t, kWords> words{};
+  for (auto& w : words) w = rng.next();
+  return SecretKey(words);
+}
+
+SecretKey SecretKey::derive(std::string_view purpose) const {
+  std::uint64_t state = fnv1a(purpose);
+  std::array<std::uint64_t, kWords> words{};
+  for (std::size_t i = 0; i < kWords; ++i) {
+    state ^= words_[i];
+    words[i] = splitmix64(state);
+  }
+  return SecretKey(words);
+}
+
+std::string SecretKey::id() const {
+  // One-way 64-bit tag: run the key through one more splitmix round so the
+  // public id does not expose raw key words.
+  std::uint64_t state = words_[0] ^ fnv1a("key-id");
+  for (std::size_t i = 1; i < kWords; ++i) state ^= splitmix64(state) ^ words_[i];
+  const std::uint64_t tag = splitmix64(state);
+  ByteWriter w;
+  w.u64(tag);
+  return puppies::to_hex(w.bytes());
+}
+
+std::string SecretKey::to_hex() const {
+  ByteWriter w;
+  for (auto word : words_) w.u64(word);
+  return puppies::to_hex(w.bytes());
+}
+
+SecretKey SecretKey::from_hex(std::string_view hex) {
+  const Bytes raw = puppies::from_hex(hex);
+  if (raw.size() != kWords * 8) throw ParseError("secret key must be 32 bytes");
+  ByteReader r(raw);
+  std::array<std::uint64_t, kWords> words{};
+  for (auto& w : words) w = r.u64();
+  return SecretKey(words);
+}
+
+}  // namespace puppies

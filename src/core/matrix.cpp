@@ -1,0 +1,115 @@
+#include "puppies/core/matrix.h"
+
+#include <cmath>
+#include <string>
+
+#include "puppies/common/error.h"
+
+namespace puppies::core {
+
+PrivateMatrix random_matrix(Rng& rng, Ring r) {
+  PrivateMatrix m;
+  for (auto& e : m.p)
+    e = static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(r.size())));
+  return m;
+}
+
+MatrixPair MatrixPair::derive(const SecretKey& key) {
+  MatrixPair pair;
+  Rng dc_rng = key.derive("puppies/matrix/dc").stream();
+  Rng ac_rng = key.derive("puppies/matrix/ac").stream();
+  pair.dc = random_matrix(dc_rng, kDcRing);
+  pair.ac = random_matrix(ac_rng, kAcRing);
+  return pair;
+}
+
+void MatrixPair::serialize(ByteWriter& out) const {
+  for (auto e : dc.p) out.i16(static_cast<std::int16_t>(e));
+  for (auto e : ac.p) out.i16(static_cast<std::int16_t>(e));
+}
+
+MatrixPair MatrixPair::parse(ByteReader& in) {
+  MatrixPair pair;
+  for (auto& e : pair.dc.p) {
+    e = in.i16();
+    if (e < 0 || e >= kDcRing.size()) throw ParseError("DC matrix entry range");
+  }
+  for (auto& e : pair.ac.p) {
+    e = in.i16();
+    if (e < 0 || e >= kAcRing.size()) throw ParseError("AC matrix entry range");
+  }
+  return pair;
+}
+
+MatrixSet MatrixSet::derive(const SecretKey& key, int count) {
+  require(count >= 1 && count <= 4096, "matrix count must be in [1, 4096]");
+  MatrixSet set;
+  set.pairs.reserve(static_cast<std::size_t>(count));
+  set.pairs.push_back(MatrixPair::derive(key));
+  for (int i = 1; i < count; ++i)
+    set.pairs.push_back(MatrixPair::derive(
+        key.derive("puppies/matrix-set/" + std::to_string(i))));
+  return set;
+}
+
+void MatrixSet::serialize(ByteWriter& out) const {
+  out.u32(static_cast<std::uint32_t>(pairs.size()));
+  for (const MatrixPair& p : pairs) p.serialize(out);
+}
+
+MatrixSet MatrixSet::parse(ByteReader& in) {
+  const std::uint32_t n = in.u32();
+  if (n == 0 || n > 4096) throw ParseError("bad matrix-set count");
+  MatrixSet set;
+  set.pairs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) set.pairs.push_back(MatrixPair::parse(in));
+  return set;
+}
+
+PerturbParams params_for(PrivacyLevel level) {
+  switch (level) {
+    case PrivacyLevel::kLow:
+      return {1, 1};
+    case PrivacyLevel::kMedium:
+      return {32, 8};
+    case PrivacyLevel::kHigh:
+      return {2048, 64};
+  }
+  throw InvalidArgument("unknown privacy level");
+}
+
+std::string_view to_string(PrivacyLevel level) {
+  switch (level) {
+    case PrivacyLevel::kLow:
+      return "low";
+    case PrivacyLevel::kMedium:
+      return "medium";
+    case PrivacyLevel::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+RangeMatrix make_range_matrix(const PerturbParams& params) {
+  require(params.mR >= 1 && params.mR <= 2048, "mR must be in [1, 2048]");
+  require(params.K >= 1 && params.K <= 64, "K must be in [1, 64]");
+  RangeMatrix q{};
+  int r = 2048;
+  for (int i = 0; i < 64; ++i) {
+    if (i >= params.K) r = 1;
+    q[static_cast<std::size_t>(i)] = r;
+    if (r > params.mR) r /= 2;
+  }
+  return q;
+}
+
+double secure_bits(const PerturbParams& params) {
+  const RangeMatrix q = make_range_matrix(params);
+  double bits = 64.0 * 11.0;  // PDC: 64 entries, 11 bits each
+  for (int i = 1; i < 64; ++i)
+    if (q[static_cast<std::size_t>(i)] > 1)
+      bits += std::log2(static_cast<double>(q[static_cast<std::size_t>(i)]));
+  return bits;
+}
+
+}  // namespace puppies::core

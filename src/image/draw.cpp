@@ -1,0 +1,212 @@
+#include "puppies/image/draw.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace puppies {
+
+namespace {
+
+// 5x7 bitmap font: 7 rows per glyph, low 5 bits used, bit 4 = leftmost.
+struct Glyph {
+  char ch;
+  std::uint8_t rows[7];
+};
+
+constexpr Glyph kFont[] = {
+    {'0', {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110}},
+    {'1', {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110}},
+    {'2', {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111}},
+    {'3', {0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110}},
+    {'4', {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010}},
+    {'5', {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110}},
+    {'6', {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110}},
+    {'7', {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000}},
+    {'8', {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110}},
+    {'9', {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100}},
+    {'A', {0b01110, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001}},
+    {'B', {0b11110, 0b10001, 0b10001, 0b11110, 0b10001, 0b10001, 0b11110}},
+    {'C', {0b01110, 0b10001, 0b10000, 0b10000, 0b10000, 0b10001, 0b01110}},
+    {'D', {0b11100, 0b10010, 0b10001, 0b10001, 0b10001, 0b10010, 0b11100}},
+    {'E', {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b11111}},
+    {'F', {0b11111, 0b10000, 0b10000, 0b11110, 0b10000, 0b10000, 0b10000}},
+    {'G', {0b01110, 0b10001, 0b10000, 0b10111, 0b10001, 0b10001, 0b01111}},
+    {'H', {0b10001, 0b10001, 0b10001, 0b11111, 0b10001, 0b10001, 0b10001}},
+    {'I', {0b01110, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110}},
+    {'J', {0b00111, 0b00010, 0b00010, 0b00010, 0b00010, 0b10010, 0b01100}},
+    {'K', {0b10001, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010, 0b10001}},
+    {'L', {0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b10000, 0b11111}},
+    {'M', {0b10001, 0b11011, 0b10101, 0b10101, 0b10001, 0b10001, 0b10001}},
+    {'N', {0b10001, 0b10001, 0b11001, 0b10101, 0b10011, 0b10001, 0b10001}},
+    {'O', {0b01110, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110}},
+    {'P', {0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000, 0b10000}},
+    {'Q', {0b01110, 0b10001, 0b10001, 0b10001, 0b10101, 0b10010, 0b01101}},
+    {'R', {0b11110, 0b10001, 0b10001, 0b11110, 0b10100, 0b10010, 0b10001}},
+    {'S', {0b01111, 0b10000, 0b10000, 0b01110, 0b00001, 0b00001, 0b11110}},
+    {'T', {0b11111, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100}},
+    {'U', {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01110}},
+    {'V', {0b10001, 0b10001, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100}},
+    {'W', {0b10001, 0b10001, 0b10001, 0b10101, 0b10101, 0b10101, 0b01010}},
+    {'X', {0b10001, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001, 0b10001}},
+    {'Y', {0b10001, 0b10001, 0b01010, 0b00100, 0b00100, 0b00100, 0b00100}},
+    {'Z', {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b11111}},
+    {' ', {0, 0, 0, 0, 0, 0, 0}},
+    {'-', {0, 0, 0, 0b11111, 0, 0, 0}},
+    {'.', {0, 0, 0, 0, 0, 0b00100, 0b00100}},
+    {'!', {0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0, 0b00100}},
+    {':', {0, 0b00100, 0b00100, 0, 0b00100, 0b00100, 0}},
+    {'/', {0b00001, 0b00001, 0b00010, 0b00100, 0b01000, 0b10000, 0b10000}},
+    {'#', {0b01010, 0b11111, 0b01010, 0b01010, 0b01010, 0b11111, 0b01010}},
+};
+
+const Glyph* find_glyph(char c) {
+  if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  for (const Glyph& g : kFont)
+    if (g.ch == c) return &g;
+  return nullptr;
+}
+
+constexpr std::uint8_t kSolid[7] = {0b11111, 0b11111, 0b11111, 0b11111,
+                                    0b11111, 0b11111, 0b11111};
+
+template <typename SetPixel>
+void render_text(int x, int y, std::string_view text, int scale,
+                 SetPixel set) {
+  int cx = x;
+  for (char c : text) {
+    const Glyph* g = find_glyph(c);
+    const std::uint8_t* rows = g ? g->rows : kSolid;
+    for (int ry = 0; ry < 7; ++ry)
+      for (int rx = 0; rx < 5; ++rx)
+        if (rows[ry] & (1 << (4 - rx)))
+          for (int sy = 0; sy < scale; ++sy)
+            for (int sx = 0; sx < scale; ++sx)
+              set(cx + rx * scale + sx, y + ry * scale + sy);
+    cx += 6 * scale;
+  }
+}
+
+}  // namespace
+
+void fill(RgbImage& img, Color c) { fill_rect(img, img.bounds(), c); }
+
+void fill_rect(RgbImage& img, const Rect& r, Color c) {
+  const Rect clipped = Rect::intersect(r, img.bounds());
+  for (int y = clipped.y; y < clipped.bottom(); ++y)
+    for (int x = clipped.x; x < clipped.right(); ++x) {
+      img.r.at(x, y) = c.r;
+      img.g.at(x, y) = c.g;
+      img.b.at(x, y) = c.b;
+    }
+}
+
+void draw_rect_outline(RgbImage& img, const Rect& r, Color c, int thickness) {
+  fill_rect(img, Rect{r.x, r.y, r.w, thickness}, c);
+  fill_rect(img, Rect{r.x, r.bottom() - thickness, r.w, thickness}, c);
+  fill_rect(img, Rect{r.x, r.y, thickness, r.h}, c);
+  fill_rect(img, Rect{r.right() - thickness, r.y, thickness, r.h}, c);
+}
+
+void fill_vgradient(RgbImage& img, Color top, Color bottom) {
+  const int h = img.height();
+  for (int y = 0; y < h; ++y) {
+    const float t = h > 1 ? static_cast<float>(y) / (h - 1) : 0.f;
+    const Color c{clamp_u8(top.r + t * (bottom.r - top.r)),
+                  clamp_u8(top.g + t * (bottom.g - top.g)),
+                  clamp_u8(top.b + t * (bottom.b - top.b))};
+    fill_rect(img, Rect{0, y, img.width(), 1}, c);
+  }
+}
+
+void fill_hgradient(RgbImage& img, const Rect& r, Color left, Color right) {
+  const Rect clipped = Rect::intersect(r, img.bounds());
+  for (int x = clipped.x; x < clipped.right(); ++x) {
+    const float t =
+        r.w > 1 ? static_cast<float>(x - r.x) / (r.w - 1) : 0.f;
+    const Color c{clamp_u8(left.r + t * (right.r - left.r)),
+                  clamp_u8(left.g + t * (right.g - left.g)),
+                  clamp_u8(left.b + t * (right.b - left.b))};
+    fill_rect(img, Rect{x, clipped.y, 1, clipped.h}, c);
+  }
+}
+
+void fill_ellipse(RgbImage& img, const Rect& r, Color c) {
+  if (r.empty()) return;
+  const double cx = r.x + r.w / 2.0, cy = r.y + r.h / 2.0;
+  const double rx = r.w / 2.0, ry = r.h / 2.0;
+  const Rect clipped = Rect::intersect(r, img.bounds());
+  for (int y = clipped.y; y < clipped.bottom(); ++y)
+    for (int x = clipped.x; x < clipped.right(); ++x) {
+      const double dx = (x + 0.5 - cx) / rx, dy = (y + 0.5 - cy) / ry;
+      if (dx * dx + dy * dy <= 1.0) {
+        img.r.at(x, y) = c.r;
+        img.g.at(x, y) = c.g;
+        img.b.at(x, y) = c.b;
+      }
+    }
+}
+
+void draw_line(RgbImage& img, int x0, int y0, int x1, int y1, Color c) {
+  const int dx = std::abs(x1 - x0), dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1, sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  for (;;) {
+    if (img.bounds().contains(x0, y0)) {
+      img.r.at(x0, y0) = c.r;
+      img.g.at(x0, y0) = c.g;
+      img.b.at(x0, y0) = c.b;
+    }
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void add_noise(RgbImage& img, Rng& rng, double sigma) {
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      const float n = static_cast<float>(rng.gaussian() * sigma);
+      img.r.at(x, y) = clamp_u8(img.r.at(x, y) + n);
+      img.g.at(x, y) = clamp_u8(img.g.at(x, y) + n);
+      img.b.at(x, y) = clamp_u8(img.b.at(x, y) + n);
+    }
+}
+
+void draw_text(RgbImage& img, int x, int y, std::string_view text, Color c,
+               int scale) {
+  render_text(x, y, text, scale, [&](int px, int py) {
+    if (img.bounds().contains(px, py)) {
+      img.r.at(px, py) = c.r;
+      img.g.at(px, py) = c.g;
+      img.b.at(px, py) = c.b;
+    }
+  });
+}
+
+int text_width(std::string_view text, int scale) {
+  return static_cast<int>(text.size()) * 6 * scale;
+}
+
+int text_height(int scale) { return 7 * scale; }
+
+void fill_rect(GrayU8& img, const Rect& r, std::uint8_t v) {
+  const Rect clipped = Rect::intersect(r, img.bounds());
+  for (int y = clipped.y; y < clipped.bottom(); ++y)
+    for (int x = clipped.x; x < clipped.right(); ++x) img.at(x, y) = v;
+}
+
+void draw_text(GrayU8& img, int x, int y, std::string_view text,
+               std::uint8_t v, int scale) {
+  render_text(x, y, text, scale, [&](int px, int py) {
+    if (img.bounds().contains(px, py)) img.at(px, py) = v;
+  });
+}
+
+}  // namespace puppies

@@ -1,0 +1,74 @@
+#include "puppies/image/geometry.h"
+
+#include <map>
+#include <set>
+
+namespace puppies {
+
+std::string Rect::to_string() const {
+  return "[" + std::to_string(x) + "," + std::to_string(y) + " " +
+         std::to_string(w) + "x" + std::to_string(h) + "]";
+}
+
+std::vector<Rect> split_disjoint(const std::vector<Rect>& rects) {
+  // Coordinate compaction: collect all x and y edges, build the grid of
+  // elementary cells, mark covered cells, then greedily merge horizontal
+  // runs of covered cells per row band into output rectangles.
+  std::set<int> xs_set, ys_set;
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    xs_set.insert(r.x);
+    xs_set.insert(r.right());
+    ys_set.insert(r.y);
+    ys_set.insert(r.bottom());
+  }
+  if (xs_set.empty()) return {};
+  const std::vector<int> xs(xs_set.begin(), xs_set.end());
+  const std::vector<int> ys(ys_set.begin(), ys_set.end());
+  const std::size_t nx = xs.size() - 1, ny = ys.size() - 1;
+
+  std::vector<char> covered(nx * ny, 0);
+  std::map<int, std::size_t> x_index, y_index;
+  for (std::size_t i = 0; i < xs.size(); ++i) x_index[xs[i]] = i;
+  for (std::size_t i = 0; i < ys.size(); ++i) y_index[ys[i]] = i;
+
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    const std::size_t cx0 = x_index[r.x], cx1 = x_index[r.right()];
+    const std::size_t cy0 = y_index[r.y], cy1 = y_index[r.bottom()];
+    for (std::size_t cy = cy0; cy < cy1; ++cy)
+      for (std::size_t cx = cx0; cx < cx1; ++cx) covered[cy * nx + cx] = 1;
+  }
+
+  std::vector<Rect> out;
+  for (std::size_t cy = 0; cy < ny; ++cy) {
+    std::size_t cx = 0;
+    while (cx < nx) {
+      if (!covered[cy * nx + cx]) {
+        ++cx;
+        continue;
+      }
+      std::size_t run_end = cx;
+      while (run_end < nx && covered[cy * nx + run_end]) ++run_end;
+      out.push_back(Rect{xs[cx], ys[cy], xs[run_end] - xs[cx],
+                         ys[cy + 1] - ys[cy]});
+      cx = run_end;
+    }
+  }
+  return out;
+}
+
+bool pairwise_disjoint(const std::vector<Rect>& rects) {
+  for (std::size_t i = 0; i < rects.size(); ++i)
+    for (std::size_t j = i + 1; j < rects.size(); ++j)
+      if (rects[i].intersects(rects[j])) return false;
+  return true;
+}
+
+long long union_area(const std::vector<Rect>& rects) {
+  long long total = 0;
+  for (const Rect& r : split_disjoint(rects)) total += r.area();
+  return total;
+}
+
+}  // namespace puppies

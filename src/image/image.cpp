@@ -1,0 +1,68 @@
+#include "puppies/image/image.h"
+
+#include <cmath>
+
+namespace puppies {
+
+std::uint8_t clamp_u8(float v) {
+  if (v <= 0.f) return 0;
+  if (v >= 255.f) return 255;
+  return static_cast<std::uint8_t>(std::lround(v));
+}
+
+YccImage rgb_to_ycc(const RgbImage& rgb) {
+  YccImage out(rgb.width(), rgb.height());
+  for (int y = 0; y < rgb.height(); ++y) {
+    for (int x = 0; x < rgb.width(); ++x) {
+      const float r = rgb.r.at(x, y);
+      const float g = rgb.g.at(x, y);
+      const float b = rgb.b.at(x, y);
+      out.y.at(x, y) = 0.299f * r + 0.587f * g + 0.114f * b;
+      out.cb.at(x, y) = -0.168736f * r - 0.331264f * g + 0.5f * b + 128.f;
+      out.cr.at(x, y) = 0.5f * r - 0.418688f * g - 0.081312f * b + 128.f;
+    }
+  }
+  return out;
+}
+
+RgbImage ycc_to_rgb(const YccImage& ycc) {
+  RgbImage out(ycc.width(), ycc.height());
+  for (int y = 0; y < ycc.height(); ++y) {
+    for (int x = 0; x < ycc.width(); ++x) {
+      const float Y = ycc.y.at(x, y);
+      const float cb = ycc.cb.at(x, y) - 128.f;
+      const float cr = ycc.cr.at(x, y) - 128.f;
+      out.r.at(x, y) = clamp_u8(Y + 1.402f * cr);
+      out.g.at(x, y) = clamp_u8(Y - 0.344136f * cb - 0.714136f * cr);
+      out.b.at(x, y) = clamp_u8(Y + 1.772f * cb);
+    }
+  }
+  return out;
+}
+
+GrayU8 to_gray(const RgbImage& rgb) {
+  GrayU8 out(rgb.width(), rgb.height());
+  for (int y = 0; y < rgb.height(); ++y)
+    for (int x = 0; x < rgb.width(); ++x)
+      out.at(x, y) = clamp_u8(0.299f * rgb.r.at(x, y) +
+                              0.587f * rgb.g.at(x, y) +
+                              0.114f * rgb.b.at(x, y));
+  return out;
+}
+
+GrayF to_float(const GrayU8& g) {
+  GrayF out(g.width(), g.height());
+  for (int y = 0; y < g.height(); ++y)
+    for (int x = 0; x < g.width(); ++x)
+      out.at(x, y) = static_cast<float>(g.at(x, y));
+  return out;
+}
+
+GrayU8 to_u8(const GrayF& g) {
+  GrayU8 out(g.width(), g.height());
+  for (int y = 0; y < g.height(); ++y)
+    for (int x = 0; x < g.width(); ++x) out.at(x, y) = clamp_u8(g.at(x, y));
+  return out;
+}
+
+}  // namespace puppies

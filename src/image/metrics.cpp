@@ -1,0 +1,134 @@
+#include "puppies/image/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace puppies {
+
+namespace {
+void check_same_size(int aw, int ah, int bw, int bh) {
+  require(aw == bw && ah == bh, "metric inputs must be the same size");
+}
+
+double mse_to_psnr(double m) {
+  if (m <= 0.0) return std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+}  // namespace
+
+double mse(const GrayU8& a, const GrayU8& b) {
+  check_same_size(a.width(), a.height(), b.width(), b.height());
+  double sum = 0;
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) {
+      const double d = static_cast<double>(a.at(x, y)) - b.at(x, y);
+      sum += d * d;
+    }
+  return sum / (static_cast<double>(a.width()) * a.height());
+}
+
+double mse(const GrayF& a, const GrayF& b) {
+  check_same_size(a.width(), a.height(), b.width(), b.height());
+  double sum = 0;
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) {
+      const double d = static_cast<double>(a.at(x, y)) - b.at(x, y);
+      sum += d * d;
+    }
+  return sum / (static_cast<double>(a.width()) * a.height());
+}
+
+double mse(const RgbImage& a, const RgbImage& b) {
+  return (mse(a.r, b.r) + mse(a.g, b.g) + mse(a.b, b.b)) / 3.0;
+}
+
+double psnr(const GrayU8& a, const GrayU8& b) { return mse_to_psnr(mse(a, b)); }
+double psnr(const RgbImage& a, const RgbImage& b) {
+  return mse_to_psnr(mse(a, b));
+}
+
+namespace {
+constexpr double kC1 = 6.5025;   // (0.01*255)^2
+constexpr double kC2 = 58.5225;  // (0.03*255)^2
+
+double ssim_window(const GrayU8& a, const GrayU8& b, int x0, int y0, int win) {
+  double ma = 0, mb = 0;
+  const int n = win * win;
+  for (int y = 0; y < win; ++y)
+    for (int x = 0; x < win; ++x) {
+      ma += a.at(x0 + x, y0 + y);
+      mb += b.at(x0 + x, y0 + y);
+    }
+  ma /= n;
+  mb /= n;
+  double va = 0, vb = 0, cov = 0;
+  for (int y = 0; y < win; ++y)
+    for (int x = 0; x < win; ++x) {
+      const double da = a.at(x0 + x, y0 + y) - ma;
+      const double db = b.at(x0 + x, y0 + y) - mb;
+      va += da * da;
+      vb += db * db;
+      cov += da * db;
+    }
+  va /= n - 1;
+  vb /= n - 1;
+  cov /= n - 1;
+  return ((2 * ma * mb + kC1) * (2 * cov + kC2)) /
+         ((ma * ma + mb * mb + kC1) * (va + vb + kC2));
+}
+}  // namespace
+
+double ssim_global(const GrayU8& a, const GrayU8& b) {
+  check_same_size(a.width(), a.height(), b.width(), b.height());
+  // Treat the whole image as one window.
+  double ma = 0, mb = 0;
+  const double n = static_cast<double>(a.width()) * a.height();
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) {
+      ma += a.at(x, y);
+      mb += b.at(x, y);
+    }
+  ma /= n;
+  mb /= n;
+  double va = 0, vb = 0, cov = 0;
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x) {
+      const double da = a.at(x, y) - ma;
+      const double db = b.at(x, y) - mb;
+      va += da * da;
+      vb += db * db;
+      cov += da * db;
+    }
+  va /= n - 1;
+  vb /= n - 1;
+  cov /= n - 1;
+  return ((2 * ma * mb + kC1) * (2 * cov + kC2)) /
+         ((ma * ma + mb * mb + kC1) * (va + vb + kC2));
+}
+
+double ssim(const GrayU8& a, const GrayU8& b) {
+  check_same_size(a.width(), a.height(), b.width(), b.height());
+  constexpr int kWin = 8;
+  if (a.width() < kWin || a.height() < kWin) return ssim_global(a, b);
+  double sum = 0;
+  int count = 0;
+  for (int y = 0; y + kWin <= a.height(); y += kWin)
+    for (int x = 0; x + kWin <= a.width(); x += kWin) {
+      sum += ssim_window(a, b, x, y, kWin);
+      ++count;
+    }
+  return sum / count;
+}
+
+double fraction_different(const GrayU8& a, const GrayU8& b, int tolerance) {
+  check_same_size(a.width(), a.height(), b.width(), b.height());
+  long long diff = 0;
+  for (int y = 0; y < a.height(); ++y)
+    for (int x = 0; x < a.width(); ++x)
+      if (std::abs(static_cast<int>(a.at(x, y)) - b.at(x, y)) > tolerance)
+        ++diff;
+  return static_cast<double>(diff) /
+         (static_cast<double>(a.width()) * a.height());
+}
+
+}  // namespace puppies

@@ -1,0 +1,100 @@
+#include "puppies/image/ppm.h"
+
+#include <fstream>
+
+namespace puppies {
+
+namespace {
+
+void skip_ws_and_comments(std::istream& in) {
+  for (;;) {
+    int c = in.peek();
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else if (std::isspace(c)) {
+      in.get();
+    } else {
+      return;
+    }
+  }
+}
+
+struct PnmHeader {
+  int width = 0, height = 0, maxval = 0;
+};
+
+PnmHeader read_header(std::istream& in, const char* magic) {
+  std::string m;
+  in >> m;
+  if (m != magic) throw ParseError(std::string("expected ") + magic);
+  PnmHeader h;
+  skip_ws_and_comments(in);
+  in >> h.width;
+  skip_ws_and_comments(in);
+  in >> h.height;
+  skip_ws_and_comments(in);
+  in >> h.maxval;
+  if (!in || h.width <= 0 || h.height <= 0 || h.maxval != 255)
+    throw ParseError("bad PNM header");
+  in.get();  // single whitespace before raster
+  return h;
+}
+
+}  // namespace
+
+void write_ppm(const std::string& path, const RgbImage& img) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  out << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      const char px[3] = {static_cast<char>(img.r.at(x, y)),
+                          static_cast<char>(img.g.at(x, y)),
+                          static_cast<char>(img.b.at(x, y))};
+      out.write(px, 3);
+    }
+  }
+  if (!out) throw Error("write failed: " + path);
+}
+
+void write_pgm(const std::string& path, const GrayU8& img) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  out << "P5\n" << img.width() << " " << img.height() << "\n255\n";
+  for (int y = 0; y < img.height(); ++y)
+    out.write(reinterpret_cast<const char*>(img.row(y).data()), img.width());
+  if (!out) throw Error("write failed: " + path);
+}
+
+RgbImage read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  const PnmHeader h = read_header(in, "P6");
+  RgbImage img(h.width, h.height);
+  std::vector<char> row(static_cast<std::size_t>(h.width) * 3);
+  for (int y = 0; y < h.height; ++y) {
+    in.read(row.data(), static_cast<std::streamsize>(row.size()));
+    if (!in) throw ParseError("truncated PPM raster");
+    for (int x = 0; x < h.width; ++x) {
+      img.r.at(x, y) = static_cast<std::uint8_t>(row[3 * x]);
+      img.g.at(x, y) = static_cast<std::uint8_t>(row[3 * x + 1]);
+      img.b.at(x, y) = static_cast<std::uint8_t>(row[3 * x + 2]);
+    }
+  }
+  return img;
+}
+
+GrayU8 read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  const PnmHeader h = read_header(in, "P5");
+  GrayU8 img(h.width, h.height);
+  for (int y = 0; y < h.height; ++y) {
+    in.read(reinterpret_cast<char*>(img.row(y).data()), h.width);
+    if (!in) throw ParseError("truncated PGM raster");
+  }
+  return img;
+}
+
+}  // namespace puppies

@@ -1,0 +1,78 @@
+#include "puppies/jpeg/bitio.h"
+
+#include "puppies/common/error.h"
+
+namespace puppies::jpeg {
+
+void BitWriter::emit_byte(std::uint8_t b) {
+  out_.push_back(b);
+  if (b == 0xff) out_.push_back(0x00);  // byte stuffing
+}
+
+void BitWriter::put(std::uint32_t bits, int count) {
+  require(count >= 0 && count <= 24, "BitWriter::put count");
+  if (count == 0) return;
+  acc_ = (acc_ << count) | (bits & ((1u << count) - 1));
+  nbits_ += count;
+  while (nbits_ >= 8) {
+    nbits_ -= 8;
+    emit_byte(static_cast<std::uint8_t>((acc_ >> nbits_) & 0xff));
+  }
+}
+
+void BitWriter::flush() {
+  if (nbits_ > 0) {
+    const int pad = 8 - nbits_;
+    put((1u << pad) - 1, pad);  // pad with 1s
+  }
+}
+
+void BitWriter::restart_marker(int n) {
+  require(n >= 0 && n <= 7, "restart marker index");
+  flush();
+  // Markers are written raw (never stuffed).
+  out_.push_back(0xff);
+  out_.push_back(static_cast<std::uint8_t>(0xd0 + n));
+}
+
+int BitReader::next_bit() {
+  if (avail_ == 0) {
+    if (pos_ >= data_.size()) throw ParseError("entropy segment underrun");
+    std::uint8_t b = data_[pos_++];
+    if (b == 0xff) {
+      if (pos_ >= data_.size()) throw ParseError("dangling 0xFF in scan");
+      const std::uint8_t next = data_[pos_];
+      if (next == 0x00) {
+        ++pos_;  // stuffed byte
+      } else {
+        throw ParseError("unexpected marker inside entropy-coded segment");
+      }
+    }
+    cur_ = b;
+    avail_ = 8;
+  }
+  --avail_;
+  return static_cast<int>((cur_ >> avail_) & 1);
+}
+
+void BitReader::expect_restart_marker(int expected_n) {
+  // Discard the bit remainder of the current byte.
+  avail_ = 0;
+  if (pos_ + 2 > data_.size()) throw ParseError("missing restart marker");
+  if (data_[pos_] != 0xff) throw ParseError("expected restart marker");
+  const std::uint8_t marker = data_[pos_ + 1];
+  if (marker != static_cast<std::uint8_t>(0xd0 + expected_n))
+    throw ParseError("restart marker out of sequence");
+  pos_ += 2;
+}
+
+std::uint32_t BitReader::get(int count) {
+  require(count >= 0 && count <= 24, "BitReader::get count");
+  std::uint32_t v = 0;
+  for (int i = 0; i < count; ++i) v = (v << 1) | static_cast<std::uint32_t>(next_bit());
+  return v;
+}
+
+int BitReader::bit() { return next_bit(); }
+
+}  // namespace puppies::jpeg

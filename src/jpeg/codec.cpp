@@ -1,0 +1,636 @@
+#include "puppies/jpeg/codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "puppies/jpeg/bitio.h"
+#include "puppies/jpeg/dct.h"
+#include "puppies/jpeg/huffman.h"
+#include "puppies/jpeg/zigzag.h"
+
+namespace puppies::jpeg {
+
+namespace {
+
+constexpr std::uint8_t kMarkerPrefix = 0xff;
+constexpr std::uint8_t kSOI = 0xd8;
+constexpr std::uint8_t kEOI = 0xd9;
+constexpr std::uint8_t kAPP0 = 0xe0;
+constexpr std::uint8_t kDQT = 0xdb;
+constexpr std::uint8_t kSOF0 = 0xc0;
+constexpr std::uint8_t kDHT = 0xc4;
+constexpr std::uint8_t kSOS = 0xda;
+
+FloatBlock extract_block(const Plane<float>& plane, int bx, int by) {
+  FloatBlock out{};
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      out[static_cast<std::size_t>(y * 8 + x)] =
+          plane.clamped_at(bx * 8 + x, by * 8 + y) - 128.f;
+  return out;
+}
+
+void deposit_block(Plane<float>& plane, int bx, int by,
+                   const FloatBlock& samples) {
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x) {
+      const int px = bx * 8 + x, py = by * 8 + y;
+      if (px < plane.width() && py < plane.height())
+        plane.at(px, py) = samples[static_cast<std::size_t>(y * 8 + x)] + 128.f;
+    }
+}
+
+/// 2x box downsampling (the standard chroma decimation for 4:2:0).
+Plane<float> downsample2x(const Plane<float>& in) {
+  const int nw = (in.width() + 1) / 2, nh = (in.height() + 1) / 2;
+  Plane<float> out(nw, nh, 0.f);
+  for (int y = 0; y < nh; ++y)
+    for (int x = 0; x < nw; ++x)
+      out.at(x, y) = 0.25f * (in.clamped_at(2 * x, 2 * y) +
+                              in.clamped_at(2 * x + 1, 2 * y) +
+                              in.clamped_at(2 * x, 2 * y + 1) +
+                              in.clamped_at(2 * x + 1, 2 * y + 1));
+  return out;
+}
+
+/// Bilinear chroma upsampling back to full resolution.
+Plane<float> upsample_to(const Plane<float>& in, int w, int h) {
+  Plane<float> out(w, h, 0.f);
+  const float sx = static_cast<float>(in.width()) / w;
+  const float sy = static_cast<float>(in.height()) / h;
+  for (int y = 0; y < h; ++y) {
+    const float fy = (y + 0.5f) * sy - 0.5f;
+    const int y0 = static_cast<int>(std::floor(fy));
+    const float wy = fy - y0;
+    for (int x = 0; x < w; ++x) {
+      const float fx = (x + 0.5f) * sx - 0.5f;
+      const int x0 = static_cast<int>(std::floor(fx));
+      const float wx = fx - x0;
+      out.at(x, y) = in.clamped_at(x0, y0) * (1 - wx) * (1 - wy) +
+                     in.clamped_at(x0 + 1, y0) * wx * (1 - wy) +
+                     in.clamped_at(x0, y0 + 1) * (1 - wx) * wy +
+                     in.clamped_at(x0 + 1, y0 + 1) * wx * wy;
+    }
+  }
+  return out;
+}
+
+void encode_component_plane(const Plane<float>& plane, Component& comp,
+                            const QuantTable& qt) {
+  for (int by = 0; by < comp.blocks_h; ++by)
+    for (int bx = 0; bx < comp.blocks_w; ++bx)
+      comp.block(bx, by) = quantize(fdct8x8(extract_block(plane, bx, by)), qt);
+}
+
+Plane<float> decode_component_plane(const Component& comp,
+                                    const QuantTable& qt, int pixel_w,
+                                    int pixel_h) {
+  Plane<float> plane(pixel_w, pixel_h, 0.f);
+  for (int by = 0; by < comp.blocks_h; ++by)
+    for (int bx = 0; bx < comp.blocks_w; ++bx)
+      deposit_block(plane, bx, by, idct8x8(dequantize(comp.block(bx, by), qt)));
+  return plane;
+}
+
+/// Pixel size of component `c` of a w x h image.
+std::pair<int, int> component_pixel_size(const CoefficientImage& img, int c) {
+  const Component& comp = img.component(c);
+  const int w = (img.width() * comp.h + img.h_max() - 1) / img.h_max();
+  const int h = (img.height() * comp.v + img.v_max() - 1) / img.v_max();
+  return {w, h};
+}
+
+// ---------------------------------------------------------------------------
+// Entropy coding: one MCU-interleaved pass over all blocks feeding either a
+// statistics sink or an emitting sink.
+
+struct Symbols {
+  // per (table_class 0=DC/1=AC, table_id 0/1)
+  std::array<long, 256> freq[2][2] = {};
+};
+
+template <typename DcSink, typename AcSink>
+void walk_block(const CoefBlock& block, int& prev_dc, DcSink&& dc_sink,
+                AcSink&& ac_sink) {
+  const int diff = block[0] - prev_dc;
+  prev_dc = block[0];
+  const int dc_cat = magnitude_category(diff);
+  dc_sink(static_cast<std::uint8_t>(dc_cat), diff, dc_cat);
+
+  int run = 0;
+  for (int z = 1; z < 64; ++z) {
+    const int v = block[static_cast<std::size_t>(z)];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    while (run > 15) {
+      ac_sink(0xf0, 0, 0);  // ZRL
+      run -= 16;
+    }
+    const int cat = magnitude_category(v);
+    ac_sink(static_cast<std::uint8_t>((run << 4) | cat), v, cat);
+    run = 0;
+  }
+  if (run > 0) ac_sink(0x00, 0, 0);  // EOB
+}
+
+int huff_table_id_for_component(int c) { return c == 0 ? 0 : 1; }
+
+/// Visits every block in scan (MCU-interleaved) order. `on_mcu(i)` fires
+/// before MCU i's blocks (restart handling); `visit(component, bx, by)` per
+/// block.
+template <typename OnMcu, typename Visit>
+void for_each_block_in_scan_order(const CoefficientImage& img, OnMcu&& on_mcu,
+                                  Visit&& visit) {
+  const int ncomp = img.component_count();
+  const int mcu_cols = img.blocks_w() / img.component(0).h;
+  const int mcu_rows = img.blocks_h() / img.component(0).v;
+  int mcu_index = 0;
+  for (int my = 0; my < mcu_rows; ++my)
+    for (int mx = 0; mx < mcu_cols; ++mx) {
+      on_mcu(mcu_index++);
+      for (int c = 0; c < ncomp; ++c) {
+        const Component& comp = img.component(c);
+        for (int by = 0; by < comp.v; ++by)
+          for (int bx = 0; bx < comp.h; ++bx)
+            visit(c, mx * comp.h + bx, my * comp.v + by);
+      }
+    }
+}
+
+void gather_statistics(const CoefficientImage& img, int restart_interval,
+                       Symbols& stats) {
+  std::vector<int> prev_dc(static_cast<std::size_t>(img.component_count()), 0);
+  for_each_block_in_scan_order(
+      img,
+      [&](int mcu) {
+        if (restart_interval > 0 && mcu > 0 && mcu % restart_interval == 0)
+          std::fill(prev_dc.begin(), prev_dc.end(), 0);
+      },
+      [&](int c, int bx, int by) {
+        const int t = huff_table_id_for_component(c);
+        walk_block(
+            img.component(c).block(bx, by),
+            prev_dc[static_cast<std::size_t>(c)],
+            [&](std::uint8_t sym, int, int) { ++stats.freq[0][t][sym]; },
+            [&](std::uint8_t sym, int, int) { ++stats.freq[1][t][sym]; });
+      });
+}
+
+void encode_scan(const CoefficientImage& img, int restart_interval,
+                 const HuffmanEncoder dc_enc[2], const HuffmanEncoder ac_enc[2],
+                 BitWriter& bits) {
+  std::vector<int> prev_dc(static_cast<std::size_t>(img.component_count()), 0);
+  for_each_block_in_scan_order(
+      img,
+      [&](int mcu) {
+        if (restart_interval > 0 && mcu > 0 && mcu % restart_interval == 0) {
+          bits.restart_marker((mcu / restart_interval - 1) % 8);
+          std::fill(prev_dc.begin(), prev_dc.end(), 0);
+        }
+      },
+      [&](int c, int bx, int by) {
+        const int t = huff_table_id_for_component(c);
+        walk_block(
+            img.component(c).block(bx, by),
+            prev_dc[static_cast<std::size_t>(c)],
+            [&](std::uint8_t sym, int v, int cat) {
+              dc_enc[t].emit(bits, sym);
+              bits.put(magnitude_bits(v, cat), cat);
+            },
+            [&](std::uint8_t sym, int v, int cat) {
+              ac_enc[t].emit(bits, sym);
+              bits.put(magnitude_bits(v, cat), cat);
+            });
+      });
+}
+
+// --------------------------------------------------------------------------
+// Marker segment writers.
+
+void write_marker(ByteWriter& w, std::uint8_t marker) {
+  w.u8(kMarkerPrefix);
+  w.u8(marker);
+}
+
+void write_app0(ByteWriter& w) {
+  write_marker(w, kAPP0);
+  w.u16(16);
+  const char jfif[5] = {'J', 'F', 'I', 'F', 0};
+  for (char c : jfif) w.u8(static_cast<std::uint8_t>(c));
+  w.u8(1);  // version 1.1
+  w.u8(1);
+  w.u8(0);   // units: none
+  w.u16(1);  // x density
+  w.u16(1);  // y density
+  w.u8(0);   // no thumbnail
+  w.u8(0);
+}
+
+void write_dqt(ByteWriter& w, const QuantTable& t, int id) {
+  write_marker(w, kDQT);
+  w.u16(2 + 1 + 64);
+  w.u8(static_cast<std::uint8_t>(id));  // 8-bit precision, table id
+  for (int z = 0; z < 64; ++z) {
+    require(t.q[static_cast<std::size_t>(z)] >= 1 &&
+                t.q[static_cast<std::size_t>(z)] <= 255,
+            "8-bit DQT entry out of range");
+    w.u8(static_cast<std::uint8_t>(t.q[static_cast<std::size_t>(z)]));
+  }
+}
+
+void write_sof0(ByteWriter& w, const CoefficientImage& img) {
+  const int ncomp = img.component_count();
+  write_marker(w, kSOF0);
+  w.u16(static_cast<std::uint16_t>(8 + 3 * ncomp));
+  w.u8(8);  // precision
+  require(img.height() <= 0xffff && img.width() <= 0xffff, "image too large");
+  w.u16(static_cast<std::uint16_t>(img.height()));
+  w.u16(static_cast<std::uint16_t>(img.width()));
+  w.u8(static_cast<std::uint8_t>(ncomp));
+  for (int c = 0; c < ncomp; ++c) {
+    const Component& comp = img.component(c);
+    w.u8(static_cast<std::uint8_t>(c + 1));  // component id
+    w.u8(static_cast<std::uint8_t>((comp.h << 4) | comp.v));
+    w.u8(static_cast<std::uint8_t>(comp.quant_index));
+  }
+}
+
+void write_dht(ByteWriter& w, const HuffmanSpec& spec, int table_class,
+               int id) {
+  write_marker(w, kDHT);
+  w.u16(static_cast<std::uint16_t>(2 + 1 + 16 + spec.values.size()));
+  w.u8(static_cast<std::uint8_t>((table_class << 4) | id));
+  for (int l = 1; l <= 16; ++l) w.u8(spec.bits[static_cast<std::size_t>(l)]);
+  w.raw(spec.values);
+}
+
+void write_sos(ByteWriter& w, const CoefficientImage& img) {
+  const int ncomp = img.component_count();
+  write_marker(w, kSOS);
+  w.u16(static_cast<std::uint16_t>(6 + 2 * ncomp));
+  w.u8(static_cast<std::uint8_t>(ncomp));
+  for (int c = 0; c < ncomp; ++c) {
+    w.u8(static_cast<std::uint8_t>(c + 1));
+    const int t = huff_table_id_for_component(c);
+    w.u8(static_cast<std::uint8_t>((t << 4) | t));
+  }
+  w.u8(0);   // spectral start
+  w.u8(63);  // spectral end
+  w.u8(0);   // successive approximation
+}
+
+// --------------------------------------------------------------------------
+// Parser helpers.
+
+struct FrameComponent {
+  int id = 0;
+  int h = 1;
+  int v = 1;
+  int quant_index = 0;
+  int dc_table = 0;
+  int ac_table = 0;
+};
+
+}  // namespace
+
+CoefficientImage forward_transform(const YccImage& img, int quality,
+                                   ChromaMode mode) {
+  CoefficientImage out(img.width(), img.height(), 3,
+                       luma_quant_table(quality), chroma_quant_table(quality),
+                       mode);
+  encode_component_plane(img.y, out.component(0), out.qtable_for(0));
+  if (mode == ChromaMode::k420) {
+    encode_component_plane(downsample2x(img.cb), out.component(1),
+                           out.qtable_for(1));
+    encode_component_plane(downsample2x(img.cr), out.component(2),
+                           out.qtable_for(2));
+  } else {
+    encode_component_plane(img.cb, out.component(1), out.qtable_for(1));
+    encode_component_plane(img.cr, out.component(2), out.qtable_for(2));
+  }
+  return out;
+}
+
+CoefficientImage forward_transform(const GrayU8& img, int quality) {
+  const GrayF f = to_float(img);
+  CoefficientImage out(img.width(), img.height(), 1,
+                       luma_quant_table(quality), chroma_quant_table(quality));
+  Plane<float> plane(img.width(), img.height(), 0.f);
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) plane.at(x, y) = f.at(x, y);
+  encode_component_plane(plane, out.component(0), out.qtable_for(0));
+  return out;
+}
+
+YccImage inverse_transform(const CoefficientImage& coeffs) {
+  require(coeffs.component_count() == 3,
+          "inverse_transform expects a 3-component image");
+  YccImage out(coeffs.width(), coeffs.height());
+  for (int c = 0; c < 3; ++c) {
+    const auto [cw, ch] = component_pixel_size(coeffs, c);
+    Plane<float> plane = decode_component_plane(
+        coeffs.component(c), coeffs.qtable_for(c), cw, ch);
+    if (cw != coeffs.width() || ch != coeffs.height())
+      plane = upsample_to(plane, coeffs.width(), coeffs.height());
+    out.component(c) = std::move(plane);
+  }
+  return out;
+}
+
+GrayU8 inverse_transform_gray(const CoefficientImage& coeffs) {
+  require(coeffs.component_count() >= 1, "no components");
+  const Plane<float> plane = decode_component_plane(
+      coeffs.component(0), coeffs.qtable_for(0), coeffs.width(),
+      coeffs.height());
+  GrayU8 out(coeffs.width(), coeffs.height());
+  for (int y = 0; y < out.height(); ++y)
+    for (int x = 0; x < out.width(); ++x) out.at(x, y) = clamp_u8(plane.at(x, y));
+  return out;
+}
+
+RgbImage decode_to_rgb(const CoefficientImage& coeffs) {
+  return ycc_to_rgb(inverse_transform(coeffs));
+}
+
+Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts) {
+  require(coeffs.component_count() == 1 || coeffs.component_count() == 3,
+          "serialize supports 1 or 3 components");
+  HuffmanSpec dc_spec[2] = {std_dc_luma(), std_dc_chroma()};
+  HuffmanSpec ac_spec[2] = {std_ac_luma(), std_ac_chroma()};
+
+  if (opts.huffman == HuffmanMode::kOptimized) {
+    Symbols stats;
+    gather_statistics(coeffs, opts.restart_interval, stats);
+    dc_spec[0] = build_optimal_spec(stats.freq[0][0]);
+    ac_spec[0] = build_optimal_spec(stats.freq[1][0]);
+    if (coeffs.component_count() == 3) {
+      dc_spec[1] = build_optimal_spec(stats.freq[0][1]);
+      ac_spec[1] = build_optimal_spec(stats.freq[1][1]);
+    }
+  }
+
+  ByteWriter w;
+  write_marker(w, kSOI);
+  write_app0(w);
+  write_dqt(w, coeffs.qtable(0), 0);
+  if (coeffs.component_count() == 3) write_dqt(w, coeffs.qtable(1), 1);
+  write_sof0(w, coeffs);
+  write_dht(w, dc_spec[0], 0, 0);
+  write_dht(w, ac_spec[0], 1, 0);
+  if (coeffs.component_count() == 3) {
+    write_dht(w, dc_spec[1], 0, 1);
+    write_dht(w, ac_spec[1], 1, 1);
+  }
+  if (opts.restart_interval > 0) {
+    require(opts.restart_interval <= 0xffff, "restart interval too large");
+    write_marker(w, 0xdd);  // DRI
+    w.u16(4);
+    w.u16(static_cast<std::uint16_t>(opts.restart_interval));
+  }
+  write_sos(w, coeffs);
+
+  Bytes out = w.take();
+  {
+    const HuffmanEncoder dc_enc[2] = {HuffmanEncoder(dc_spec[0]),
+                                      HuffmanEncoder(dc_spec[1])};
+    const HuffmanEncoder ac_enc[2] = {HuffmanEncoder(ac_spec[0]),
+                                      HuffmanEncoder(ac_spec[1])};
+    BitWriter bits(out);
+    encode_scan(coeffs, opts.restart_interval, dc_enc, ac_enc, bits);
+    bits.flush();
+  }
+  out.push_back(kMarkerPrefix);
+  out.push_back(kEOI);
+  return out;
+}
+
+CoefficientImage parse(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  if (r.u8() != kMarkerPrefix || r.u8() != kSOI)
+    throw ParseError("missing SOI");
+
+  QuantTable qtables[2] = {flat_quant_table(1), flat_quant_table(1)};
+  bool have_q[2] = {false, false};
+  HuffmanSpec huff[2][2];  // [class][id]
+  bool have_huff[2][2] = {{false, false}, {false, false}};
+
+  int width = 0, height = 0;
+  int restart_interval = 0;
+  std::vector<FrameComponent> frame_comps;
+
+  for (;;) {
+    std::uint8_t b = r.u8();
+    if (b != kMarkerPrefix) throw ParseError("expected marker");
+    std::uint8_t marker = r.u8();
+    while (marker == kMarkerPrefix) marker = r.u8();  // fill bytes
+
+    if (marker == kEOI) throw ParseError("EOI before SOS");
+    if (marker == kSOS) break;
+
+    const std::uint16_t len = r.u16();
+    if (len < 2) throw ParseError("bad segment length");
+    Bytes seg = r.raw(len - 2);
+    ByteReader s(seg);
+
+    switch (marker) {
+      case kDQT: {
+        while (!s.done()) {
+          const std::uint8_t pq_tq = s.u8();
+          const int precision = pq_tq >> 4;
+          const int id = pq_tq & 0xf;
+          if (id > 1) throw ParseError("only 2 quant tables supported");
+          for (int z = 0; z < 64; ++z)
+            qtables[id].q[static_cast<std::size_t>(z)] =
+                precision ? s.u16() : s.u8();
+          have_q[id] = true;
+        }
+        break;
+      }
+      case kSOF0: {
+        if (s.u8() != 8) throw ParseError("only 8-bit precision supported");
+        height = s.u16();
+        width = s.u16();
+        const int ncomp = s.u8();
+        if (ncomp != 1 && ncomp != 3)
+          throw ParseError("only 1 or 3 components supported");
+        for (int c = 0; c < ncomp; ++c) {
+          FrameComponent fc;
+          fc.id = s.u8();
+          const std::uint8_t hv = s.u8();
+          fc.h = hv >> 4;
+          fc.v = hv & 0xf;
+          fc.quant_index = s.u8();
+          if (fc.quant_index > 1) throw ParseError("quant table id > 1");
+          frame_comps.push_back(fc);
+        }
+        break;
+      }
+      case kDHT: {
+        while (!s.done()) {
+          const std::uint8_t tc_th = s.u8();
+          const int tc = tc_th >> 4, th = tc_th & 0xf;
+          if (tc > 1 || th > 1) throw ParseError("huffman table id");
+          HuffmanSpec spec;
+          int total = 0;
+          for (int l = 1; l <= 16; ++l) {
+            spec.bits[static_cast<std::size_t>(l)] = s.u8();
+            total += spec.bits[static_cast<std::size_t>(l)];
+          }
+          spec.values = s.raw(static_cast<std::size_t>(total));
+          huff[tc][th] = std::move(spec);
+          have_huff[tc][th] = true;
+        }
+        break;
+      }
+      case 0xdd: {  // DRI
+        restart_interval = s.u16();
+        break;
+      }
+      default:
+        // APPn / COM / anything else: skipped.
+        break;
+    }
+  }
+
+  if (frame_comps.empty() || width == 0 || height == 0)
+    throw ParseError("missing SOF0 before SOS");
+
+  // Determine the chroma mode from the sampling factors.
+  ChromaMode mode = ChromaMode::k444;
+  if (frame_comps.size() == 3) {
+    const bool all_111 = frame_comps[0].h == 1 && frame_comps[0].v == 1 &&
+                         frame_comps[1].h == 1 && frame_comps[1].v == 1 &&
+                         frame_comps[2].h == 1 && frame_comps[2].v == 1;
+    const bool is_420 = frame_comps[0].h == 2 && frame_comps[0].v == 2 &&
+                        frame_comps[1].h == 1 && frame_comps[1].v == 1 &&
+                        frame_comps[2].h == 1 && frame_comps[2].v == 1;
+    if (is_420)
+      mode = ChromaMode::k420;
+    else if (!all_111)
+      throw ParseError("only 4:4:4 and 4:2:0 sampling supported");
+  } else if (frame_comps[0].h != 1 || frame_comps[0].v != 1) {
+    throw ParseError("grayscale must use 1x1 sampling");
+  }
+
+  // SOS header.
+  const std::uint16_t sos_len = r.u16();
+  Bytes sos = r.raw(sos_len - 2);
+  ByteReader s(sos);
+  const int scan_ncomp = s.u8();
+  if (scan_ncomp != static_cast<int>(frame_comps.size()))
+    throw ParseError("scan/frame component mismatch");
+  for (int c = 0; c < scan_ncomp; ++c) {
+    const int id = s.u8();
+    if (id != frame_comps[static_cast<std::size_t>(c)].id)
+      throw ParseError("scan component order mismatch");
+    const std::uint8_t td_ta = s.u8();
+    frame_comps[static_cast<std::size_t>(c)].dc_table = td_ta >> 4;
+    frame_comps[static_cast<std::size_t>(c)].ac_table = td_ta & 0xf;
+  }
+
+  CoefficientImage img(width, height, scan_ncomp, qtables[0], qtables[1],
+                       mode);
+  for (int c = 0; c < scan_ncomp; ++c)
+    img.component(c).quant_index =
+        frame_comps[static_cast<std::size_t>(c)].quant_index;
+  if (!have_q[img.component(0).quant_index])
+    throw ParseError("missing quant table");
+
+  std::vector<HuffmanDecoder> dc_dec, ac_dec;
+  for (int t = 0; t < 2; ++t) {
+    dc_dec.emplace_back(have_huff[0][t] ? huff[0][t] : std_dc_luma());
+    ac_dec.emplace_back(have_huff[1][t] ? huff[1][t] : std_ac_luma());
+  }
+
+  // Entropy-coded data runs from here to the next marker.
+  const std::size_t entropy_start = data.size() - r.remaining();
+  BitReader bits(data.subspan(entropy_start));
+
+  std::vector<int> prev_dc(static_cast<std::size_t>(scan_ncomp), 0);
+  for_each_block_in_scan_order(
+      img,
+      [&](int mcu) {
+        if (restart_interval > 0 && mcu > 0 && mcu % restart_interval == 0) {
+          bits.expect_restart_marker((mcu / restart_interval - 1) % 8);
+          std::fill(prev_dc.begin(), prev_dc.end(), 0);
+        }
+      },
+      [&](int c, int bx, int by) {
+    const FrameComponent& fc = frame_comps[static_cast<std::size_t>(c)];
+    CoefBlock& block = img.component(c).block(bx, by);
+    block.fill(0);
+    const std::uint8_t dc_cat =
+        dc_dec[static_cast<std::size_t>(fc.dc_table)].decode(bits);
+    if (dc_cat > 11) throw ParseError("DC category out of range");
+    const int diff = extend_magnitude(bits.get(dc_cat), dc_cat);
+    prev_dc[static_cast<std::size_t>(c)] += diff;
+    block[0] = static_cast<std::int16_t>(prev_dc[static_cast<std::size_t>(c)]);
+
+    int z = 1;
+    while (z < 64) {
+      const std::uint8_t sym =
+          ac_dec[static_cast<std::size_t>(fc.ac_table)].decode(bits);
+      if (sym == 0x00) break;  // EOB
+      const int run = sym >> 4, cat = sym & 0xf;
+      if (sym == 0xf0) {
+        z += 16;
+        continue;
+      }
+      z += run;
+      if (z > 63 || cat == 0 || cat > 10)
+        throw ParseError("corrupt AC symbol");
+      block[static_cast<std::size_t>(z)] =
+          static_cast<std::int16_t>(extend_magnitude(bits.get(cat), cat));
+      ++z;
+    }
+  });
+
+  return img;
+}
+
+Bytes compress(const RgbImage& img, int quality, const EncodeOptions& opts) {
+  return serialize(forward_transform(rgb_to_ycc(img), quality, opts.chroma),
+                   opts);
+}
+
+RgbImage decompress(std::span<const std::uint8_t> data) {
+  return decode_to_rgb(parse(data));
+}
+
+CoefficientImage requantize(const CoefficientImage& coeffs, int new_quality) {
+  CoefficientImage out(coeffs.width(), coeffs.height(),
+                       coeffs.component_count(), luma_quant_table(new_quality),
+                       chroma_quant_table(new_quality), coeffs.chroma_mode());
+  for (int c = 0; c < coeffs.component_count(); ++c) {
+    const Component& src = coeffs.component(c);
+    Component& dst = out.component(c);
+    dst.quant_index = src.quant_index;
+    const QuantTable& old_qt = coeffs.qtable(src.quant_index);
+    const QuantTable& new_qt = out.qtable(dst.quant_index);
+    for (int by = 0; by < src.blocks_h; ++by)
+      for (int bx = 0; bx < src.blocks_w; ++bx) {
+        const CoefBlock& in_b = src.block(bx, by);
+        CoefBlock& out_b = dst.block(bx, by);
+        for (int z = 0; z < 64; ++z) {
+          const long raw = static_cast<long>(in_b[static_cast<std::size_t>(z)]) *
+                           old_qt.q[static_cast<std::size_t>(z)];
+          long q = raw >= 0
+                       ? (raw + new_qt.q[static_cast<std::size_t>(z)] / 2) /
+                             new_qt.q[static_cast<std::size_t>(z)]
+                       : -((-raw + new_qt.q[static_cast<std::size_t>(z)] / 2) /
+                           new_qt.q[static_cast<std::size_t>(z)]);
+          const int lo = z == 0 ? kDcMin : kAcMin;
+          const int hi = z == 0 ? kDcMax : kAcMax;
+          if (q < lo) q = lo;
+          if (q > hi) q = hi;
+          out_b[static_cast<std::size_t>(z)] = static_cast<std::int16_t>(q);
+        }
+      }
+  }
+  return out;
+}
+
+}  // namespace puppies::jpeg

@@ -1,0 +1,130 @@
+#include "puppies/jpeg/inspect.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace puppies::jpeg {
+
+namespace {
+
+const char* marker_name(std::uint8_t m) {
+  switch (m) {
+    case 0xd8:
+      return "SOI";
+    case 0xd9:
+      return "EOI";
+    case 0xc0:
+      return "SOF0 (baseline)";
+    case 0xc2:
+      return "SOF2 (progressive, unsupported)";
+    case 0xc4:
+      return "DHT";
+    case 0xdb:
+      return "DQT";
+    case 0xdd:
+      return "DRI";
+    case 0xda:
+      return "SOS";
+    case 0xfe:
+      return "COM";
+    default:
+      if (m >= 0xe0 && m <= 0xef) return "APPn";
+      if (m >= 0xd0 && m <= 0xd7) return "RSTn";
+      return "?";
+  }
+}
+
+void append(std::string& out, const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  va_end(args);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string describe_stream(std::span<const std::uint8_t> data) {
+  std::string out;
+  append(out, "stream: %zu bytes\n", data.size());
+  std::size_t pos = 0;
+  auto byte = [&](std::size_t i) -> int {
+    return i < data.size() ? data[i] : -1;
+  };
+  if (byte(0) != 0xff || byte(1) != 0xd8) {
+    out += "  not a JPEG stream (missing SOI)\n";
+    return out;
+  }
+  append(out, "  %06zu  SOI\n", pos);
+  pos = 2;
+
+  while (pos + 1 < data.size()) {
+    if (data[pos] != 0xff) {
+      append(out, "  %06zu  ! expected marker, found 0x%02x - stopping\n", pos,
+             data[pos]);
+      break;
+    }
+    const std::uint8_t m = data[pos + 1];
+    if (m == 0xd9) {
+      append(out, "  %06zu  EOI\n", pos);
+      break;
+    }
+    if (m == 0xff) {  // fill byte
+      ++pos;
+      continue;
+    }
+    if (pos + 3 >= data.size()) {
+      out += "  ! truncated segment header\n";
+      break;
+    }
+    const std::size_t len =
+        (static_cast<std::size_t>(data[pos + 2]) << 8) | data[pos + 3];
+    append(out, "  %06zu  %-22s len %zu", pos, marker_name(m), len);
+
+    if (m == 0xc0 && len >= 8) {
+      const int h = (byte(pos + 5) << 8) | byte(pos + 6);
+      const int w = (byte(pos + 7) << 8) | byte(pos + 8);
+      const int ncomp = byte(pos + 9);
+      append(out, "  %dx%d, %d components", w, h, ncomp);
+      for (int c = 0; c < ncomp && pos + 12 + 3 * static_cast<std::size_t>(c) < data.size(); ++c) {
+        const int hv = byte(pos + 11 + 3 * static_cast<std::size_t>(c));
+        append(out, "  [id %d %dx%d q%d]", byte(pos + 10 + 3 * static_cast<std::size_t>(c)),
+               hv >> 4, hv & 0xf, byte(pos + 12 + 3 * static_cast<std::size_t>(c)));
+      }
+    }
+    if (m == 0xdd && len >= 4)
+      append(out, "  restart interval %d MCUs",
+             (byte(pos + 4) << 8) | byte(pos + 5));
+    if (m == 0xdb && len >= 3)
+      append(out, "  table id %d", byte(pos + 4) & 0xf);
+    if (m == 0xc4 && len >= 3)
+      append(out, "  class %d id %d", byte(pos + 4) >> 4, byte(pos + 4) & 0xf);
+    out += "\n";
+
+    if (m == 0xda) {
+      // Entropy-coded data: scan for the next non-RST marker.
+      std::size_t scan = pos + 2 + len;
+      std::size_t restarts = 0;
+      while (scan + 1 < data.size()) {
+        if (data[scan] == 0xff && data[scan + 1] != 0x00) {
+          if (data[scan + 1] >= 0xd0 && data[scan + 1] <= 0xd7) {
+            ++restarts;
+            scan += 2;
+            continue;
+          }
+          break;
+        }
+        ++scan;
+      }
+      append(out, "  %06zu  entropy-coded data, %zu bytes, %zu restart markers\n",
+             pos + 2 + len, scan - pos - 2 - len, restarts);
+      pos = scan;
+      continue;
+    }
+    pos += 2 + len;
+  }
+  return out;
+}
+
+}  // namespace puppies::jpeg

@@ -1,0 +1,60 @@
+#include "puppies/psp/key_exchange.h"
+
+#include "puppies/common/bytes.h"
+#include "puppies/common/error.h"
+
+namespace puppies::psp {
+
+const U1024& DiffieHellman::prime() {
+  // RFC 2409 Second Oakley Group (1024-bit MODP).
+  static const U1024 p = U1024::from_hex(
+      "FFFFFFFF FFFFFFFF C90FDAA2 2168C234 C4C6628B 80DC1CD1"
+      "29024E08 8A67CC74 020BBEA6 3B139B22 514A0879 8E3404DD"
+      "EF9519B3 CD3A431B 302B0A6D F25F1437 4FE1356D 6D51C245"
+      "E485B576 625E7EC6 F44C42E9 A637ED6B 0BFF5CB6 F406B7ED"
+      "EE386BFB 5A899FA5 AE9F2411 7C4B1FE6 49286651 ECE65381"
+      "FFFFFFFF FFFFFFFF");
+  return p;
+}
+
+const U1024& DiffieHellman::generator() {
+  static const U1024 g = U1024::from_u64(2);
+  return g;
+}
+
+DiffieHellman::DiffieHellman(Rng& rng) {
+  // 256-bit exponent: more than enough entropy against the ~2^80 generic
+  // attacks this group is credited with.
+  for (int i = 0; i < 4; ++i)
+    private_exp_.limbs()[static_cast<std::size_t>(i)] = rng.next();
+  // Guarantee a non-trivial exponent.
+  if (private_exp_.is_zero()) private_exp_ = U1024::from_u64(2);
+  public_value_ = modexp(generator(), private_exp_, prime());
+}
+
+SecretKey DiffieHellman::agree(const U1024& peer_public) const {
+  const U1024& p = prime();
+  // Reject degenerate values: 0, 1, and p-1 (order-2 subgroup).
+  require(!peer_public.is_zero(), "degenerate DH public value (0)");
+  require(peer_public.compare(U1024::from_u64(1)) != 0,
+          "degenerate DH public value (1)");
+  const U1024 p_minus_1 = p.submod(U1024::from_u64(1), p);
+  require(peer_public.compare(p_minus_1) != 0,
+          "degenerate DH public value (p-1)");
+  require(peer_public.compare(p) < 0, "DH public value not reduced");
+
+  const U1024 shared = modexp(peer_public, private_exp_, p);
+
+  // KDF: absorb every limb into the library's domain-separated key
+  // derivation (splitmix-based; see SecretKey docs for the caveat).
+  std::uint64_t state = fnv1a("puppies/dh-kdf");
+  for (auto limb : shared.limbs()) {
+    state ^= limb;
+    splitmix64(state);
+  }
+  std::array<std::uint64_t, SecretKey::kWords> words{};
+  for (auto& w : words) w = splitmix64(state);
+  return SecretKey(words);
+}
+
+}  // namespace puppies::psp

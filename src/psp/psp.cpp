@@ -1,0 +1,113 @@
+#include "puppies/psp/psp.h"
+
+#include <algorithm>
+
+#include "puppies/jpeg/codec.h"
+
+namespace puppies::psp {
+
+std::string PspService::upload(const Bytes& jfif, const Bytes& public_params) {
+  // The PSP validates uploads parse as JPEG (it must be able to process
+  // them — the compatibility property PUPPIES is designed around).
+  (void)jpeg::parse(jfif);
+  const std::string id = "img-" + std::to_string(next_id_++);
+  Entry e;
+  e.jfif = jfif;
+  e.public_params = public_params;
+  entries_[id] = std::move(e);
+  return id;
+}
+
+const PspService::Entry& PspService::entry(const std::string& id) const {
+  auto it = entries_.find(id);
+  require(it != entries_.end(), "unknown image id");
+  return it->second;
+}
+
+void PspService::apply_transform(const std::string& id,
+                                 const transform::Chain& chain,
+                                 DeliveryMode mode, int reencode_quality) {
+  auto it = entries_.find(id);
+  require(it != entries_.end(), "unknown image id");
+  Entry& e = it->second;
+
+  const bool all_lossless =
+      std::all_of(chain.begin(), chain.end(),
+                  [](const transform::Step& s) { return s.lossless(); });
+
+  const jpeg::CoefficientImage original = jpeg::parse(e.jfif);
+  if (all_lossless && mode == DeliveryMode::kCoefficients) {
+    jpeg::CoefficientImage img = original;
+    for (const transform::Step& s : chain)
+      img = transform::apply_lossless(s, img);
+    e.transformed_jfif = jpeg::serialize(img);
+  } else {
+    require(mode != DeliveryMode::kCoefficients,
+            "coefficient delivery requires an all-lossless chain");
+    const YccImage transformed =
+        transform::apply(chain, jpeg::inverse_transform(original));
+    if (mode == DeliveryMode::kLinearFloat) {
+      e.transformed_pixels = transformed;
+    } else {
+      // Realistic path: clamp and re-encode.
+      const RgbImage clamped = ycc_to_rgb(transformed);
+      e.transformed_jfif = jpeg::compress(clamped, reencode_quality);
+    }
+  }
+  e.chain = chain;
+  e.mode = mode;
+  e.transformed = true;
+}
+
+Download PspService::download(const std::string& id) const {
+  const Entry& e = entry(id);
+  Download d;
+  d.public_params = e.public_params;
+  if (!e.transformed) {
+    d.chain = {};
+    d.mode = DeliveryMode::kCoefficients;
+    d.jfif = e.jfif;
+    return d;
+  }
+  d.chain = e.chain;
+  d.mode = e.mode;
+  if (e.mode == DeliveryMode::kLinearFloat)
+    d.pixels = e.transformed_pixels;
+  else
+    d.jfif = e.transformed_jfif;
+  return d;
+}
+
+std::size_t PspService::stored_bytes(const std::string& id) const {
+  const Entry& e = entry(id);
+  std::size_t total = e.jfif.size() + e.public_params.size();
+  total += e.transformed_jfif.size();
+  if (e.transformed && e.mode == DeliveryMode::kLinearFloat)
+    total += static_cast<std::size_t>(e.transformed_pixels.width()) *
+             e.transformed_pixels.height() * 3 * sizeof(float);
+  return total;
+}
+
+void SecureChannel::send_matrices(const std::string& receiver,
+                                  const SecretKey& key, int count) {
+  deliveries_[receiver].push_back(
+      Delivery{key.id(), core::MatrixSet::derive(key, count)});
+}
+
+core::KeyRing SecureChannel::ring_for(const std::string& receiver) const {
+  core::KeyRing ring;
+  auto it = deliveries_.find(receiver);
+  if (it == deliveries_.end()) return ring;
+  for (const Delivery& d : it->second) ring.add(d.matrix_id, d.set);
+  return ring;
+}
+
+std::size_t SecureChannel::private_bytes(const std::string& receiver) const {
+  auto it = deliveries_.find(receiver);
+  if (it == deliveries_.end()) return 0;
+  std::size_t total = 0;
+  for (const Delivery& d : it->second) total += d.set.wire_bytes();
+  return total;
+}
+
+}  // namespace puppies::psp

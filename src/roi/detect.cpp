@@ -1,0 +1,168 @@
+#include "puppies/roi/detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "puppies/vision/face_detect.h"
+#include "puppies/vision/filters.h"
+
+namespace puppies::roi {
+
+namespace {
+
+constexpr int kCell = 16;
+
+struct CellGrid {
+  int cols = 0, rows = 0;
+  std::vector<float> value;
+
+  float& at(int cx, int cy) { return value[static_cast<std::size_t>(cy) * cols + cx]; }
+  float at(int cx, int cy) const {
+    return value[static_cast<std::size_t>(cy) * cols + cx];
+  }
+};
+
+CellGrid cell_stats(const GrayU8& img, auto&& scorer) {
+  CellGrid grid;
+  grid.cols = std::max(1, img.width() / kCell);
+  grid.rows = std::max(1, img.height() / kCell);
+  grid.value.assign(static_cast<std::size_t>(grid.cols) * grid.rows, 0.f);
+  for (int cy = 0; cy < grid.rows; ++cy)
+    for (int cx = 0; cx < grid.cols; ++cx)
+      grid.at(cx, cy) = scorer(cx * kCell, cy * kCell);
+  return grid;
+}
+
+/// Merges 4-connected marked cells into bounding boxes (flood fill).
+std::vector<Rect> merge_cells(const CellGrid& grid,
+                              const std::vector<char>& marked, int min_cells) {
+  std::vector<char> seen(marked.size(), 0);
+  std::vector<Rect> boxes;
+  for (int cy = 0; cy < grid.rows; ++cy)
+    for (int cx = 0; cx < grid.cols; ++cx) {
+      const std::size_t idx = static_cast<std::size_t>(cy) * grid.cols + cx;
+      if (!marked[idx] || seen[idx]) continue;
+      int min_x = cx, max_x = cx, min_y = cy, max_y = cy, count = 0;
+      std::vector<std::pair<int, int>> stack{{cx, cy}};
+      seen[idx] = 1;
+      while (!stack.empty()) {
+        const auto [x, y] = stack.back();
+        stack.pop_back();
+        ++count;
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+        const int dx[4] = {1, -1, 0, 0}, dy[4] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          const int nx = x + dx[d], ny = y + dy[d];
+          if (nx < 0 || ny < 0 || nx >= grid.cols || ny >= grid.rows) continue;
+          const std::size_t nidx = static_cast<std::size_t>(ny) * grid.cols + nx;
+          if (marked[nidx] && !seen[nidx]) {
+            seen[nidx] = 1;
+            stack.emplace_back(nx, ny);
+          }
+        }
+      }
+      if (count >= min_cells)
+        boxes.push_back(Rect{min_x * kCell, min_y * kCell,
+                             (max_x - min_x + 1) * kCell,
+                             (max_y - min_y + 1) * kCell});
+    }
+  return boxes;
+}
+
+}  // namespace
+
+std::vector<Rect> Detections::all() const {
+  std::vector<Rect> out = faces;
+  out.insert(out.end(), text.begin(), text.end());
+  out.insert(out.end(), objects.begin(), objects.end());
+  return out;
+}
+
+std::vector<Rect> detect_text(const GrayU8& img) {
+  const vision::Gradients g = vision::sobel(to_float(img));
+
+  // A text cell has many strong edges in BOTH directions (strokes) and high
+  // transition density.
+  const CellGrid grid = cell_stats(img, [&](int px, int py) {
+    int strong_h = 0, strong_v = 0;
+    for (int y = py; y < std::min(img.height(), py + kCell); ++y)
+      for (int x = px; x < std::min(img.width(), px + kCell); ++x) {
+        if (std::abs(g.gx.at(x, y)) > 120.f) ++strong_v;
+        if (std::abs(g.gy.at(x, y)) > 120.f) ++strong_h;
+      }
+    const float density =
+        static_cast<float>(std::min(strong_h, strong_v)) / (kCell * kCell);
+    return density;
+  });
+
+  std::vector<char> marked(grid.value.size());
+  for (std::size_t i = 0; i < marked.size(); ++i)
+    marked[i] = grid.value[i] > 0.08f;
+  return merge_cells(grid, marked, 1);
+}
+
+std::vector<Rect> detect_objects(const GrayU8& img, int top_n) {
+  // Global luminance statistics.
+  double mean = 0;
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) mean += img.at(x, y);
+  mean /= static_cast<double>(img.width()) * img.height();
+
+  const CellGrid grid = cell_stats(img, [&](int px, int py) {
+    double cell_mean = 0, cell_sq = 0;
+    int n = 0;
+    for (int y = py; y < std::min(img.height(), py + kCell); ++y)
+      for (int x = px; x < std::min(img.width(), px + kCell); ++x) {
+        cell_mean += img.at(x, y);
+        cell_sq += static_cast<double>(img.at(x, y)) * img.at(x, y);
+        ++n;
+      }
+    cell_mean /= n;
+    const double var = cell_sq / n - cell_mean * cell_mean;
+    // Saliency: deviation from global mean plus internal structure.
+    return static_cast<float>(std::abs(cell_mean - mean) + std::sqrt(var));
+  });
+
+  // Mark cells above the saliency quantile, merge, rank blobs by area.
+  std::vector<float> sorted = grid.value;
+  std::sort(sorted.begin(), sorted.end());
+  const float cutoff = sorted[static_cast<std::size_t>(sorted.size() * 4 / 5)];
+  std::vector<char> marked(grid.value.size());
+  for (std::size_t i = 0; i < marked.size(); ++i)
+    marked[i] = grid.value[i] >= cutoff && grid.value[i] > 24.f;
+  std::vector<Rect> blobs = merge_cells(grid, marked, 2);
+  std::sort(blobs.begin(), blobs.end(),
+            [](const Rect& a, const Rect& b) { return a.area() > b.area(); });
+  if (static_cast<int>(blobs.size()) > top_n)
+    blobs.resize(static_cast<std::size_t>(top_n));
+  return blobs;
+}
+
+Detections detect(const RgbImage& img) {
+  Detections d;
+  const GrayU8 gray = to_gray(img);
+  d.faces = vision::detect_faces(gray);
+  d.text = detect_text(gray);
+  d.objects = detect_objects(gray);
+  return d;
+}
+
+std::vector<Rect> recommend(const RgbImage& img) {
+  const Detections d = detect(img);
+  // Align every detection outward to the block grid FIRST, then split the
+  // overlapping aligned boxes. Splitting only cuts along existing edges, so
+  // the disjoint pieces stay 8-aligned.
+  const Rect grid{0, 0, ((img.width() + 7) / 8) * 8,
+                  ((img.height() + 7) / 8) * 8};
+  std::vector<Rect> aligned;
+  for (const Rect& r : d.all()) {
+    const Rect a = r.aligned_to(8, grid);
+    if (!a.empty()) aligned.push_back(a);
+  }
+  return split_disjoint(aligned);
+}
+
+}  // namespace puppies::roi

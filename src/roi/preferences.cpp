@@ -1,0 +1,96 @@
+#include "puppies/roi/preferences.h"
+
+#include "puppies/common/error.h"
+
+namespace puppies::roi {
+
+std::string_view to_string(Category c) {
+  switch (c) {
+    case Category::kFace:
+      return "face";
+    case Category::kText:
+      return "text";
+    case Category::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+int PreferenceModel::size_bucket(const Rect& rect, int width, int height) {
+  require(width > 0 && height > 0, "image size");
+  const double fraction = static_cast<double>(rect.area()) /
+                          (static_cast<double>(width) * height);
+  if (fraction < 0.01) return 0;
+  if (fraction < 0.10) return 1;
+  return 2;
+}
+
+void PreferenceModel::record(Category category, const Rect& rect, int width,
+                             int height, bool accepted) {
+  Cell& cell = cells_[static_cast<int>(category)][size_bucket(rect, width, height)];
+  if (accepted)
+    ++cell.accepted;
+  else
+    ++cell.rejected;
+}
+
+double PreferenceModel::acceptance_probability(Category category,
+                                               const Rect& rect, int width,
+                                               int height) const {
+  const Cell& cell =
+      cells_[static_cast<int>(category)][size_bucket(rect, width, height)];
+  // Laplace smoothing: Beta(1, 1) prior.
+  return static_cast<double>(cell.accepted + 1) /
+         static_cast<double>(cell.accepted + cell.rejected + 2);
+}
+
+std::vector<Rect> PreferenceModel::personalize(const Detections& detections,
+                                               int width, int height,
+                                               double threshold) const {
+  std::vector<Rect> kept;
+  auto keep_if_likely = [&](const std::vector<Rect>& rects, Category c) {
+    for (const Rect& r : rects)
+      if (acceptance_probability(c, r, width, height) >= threshold)
+        kept.push_back(r);
+  };
+  keep_if_likely(detections.faces, Category::kFace);
+  keep_if_likely(detections.text, Category::kText);
+  keep_if_likely(detections.objects, Category::kObject);
+
+  const Rect grid{0, 0, ((width + 7) / 8) * 8, ((height + 7) / 8) * 8};
+  std::vector<Rect> aligned;
+  for (const Rect& r : kept) {
+    const Rect a = r.aligned_to(8, grid);
+    if (!a.empty()) aligned.push_back(a);
+  }
+  return split_disjoint(aligned);
+}
+
+long PreferenceModel::observations() const {
+  long total = 0;
+  for (const auto& row : cells_)
+    for (const Cell& cell : row) total += cell.accepted + cell.rejected;
+  return total;
+}
+
+void PreferenceModel::serialize(ByteWriter& out) const {
+  for (const auto& row : cells_)
+    for (const Cell& cell : row) {
+      out.u64(static_cast<std::uint64_t>(cell.accepted));
+      out.u64(static_cast<std::uint64_t>(cell.rejected));
+    }
+}
+
+PreferenceModel PreferenceModel::parse(ByteReader& in) {
+  PreferenceModel model;
+  for (auto& row : model.cells_)
+    for (Cell& cell : row) {
+      cell.accepted = static_cast<std::int64_t>(in.u64());
+      cell.rejected = static_cast<std::int64_t>(in.u64());
+      if (cell.accepted < 0 || cell.rejected < 0)
+        throw ParseError("preference counts overflow");
+    }
+  return model;
+}
+
+}  // namespace puppies::roi

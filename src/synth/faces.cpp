@@ -1,0 +1,95 @@
+#include "puppies/synth/synth.h"
+
+namespace puppies::synth {
+
+namespace {
+
+std::uint8_t mix(double base, double f) {
+  return clamp_u8(static_cast<float>(base * f));
+}
+
+}  // namespace
+
+void draw_face(RgbImage& img, const Rect& rect, int identity, Rng& rng) {
+  // Identity-stable parameters.
+  Rng id_rng(static_cast<std::uint64_t>(identity) * 0x9e3779b9u + 17u);
+  const double skin_r = 180 + id_rng.below(56);
+  const double skin_g = skin_r * (0.75 + id_rng.uniform() * 0.10);
+  const double skin_b = skin_r * (0.58 + id_rng.uniform() * 0.12);
+  const double eye_dx = 0.18 + id_rng.uniform() * 0.10;   // half eye spacing
+  const double eye_y = 0.38 + id_rng.uniform() * 0.08;
+  const double eye_w = 0.10 + id_rng.uniform() * 0.06;
+  const double brow_dark = 0.25 + id_rng.uniform() * 0.35;
+  const double mouth_w = 0.22 + id_rng.uniform() * 0.18;
+  const double mouth_y = 0.74 + id_rng.uniform() * 0.06;
+  const double hair_h = 0.18 + id_rng.uniform() * 0.14;
+  const int hair_tone = 30 + static_cast<int>(id_rng.below(120));
+  const double head_aspect = 0.80 + id_rng.uniform() * 0.15;
+
+  // Instance variation (pose / lighting).
+  const double light = 0.88 + rng.uniform() * 0.24;
+  const int jx = static_cast<int>(rng.range(-rect.w / 40 - 1, rect.w / 40 + 1));
+  const int jy = static_cast<int>(rng.range(-rect.h / 40 - 1, rect.h / 40 + 1));
+
+  const int cx = rect.x + rect.w / 2 + jx;
+  const int cy = rect.y + rect.h / 2 + jy;
+  const int head_w = static_cast<int>(rect.w * head_aspect);
+  const int head_h = static_cast<int>(rect.h * 0.96);
+  const Rect head{cx - head_w / 2, cy - head_h / 2, head_w, head_h};
+
+  const Color skin{mix(static_cast<int>(skin_r), light),
+                   mix(static_cast<int>(skin_g), light),
+                   mix(static_cast<int>(skin_b), light)};
+  fill_ellipse(img, head, skin);
+
+  // Hair cap.
+  const Rect hair{head.x, head.y,
+                  head.w, static_cast<int>(head.h * hair_h * 2)};
+  const Color hair_c{mix(hair_tone, light), mix(hair_tone * 0.8, light),
+                     mix(hair_tone * 0.6, light)};
+  fill_ellipse(img, hair, hair_c);
+
+  // Eyes + brows.
+  const int ey = head.y + static_cast<int>(head.h * eye_y);
+  const int ew = std::max(2, static_cast<int>(head.w * eye_w));
+  const int eh = std::max(2, ew / 2 + 1);
+  const Color eye_c{30, 25, 30};
+  const Color brow_c{mix(60, brow_dark), mix(45, brow_dark), mix(40, brow_dark)};
+  for (int side : {-1, 1}) {
+    const int ex = cx + static_cast<int>(side * head.w * eye_dx) - ew / 2;
+    fill_ellipse(img, Rect{ex, ey, ew, eh}, Color{245, 245, 245});
+    fill_ellipse(img, Rect{ex + ew / 4, ey + eh / 5, ew / 2, eh * 3 / 5},
+                 eye_c);
+    fill_rect(img, Rect{ex - 1, ey - eh - 2, ew + 2, std::max(1, eh / 2)},
+              brow_c);
+  }
+
+  // Nose.
+  const Color nose_c{mix(static_cast<int>(skin_r * 0.8), light),
+                     mix(static_cast<int>(skin_g * 0.8), light),
+                     mix(static_cast<int>(skin_b * 0.8), light)};
+  fill_rect(img,
+            Rect{cx - std::max(1, head.w / 40),
+                 ey + eh + head.h / 12, std::max(2, head.w / 20),
+                 head.h / 6},
+            nose_c);
+
+  // Mouth.
+  const int mw = static_cast<int>(head.w * mouth_w);
+  const int my = head.y + static_cast<int>(head.h * mouth_y);
+  fill_ellipse(img, Rect{cx - mw / 2, my, mw, std::max(2, head.h / 18)},
+               Color{mix(150, light), 50, 60});
+}
+
+RgbImage hello_world_image(int width, int height) {
+  RgbImage img(width, height);
+  fill(img, Color{255, 255, 255});
+  const int scale = std::max(1, width / 90);
+  const std::string_view text = "HELLO WORLD!";
+  const int tx = (width - text_width(text, scale)) / 2;
+  const int ty = (height - text_height(scale)) / 2;
+  draw_text(img, tx, ty, text, Color{10, 10, 10}, scale);
+  return img;
+}
+
+}  // namespace puppies::synth

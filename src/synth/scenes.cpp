@@ -1,0 +1,326 @@
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "puppies/common/error.h"
+#include "puppies/synth/synth.h"
+
+namespace puppies::synth {
+
+namespace {
+
+std::string seed_label(Dataset d, int index) {
+  return std::string(profile(d).name) + "/" + std::to_string(index);
+}
+
+// --- scene building blocks ----------------------------------------------
+
+/// Fills a "skyline" region: for each column x in [r.x, r.right()), fills
+/// from height(x) down to r.bottom(). Used for mountains and roofs.
+template <typename HeightFn>
+void fill_skyline(RgbImage& img, const Rect& r, Color c, HeightFn&& top_y) {
+  for (int x = std::max(0, r.x); x < std::min(img.width(), r.right()); ++x) {
+    const int y0 = std::clamp(top_y(x), 0, img.height());
+    const int y1 = std::min(img.height(), r.bottom());
+    for (int y = y0; y < y1; ++y) {
+      img.r.at(x, y) = c.r;
+      img.g.at(x, y) = c.g;
+      img.b.at(x, y) = c.b;
+    }
+  }
+}
+
+void draw_mountains(RgbImage& img, Rng& rng, int horizon) {
+  const int peaks = 3 + static_cast<int>(rng.below(4));
+  for (int p = 0; p < peaks; ++p) {
+    const int cx = static_cast<int>(rng.below(static_cast<std::uint64_t>(img.width())));
+    const int half = img.width() / 6 + static_cast<int>(rng.below(static_cast<std::uint64_t>(img.width() / 4)));
+    const int peak_y = horizon - img.height() / 8 -
+                       static_cast<int>(rng.below(static_cast<std::uint64_t>(img.height() / 5)));
+    const int tone = 90 + static_cast<int>(rng.below(70));
+    const Color c{static_cast<std::uint8_t>(tone),
+                  static_cast<std::uint8_t>(tone + 8),
+                  static_cast<std::uint8_t>(tone + 20)};
+    fill_skyline(img, Rect{cx - half, 0, 2 * half, horizon}, c, [&](int x) {
+      const double t = std::abs(x - cx) / static_cast<double>(half);
+      return peak_y + static_cast<int>((horizon - peak_y) * t);
+    });
+  }
+}
+
+void draw_tree(RgbImage& img, Rng& rng, int x, int ground_y, int size) {
+  const Color trunk{90, 60, 35};
+  fill_rect(img, Rect{x - size / 12, ground_y - size / 2, size / 6, size / 2},
+            trunk);
+  const int g = 70 + static_cast<int>(rng.below(80));
+  fill_ellipse(img, Rect{x - size / 2, ground_y - size * 5 / 4, size, size},
+               Color{30, static_cast<std::uint8_t>(g), 30});
+}
+
+Rect draw_house(RgbImage& img, Rng& rng, int x, int ground_y, int w, int h) {
+  const int wall = 140 + static_cast<int>(rng.below(90));
+  const Rect body{x, ground_y - h, w, h};
+  fill_rect(img, body, Color{static_cast<std::uint8_t>(wall),
+                             static_cast<std::uint8_t>(wall - 20),
+                             static_cast<std::uint8_t>(wall - 40)});
+  // Roof.
+  const int roof_h = h / 2;
+  const int cx = x + w / 2;
+  fill_skyline(img, Rect{x - w / 8, 0, w + w / 4, ground_y - h}, Color{120, 40, 30},
+               [&](int px) {
+                 const double t =
+                     std::abs(px - cx) / (w / 2.0 + w / 8.0);
+                 return ground_y - h - roof_h +
+                        static_cast<int>(roof_h * t);
+               });
+  // Windows.
+  const Color win{40, 50, 90};
+  for (int wy = 0; wy < 2; ++wy)
+    for (int wx = 0; wx < std::max(1, w / 30); ++wx)
+      fill_rect(img,
+                Rect{x + 6 + wx * 28, ground_y - h + 8 + wy * (h / 2), 12,
+                     h / 4},
+                win);
+  return body;
+}
+
+Rect draw_car(RgbImage& img, Rng& rng, int x, int ground_y, int size,
+              std::string* plate_text) {
+  const int w = size, h = size / 3;
+  const Color body{static_cast<std::uint8_t>(60 + rng.below(160)),
+                   static_cast<std::uint8_t>(40 + rng.below(120)),
+                   static_cast<std::uint8_t>(60 + rng.below(160))};
+  const Rect r{x, ground_y - h, w, h};
+  fill_rect(img, r, body);
+  // Cabin.
+  fill_rect(img, Rect{x + w / 5, ground_y - h - h / 2, w * 3 / 5, h / 2},
+            body);
+  fill_rect(img, Rect{x + w / 4, ground_y - h - h / 2 + 2, w / 5, h / 2 - 4},
+            Color{180, 210, 230});
+  fill_rect(img, Rect{x + w / 2, ground_y - h - h / 2 + 2, w / 5, h / 2 - 4},
+            Color{180, 210, 230});
+  // Wheels.
+  const int wheel = h / 2;
+  fill_ellipse(img, Rect{x + w / 8, ground_y - wheel / 2, wheel, wheel},
+               Color{25, 25, 25});
+  fill_ellipse(img,
+               Rect{x + w - w / 8 - wheel, ground_y - wheel / 2, wheel, wheel},
+               Color{25, 25, 25});
+  // License plate.
+  std::string plate;
+  for (int i = 0; i < 3; ++i)
+    plate.push_back(static_cast<char>('A' + rng.below(26)));
+  plate.push_back('-');
+  for (int i = 0; i < 3; ++i)
+    plate.push_back(static_cast<char>('0' + rng.below(10)));
+  const int scale = std::max(1, w / 160);
+  const int pw = text_width(plate, scale) + 4 * scale;
+  const int ph = text_height(scale) + 4 * scale;
+  const Rect plate_rect{x + w / 2 - pw / 2, ground_y - ph - 2, pw, ph};
+  fill_rect(img, plate_rect, Color{235, 235, 225});
+  draw_text(img, plate_rect.x + 2 * scale, plate_rect.y + 2 * scale, plate,
+            Color{20, 20, 40}, scale);
+  if (plate_text) *plate_text = plate;
+  return plate_rect;
+}
+
+Rect draw_sign(RgbImage& img, Rng& rng, int x, int y, std::string_view text) {
+  const int scale = 1 + static_cast<int>(rng.below(2));
+  const int pw = text_width(text, scale) + 6 * scale;
+  const int ph = text_height(scale) + 6 * scale;
+  const Rect r{x, y, pw, ph};
+  fill_rect(img, r, Color{250, 245, 200});
+  draw_rect_outline(img, r, Color{90, 60, 20}, scale);
+  draw_text(img, x + 3 * scale, y + 3 * scale, text, Color{40, 30, 10}, scale);
+  return r;
+}
+
+// --- per-dataset scenes ---------------------------------------------------
+
+SceneImage caltech_scene(int index, int w, int h, Rng& rng) {
+  SceneImage scene;
+  scene.image = RgbImage(w, h);
+  // Indoor background: wall gradient + furniture.
+  fill_vgradient(scene.image, Color{200, 195, 185}, Color{150, 140, 130});
+  const int n_rects = 2 + static_cast<int>(rng.below(4));
+  for (int i = 0; i < n_rects; ++i) {
+    const Rect furn{static_cast<int>(rng.below(static_cast<std::uint64_t>(w))),
+                    h / 2 + static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 2))),
+                    w / 8 + static_cast<int>(rng.below(static_cast<std::uint64_t>(w / 4))),
+                    h / 8 + static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 4)))};
+    fill_rect(scene.image, furn,
+              Color{static_cast<std::uint8_t>(80 + rng.below(100)),
+                    static_cast<std::uint8_t>(60 + rng.below(80)),
+                    static_cast<std::uint8_t>(50 + rng.below(60))});
+  }
+  // One large close-up face (27 subjects, like the Caltech set).
+  scene.identity = index % 27;
+  const int fw = h / 2 + static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 5)));
+  const Rect face{w / 2 - fw / 2 +
+                      static_cast<int>(rng.range(-w / 8, w / 8)),
+                  h / 2 - fw * 2 / 3, fw, fw * 4 / 3};
+  draw_face(scene.image, face, scene.identity, rng);
+  scene.faces.push_back(face);
+  add_noise(scene.image, rng, 3.0);
+  return scene;
+}
+
+SceneImage feret_scene(int index, int w, int h, Rng& rng) {
+  SceneImage scene;
+  scene.image = RgbImage(w, h);
+  const int bg = 120 + static_cast<int>(rng.below(80));
+  fill_vgradient(scene.image,
+                 Color{static_cast<std::uint8_t>(bg), static_cast<std::uint8_t>(bg),
+                       static_cast<std::uint8_t>(bg + 10)},
+                 Color{static_cast<std::uint8_t>(bg - 30),
+                       static_cast<std::uint8_t>(bg - 30),
+                       static_cast<std::uint8_t>(bg - 20)});
+  scene.identity = index % 200;  // 200 synthetic subjects
+  const int fw = w * 3 / 5;
+  const Rect face{w / 2 - fw / 2, h / 2 - fw * 2 / 3, fw, fw * 4 / 3};
+  draw_face(scene.image, face, scene.identity, rng);
+  scene.faces.push_back(face);
+  // Shoulders.
+  fill_ellipse(scene.image, Rect{w / 2 - fw, face.bottom() - fw / 8, fw * 2, h},
+               Color{static_cast<std::uint8_t>(40 + rng.below(120)),
+                     static_cast<std::uint8_t>(40 + rng.below(80)),
+                     static_cast<std::uint8_t>(60 + rng.below(120))});
+  add_noise(scene.image, rng, 2.5);
+  return scene;
+}
+
+SceneImage inria_scene(int, int w, int h, Rng& rng) {
+  SceneImage scene;
+  scene.image = RgbImage(w, h);
+  const int horizon = h * 2 / 5 + static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 6)));
+  // Sky.
+  fill_vgradient(scene.image, Color{110, 160, 230}, Color{190, 210, 235});
+  draw_mountains(scene.image, rng, horizon);
+  // Ground / water.
+  const bool water = rng.chance(0.4);
+  const Color ground = water ? Color{60, 110, 160} : Color{90, 140, 70};
+  fill_rect(scene.image, Rect{0, horizon, w, h - horizon}, ground);
+  // Small town.
+  const int houses = 3 + static_cast<int>(rng.below(6));
+  std::vector<Rect> bodies;
+  for (int i = 0; i < houses; ++i) {
+    const int hw = w / 18 + static_cast<int>(rng.below(static_cast<std::uint64_t>(w / 16)));
+    const int hh = h / 14 + static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 12)));
+    const int x = static_cast<int>(rng.below(static_cast<std::uint64_t>(std::max(1, w - hw))));
+    const int gy = horizon + static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 3))) + h / 10;
+    scene.objects.push_back(draw_house(scene.image, rng, x, gy, hw, hh));
+  }
+  // Trees.
+  const int trees = 4 + static_cast<int>(rng.below(8));
+  for (int i = 0; i < trees; ++i)
+    draw_tree(scene.image, rng,
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(w))),
+              horizon + h / 8 +
+                  static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 2))),
+              h / 12 + static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 10))));
+  add_noise(scene.image, rng, 5.0);
+  return scene;
+}
+
+SceneImage pascal_scene(int index, int w, int h, Rng& rng) {
+  SceneImage scene;
+  scene.image = RgbImage(w, h);
+  const int horizon = h / 3 + static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 4)));
+  fill_vgradient(scene.image, Color{150, 180, 220}, Color{200, 205, 215});
+  // Street.
+  fill_rect(scene.image, Rect{0, horizon, w, h - horizon}, Color{105, 105, 100});
+  // Buildings.
+  const int buildings = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < buildings; ++i) {
+    const int bw = w / 5 + static_cast<int>(rng.below(static_cast<std::uint64_t>(w / 4)));
+    const int bh = h / 3 + static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 3)));
+    const int x = static_cast<int>(rng.below(static_cast<std::uint64_t>(std::max(1, w - bw))));
+    scene.objects.push_back(draw_house(scene.image, rng, x, horizon + 8, bw, bh));
+  }
+  // A car with a readable plate (the Fig. 15 scenario).
+  if (rng.chance(0.7)) {
+    std::string plate;
+    const int size = w / 3 + static_cast<int>(rng.below(static_cast<std::uint64_t>(w / 5)));
+    const int x = static_cast<int>(rng.below(static_cast<std::uint64_t>(std::max(1, w - size))));
+    const Rect plate_rect = draw_car(scene.image, rng, x,
+                                     horizon + (h - horizon) * 2 / 3, size,
+                                     &plate);
+    scene.text_regions.push_back(plate_rect);
+  }
+  // A street sign.
+  if (rng.chance(0.5)) {
+    const std::string label = "ST " + std::to_string(100 + index % 900);
+    scene.text_regions.push_back(
+        draw_sign(scene.image, rng,
+                  static_cast<int>(rng.below(static_cast<std::uint64_t>(w * 2 / 3))),
+                  horizon / 3, label));
+  }
+  // Pedestrians (small faces).
+  const int people = static_cast<int>(rng.below(3));
+  for (int i = 0; i < people; ++i) {
+    const int fw = h / 8;
+    const Rect face{static_cast<int>(rng.below(static_cast<std::uint64_t>(std::max(1, w - fw)))),
+                    horizon - fw / 2 +
+                        static_cast<int>(rng.below(static_cast<std::uint64_t>(h / 6))),
+                    fw, fw * 4 / 3};
+    const int identity = static_cast<int>(rng.below(50));
+    draw_face(scene.image, face, identity, rng);
+    scene.faces.push_back(face);
+  }
+  add_noise(scene.image, rng, 4.0);
+  return scene;
+}
+
+}  // namespace
+
+DatasetProfile profile(Dataset d) {
+  switch (d) {
+    case Dataset::kCaltech:
+      return {"caltech", 450, 896, 592, "face detection"};
+    case Dataset::kFeret:
+      return {"feret", 11338, 256, 384, "face recognition"};
+    case Dataset::kInria:
+      return {"inria", 1491, 2448, 3264, "all others (high-res)"};
+    case Dataset::kPascal:
+      return {"pascal", 4952, 500, 330, "all others"};
+  }
+  throw InvalidArgument("unknown dataset");
+}
+
+std::vector<Dataset> all_datasets() {
+  return {Dataset::kCaltech, Dataset::kFeret, Dataset::kInria,
+          Dataset::kPascal};
+}
+
+SceneImage generate(Dataset d, int index) {
+  const DatasetProfile p = profile(d);
+  return generate(d, index, p.width, p.height);
+}
+
+SceneImage generate(Dataset d, int index, int width, int height) {
+  require(width >= 32 && height >= 32, "scene size too small");
+  Rng rng(seed_label(d, index));
+  switch (d) {
+    case Dataset::kCaltech:
+      return caltech_scene(index, width, height, rng);
+    case Dataset::kFeret:
+      return feret_scene(index, width, height, rng);
+    case Dataset::kInria:
+      return inria_scene(index, width, height, rng);
+    case Dataset::kPascal:
+      return pascal_scene(index, width, height, rng);
+  }
+  throw InvalidArgument("unknown dataset");
+}
+
+int bench_sample_count(Dataset d, int min_images) {
+  double scale = 0.02;
+  if (const char* env = std::getenv("PUPPIES_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) scale = v;
+  }
+  const int count = static_cast<int>(profile(d).count * scale);
+  return std::max(min_images, std::min(count, profile(d).count));
+}
+
+}  // namespace puppies::synth

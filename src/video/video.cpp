@@ -1,0 +1,68 @@
+#include "puppies/video/video.h"
+
+#include <string>
+
+#include "puppies/jpeg/codec.h"
+
+namespace puppies::video {
+
+std::size_t ProtectedVideo::public_bytes() const {
+  std::size_t total = 0;
+  for (const Bytes& f : frames) total += f.size();
+  for (const core::PublicParameters& p : params) total += p.byte_size();
+  return total;
+}
+
+SecretKey frame_key(const SecretKey& root, std::size_t frame_index) {
+  return root.derive("puppies/video/frame/" + std::to_string(frame_index));
+}
+
+ProtectedVideo protect_video(const std::vector<RgbImage>& frames,
+                             const std::vector<Rect>& track,
+                             const VideoPolicy& policy) {
+  require(frames.size() == track.size(),
+          "one track rect per frame (empty rect = absent)");
+  require(!frames.empty(), "empty video");
+
+  ProtectedVideo out;
+  out.frames.reserve(frames.size());
+  out.params.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const jpeg::CoefficientImage original = jpeg::forward_transform(
+        rgb_to_ycc(frames[i]), policy.quality, policy.chroma);
+    std::vector<core::RoiPolicy> policies;
+    const SecretKey key =
+        policy.per_frame_keys ? frame_key(policy.root_key, i) : policy.root_key;
+    if (!track[i].empty())
+      policies.push_back(
+          core::RoiPolicy{track[i], key, policy.scheme, policy.level});
+    const core::ProtectResult result = core::protect(original, policies);
+    out.frames.push_back(jpeg::serialize(result.perturbed));
+    out.params.push_back(result.params);
+  }
+  return out;
+}
+
+std::vector<RgbImage> recover_video(const ProtectedVideo& video,
+                                    const SecretKey& root_key) {
+  std::vector<RgbImage> out;
+  out.reserve(video.frames.size());
+  for (std::size_t i = 0; i < video.frames.size(); ++i) {
+    core::KeyRing ring;
+    ring.add(frame_key(root_key, i));
+    ring.add(root_key);  // covers the insecure same-key ablation mode too
+    out.push_back(jpeg::decode_to_rgb(core::recover(
+        jpeg::parse(video.frames[i]), video.params[i], ring)));
+  }
+  return out;
+}
+
+std::vector<RgbImage> public_view(const ProtectedVideo& video) {
+  std::vector<RgbImage> out;
+  out.reserve(video.frames.size());
+  for (const Bytes& frame : video.frames)
+    out.push_back(jpeg::decode_to_rgb(jpeg::parse(frame)));
+  return out;
+}
+
+}  // namespace puppies::video

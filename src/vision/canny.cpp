@@ -1,0 +1,97 @@
+#include "puppies/vision/canny.h"
+
+#include <cmath>
+#include <vector>
+
+#include "puppies/vision/filters.h"
+
+namespace puppies::vision {
+
+GrayU8 canny(const GrayU8& img, const CannyOptions& opts) {
+  const GrayF smoothed = gaussian_blur(to_float(img), opts.sigma);
+  const Gradients g = sobel(smoothed);
+  const int w = img.width(), h = img.height();
+
+  // Non-maximum suppression along the quantized gradient direction.
+  GrayF thin(w, h, 0.f);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const float m = g.magnitude.at(x, y);
+      if (m < opts.low_threshold) continue;
+      const float angle =
+          std::atan2(g.gy.at(x, y), g.gx.at(x, y));  // [-pi, pi]
+      const float deg = angle * 180.f / 3.14159265f;
+      int dx = 1, dy = 0;
+      const float a = deg < 0 ? deg + 180.f : deg;
+      if (a < 22.5f || a >= 157.5f) {
+        dx = 1;
+        dy = 0;
+      } else if (a < 67.5f) {
+        dx = 1;
+        dy = 1;
+      } else if (a < 112.5f) {
+        dx = 0;
+        dy = 1;
+      } else {
+        dx = -1;
+        dy = 1;
+      }
+      const float m1 = g.magnitude.clamped_at(x + dx, y + dy);
+      const float m2 = g.magnitude.clamped_at(x - dx, y - dy);
+      if (m >= m1 && m >= m2) thin.at(x, y) = m;
+    }
+
+  // Hysteresis: strong edges seed a flood fill over weak edges.
+  GrayU8 out(w, h, 0);
+  std::vector<std::pair<int, int>> stack;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x)
+      if (thin.at(x, y) >= opts.high_threshold && out.at(x, y) == 0) {
+        out.at(x, y) = 255;
+        stack.emplace_back(x, y);
+        while (!stack.empty()) {
+          const auto [cx, cy] = stack.back();
+          stack.pop_back();
+          for (int ny = cy - 1; ny <= cy + 1; ++ny)
+            for (int nx = cx - 1; nx <= cx + 1; ++nx) {
+              if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+              if (out.at(nx, ny) == 0 &&
+                  thin.at(nx, ny) >= opts.low_threshold) {
+                out.at(nx, ny) = 255;
+                stack.emplace_back(nx, ny);
+              }
+            }
+        }
+      }
+  return out;
+}
+
+double edge_pixel_ratio(const GrayU8& edges) {
+  long long count = 0;
+  for (int y = 0; y < edges.height(); ++y)
+    for (int x = 0; x < edges.width(); ++x)
+      if (edges.at(x, y)) ++count;
+  return static_cast<double>(count) /
+         (static_cast<double>(edges.width()) * edges.height());
+}
+
+double matched_edge_ratio(const GrayU8& reference, const GrayU8& probe) {
+  require(reference.width() == probe.width() &&
+              reference.height() == probe.height(),
+          "edge maps must match in size");
+  long long ref_edges = 0, matched = 0;
+  for (int y = 0; y < reference.height(); ++y)
+    for (int x = 0; x < reference.width(); ++x) {
+      if (!reference.at(x, y)) continue;
+      ++ref_edges;
+      bool hit = false;
+      for (int dy = -1; dy <= 1 && !hit; ++dy)
+        for (int dx = -1; dx <= 1 && !hit; ++dx)
+          if (probe.clamped_at(x + dx, y + dy)) hit = true;
+      if (hit) ++matched;
+    }
+  return ref_edges == 0 ? 0.0
+                        : static_cast<double>(matched) / static_cast<double>(ref_edges);
+}
+
+}  // namespace puppies::vision

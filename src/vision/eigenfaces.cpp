@@ -1,0 +1,187 @@
+#include "puppies/vision/eigenfaces.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "puppies/vision/filters.h"
+
+namespace puppies::vision {
+
+namespace {
+constexpr int kDim = EigenfaceModel::kSize * EigenfaceModel::kSize;
+}
+
+void EigenfaceModel::add(const GrayU8& crop, int label) {
+  require(crop.width() == kSize && crop.height() == kSize,
+          "gallery crops must be kSize x kSize");
+  std::vector<float> v(static_cast<std::size_t>(kDim));
+  for (int y = 0; y < kSize; ++y)
+    for (int x = 0; x < kSize; ++x)
+      v[static_cast<std::size_t>(y * kSize + x)] = crop.at(x, y);
+  samples_.push_back(std::move(v));
+  labels_.push_back(label);
+  trained_ = false;
+}
+
+int EigenfaceModel::label_count() const {
+  std::vector<int> unique = labels_;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  return static_cast<int>(unique.size());
+}
+
+void EigenfaceModel::train(int components) {
+  const int n = static_cast<int>(samples_.size());
+  require(n >= 2, "eigenfaces needs at least 2 gallery images");
+  components = std::min(components, n - 1);
+
+  mean_.assign(static_cast<std::size_t>(kDim), 0.f);
+  for (const auto& s : samples_)
+    for (int d = 0; d < kDim; ++d) mean_[static_cast<std::size_t>(d)] += s[static_cast<std::size_t>(d)];
+  for (float& m : mean_) m /= static_cast<float>(n);
+
+  // Gram matrix G[i][j] = <x_i - mean, x_j - mean> / n.
+  MatD gram(n, n);
+  std::vector<std::vector<float>> centered(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    centered[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(kDim));
+    for (int d = 0; d < kDim; ++d)
+      centered[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)] =
+          samples_[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)] -
+          mean_[static_cast<std::size_t>(d)];
+  }
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) {
+      double dot = 0;
+      for (int d = 0; d < kDim; ++d)
+        dot += static_cast<double>(centered[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)]) *
+               centered[static_cast<std::size_t>(j)][static_cast<std::size_t>(d)];
+      gram.at(i, j) = dot / n;
+      gram.at(j, i) = gram.at(i, j);
+    }
+
+  const EigenResult eig = jacobi_eigensymm(std::move(gram));
+
+  basis_.clear();
+  for (int c = 0; c < components; ++c) {
+    if (eig.values[static_cast<std::size_t>(c)] <= 1e-9) break;
+    std::vector<float> axis(static_cast<std::size_t>(kDim), 0.f);
+    for (int i = 0; i < n; ++i) {
+      const float w = static_cast<float>(eig.vectors.at(i, c));
+      for (int d = 0; d < kDim; ++d)
+        axis[static_cast<std::size_t>(d)] +=
+            w * centered[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)];
+    }
+    double norm = 0;
+    for (float v : axis) norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    if (norm < 1e-9) break;
+    for (float& v : axis) v = static_cast<float>(v / norm);
+    basis_.push_back(std::move(axis));
+  }
+  require(!basis_.empty(), "eigenfaces training found no components");
+
+  projections_.clear();
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> proj(basis_.size());
+    for (std::size_t c = 0; c < basis_.size(); ++c) {
+      double dot = 0;
+      for (int d = 0; d < kDim; ++d)
+        dot += static_cast<double>(basis_[c][static_cast<std::size_t>(d)]) *
+               centered[static_cast<std::size_t>(i)][static_cast<std::size_t>(d)];
+      proj[c] = static_cast<float>(dot);
+    }
+    projections_.push_back(std::move(proj));
+  }
+  trained_ = true;
+}
+
+std::vector<float> EigenfaceModel::project(const GrayU8& crop) const {
+  require(crop.width() == kSize && crop.height() == kSize, "probe crop size");
+  std::vector<float> centered(static_cast<std::size_t>(kDim));
+  for (int y = 0; y < kSize; ++y)
+    for (int x = 0; x < kSize; ++x)
+      centered[static_cast<std::size_t>(y * kSize + x)] =
+          crop.at(x, y) - mean_[static_cast<std::size_t>(y * kSize + x)];
+  std::vector<float> proj(basis_.size());
+  for (std::size_t c = 0; c < basis_.size(); ++c) {
+    double dot = 0;
+    for (int d = 0; d < kDim; ++d)
+      dot += static_cast<double>(basis_[c][static_cast<std::size_t>(d)]) *
+             centered[static_cast<std::size_t>(d)];
+    proj[c] = static_cast<float>(dot);
+  }
+  return proj;
+}
+
+std::vector<int> EigenfaceModel::rank(const GrayU8& crop) const {
+  require(trained_, "train() before rank()");
+  const std::vector<float> probe = project(crop);
+
+  std::map<int, double> best;  // label -> min distance
+  for (std::size_t i = 0; i < projections_.size(); ++i) {
+    double dist = 0;
+    for (std::size_t c = 0; c < probe.size(); ++c) {
+      const double diff = probe[c] - projections_[i][c];
+      dist += diff * diff;
+    }
+    const int label = labels_[i];
+    auto it = best.find(label);
+    if (it == best.end() || dist < it->second) best[label] = dist;
+  }
+
+  std::vector<std::pair<double, int>> ordered;
+  ordered.reserve(best.size());
+  for (const auto& [label, dist] : best) ordered.emplace_back(dist, label);
+  std::sort(ordered.begin(), ordered.end());
+  std::vector<int> out;
+  out.reserve(ordered.size());
+  for (const auto& [dist, label] : ordered) out.push_back(label);
+  return out;
+}
+
+bool EigenfaceModel::hit_within(const GrayU8& crop, int true_label,
+                                int k) const {
+  const std::vector<int> ranked = rank(crop);
+  for (int i = 0; i < k && i < static_cast<int>(ranked.size()); ++i)
+    if (ranked[static_cast<std::size_t>(i)] == true_label) return true;
+  return false;
+}
+
+GrayU8 EigenfaceModel::normalize_crop(const RgbImage& img, const Rect& rect) {
+  const Rect clipped = Rect::intersect(rect, img.bounds());
+  require(!clipped.empty(), "crop rect outside image");
+  GrayF gray(clipped.w, clipped.h);
+  for (int y = 0; y < clipped.h; ++y)
+    for (int x = 0; x < clipped.w; ++x) {
+      const int px = clipped.x + x, py = clipped.y + y;
+      gray.at(x, y) = 0.299f * img.r.at(px, py) + 0.587f * img.g.at(px, py) +
+                      0.114f * img.b.at(px, py);
+    }
+  const GrayF resized = resize(gray, kSize, kSize);
+  // Contrast standardization (the CSU eigenface pipeline applies histogram
+  // equalization here): map the crop to mean 128, std 48. This gives the
+  // recognition attacker a fair shot at low-contrast probes such as P3
+  // public parts.
+  double mean = 0;
+  for (int y = 0; y < kSize; ++y)
+    for (int x = 0; x < kSize; ++x) mean += resized.at(x, y);
+  mean /= kDim;
+  double var = 0;
+  for (int y = 0; y < kSize; ++y)
+    for (int x = 0; x < kSize; ++x) {
+      const double d = resized.at(x, y) - mean;
+      var += d * d;
+    }
+  const double stddev = std::sqrt(var / kDim);
+  const double gain = stddev < 1.0 ? 1.0 : 48.0 / stddev;
+  GrayU8 out(kSize, kSize);
+  for (int y = 0; y < kSize; ++y)
+    for (int x = 0; x < kSize; ++x)
+      out.at(x, y) = clamp_u8(
+          static_cast<float>(128.0 + gain * (resized.at(x, y) - mean)));
+  return out;
+}
+
+}  // namespace puppies::vision

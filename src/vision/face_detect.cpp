@@ -1,0 +1,169 @@
+#include "puppies/vision/face_detect.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "puppies/vision/filters.h"
+
+namespace puppies::vision {
+
+namespace {
+
+constexpr int kTw = 24;
+constexpr int kTh = 32;
+
+/// Procedural average face: bright facial ellipse on mid background, dark
+/// eye blobs, dark mouth bar — the shared structure of the synthetic face
+/// model and (coarsely) of real frontal faces.
+GrayF make_template() {
+  GrayF t(kTw, kTh, 110.f);
+  const float cx = kTw / 2.f, cy = kTh / 2.f;
+  for (int y = 0; y < kTh; ++y)
+    for (int x = 0; x < kTw; ++x) {
+      const float dx = (x + 0.5f - cx) / (kTw * 0.46f);
+      const float dy = (y + 0.5f - cy) / (kTh * 0.48f);
+      if (dx * dx + dy * dy <= 1.f) t.at(x, y) = 185.f;
+    }
+  // Hair cap.
+  for (int y = 0; y < kTh / 5; ++y)
+    for (int x = 0; x < kTw; ++x)
+      if (t.at(x, y) > 150.f) t.at(x, y) = 90.f;
+  auto blob = [&](float fx, float fy, float rx, float ry, float value) {
+    for (int y = 0; y < kTh; ++y)
+      for (int x = 0; x < kTw; ++x) {
+        const float dx = (x + 0.5f - fx * kTw) / rx;
+        const float dy = (y + 0.5f - fy * kTh) / ry;
+        if (dx * dx + dy * dy <= 1.f) t.at(x, y) = value;
+      }
+  };
+  blob(0.32f, 0.42f, 2.6f, 1.7f, 55.f);   // left eye
+  blob(0.68f, 0.42f, 2.6f, 1.7f, 55.f);   // right eye
+  blob(0.50f, 0.76f, 4.0f, 1.6f, 80.f);   // mouth
+  return t;
+}
+
+struct Candidate {
+  Rect rect;
+  float score;
+};
+
+}  // namespace
+
+GrayF face_template() { return make_template(); }
+
+double iou(const Rect& a, const Rect& b) {
+  const long long inter = Rect::intersect(a, b).area();
+  const long long uni = a.area() + b.area() - inter;
+  return uni <= 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+int count_detected(const std::vector<Rect>& truth,
+                   const std::vector<Rect>& detections, double min_iou) {
+  int hits = 0;
+  for (const Rect& t : truth)
+    for (const Rect& d : detections)
+      if (iou(t, d) >= min_iou) {
+        ++hits;
+        break;
+      }
+  return hits;
+}
+
+namespace {
+
+GrayF gradient_magnitude_of(const GrayF& img) {
+  const Gradients g = sobel(img);
+  return g.magnitude;
+}
+
+}  // namespace
+
+std::vector<Rect> detect_faces(const GrayU8& img,
+                               const FaceDetectorOptions& opts) {
+  const GrayF tmpl =
+      opts.gradient_mode ? gradient_magnitude_of(make_template())
+                         : make_template();
+
+  // Zero-mean template and its norm.
+  float tmean = 0;
+  for (int y = 0; y < kTh; ++y)
+    for (int x = 0; x < kTw; ++x) tmean += tmpl.at(x, y);
+  tmean /= kTw * kTh;
+  GrayF tz(kTw, kTh);
+  double tnorm2 = 0;
+  for (int y = 0; y < kTh; ++y)
+    for (int x = 0; x < kTw; ++x) {
+      tz.at(x, y) = tmpl.at(x, y) - tmean;
+      tnorm2 += tz.at(x, y) * tz.at(x, y);
+    }
+  const double tnorm = std::sqrt(tnorm2);
+
+  std::vector<Candidate> candidates;
+  GrayF level = opts.gradient_mode ? gradient_magnitude_of(to_float(img))
+                                   : to_float(img);
+  float scale = 1.f;
+  for (int l = 0; l < opts.max_levels; ++l) {
+    if (level.width() < kTw + 2 || level.height() < kTh + 2) break;
+
+    GrayF squared(level.width(), level.height());
+    for (int y = 0; y < level.height(); ++y)
+      for (int x = 0; x < level.width(); ++x)
+        squared.at(x, y) = level.at(x, y) * level.at(x, y);
+    const Integral isum(level);
+    const Integral isq(squared);
+    const double n = static_cast<double>(kTw) * kTh;
+
+    for (int y = 0; y + kTh <= level.height(); y += opts.stride)
+      for (int x = 0; x + kTw <= level.width(); x += opts.stride) {
+        const Rect win{x, y, kTw, kTh};
+        const double wsum = isum.rect_sum(win);
+        const double wsq = isq.rect_sum(win);
+        const double wmean = wsum / n;
+        const double wvar = wsq - n * wmean * wmean;
+        if (wvar < 1e-3) continue;
+        double dot = 0;
+        for (int ty = 0; ty < kTh; ++ty)
+          for (int tx = 0; tx < kTw; ++tx)
+            dot += tz.at(tx, ty) * level.at(x + tx, y + ty);
+        const double score = dot / (tnorm * std::sqrt(wvar));
+        if (score >= opts.threshold) {
+          candidates.push_back(
+              Candidate{Rect{static_cast<int>(x * scale),
+                             static_cast<int>(y * scale),
+                             static_cast<int>(kTw * scale),
+                             static_cast<int>(kTh * scale)},
+                        static_cast<float>(score)});
+        }
+      }
+
+    const int nw = static_cast<int>(level.width() / opts.pyramid_factor);
+    const int nh = static_cast<int>(level.height() / opts.pyramid_factor);
+    if (nw < kTw || nh < kTh) break;
+    level = resize(level, nw, nh);
+    scale *= opts.pyramid_factor;
+  }
+
+  // Non-maximum suppression by score.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  std::vector<Rect> kept;
+  for (const Candidate& c : candidates) {
+    bool suppressed = false;
+    for (const Rect& k : kept)
+      if (iou(c.rect, k) > opts.nms_iou) {
+        suppressed = true;
+        break;
+      }
+    if (!suppressed) kept.push_back(c.rect);
+  }
+  return kept;
+}
+
+std::vector<Rect> detect_faces(const RgbImage& img,
+                               const FaceDetectorOptions& opts) {
+  return detect_faces(to_gray(img), opts);
+}
+
+}  // namespace puppies::vision

@@ -1,0 +1,116 @@
+#include "puppies/vision/filters.h"
+
+#include <cmath>
+
+namespace puppies::vision {
+
+GrayF gaussian_blur(const GrayF& img, double sigma) {
+  require(sigma > 0, "sigma must be positive");
+  const int radius = static_cast<int>(std::ceil(3 * sigma));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  float sum = 0;
+  for (int i = -radius; i <= radius; ++i) {
+    const float v = static_cast<float>(std::exp(-0.5 * i * i / (sigma * sigma)));
+    kernel[static_cast<std::size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (float& v : kernel) v /= sum;
+
+  GrayF tmp(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i)
+        acc += kernel[static_cast<std::size_t>(i + radius)] *
+               img.clamped_at(x + i, y);
+      tmp.at(x, y) = acc;
+    }
+  GrayF out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      float acc = 0;
+      for (int i = -radius; i <= radius; ++i)
+        acc += kernel[static_cast<std::size_t>(i + radius)] *
+               tmp.clamped_at(x, y + i);
+      out.at(x, y) = acc;
+    }
+  return out;
+}
+
+Gradients sobel(const GrayF& img) {
+  Gradients g{GrayF(img.width(), img.height()), GrayF(img.width(), img.height()),
+              GrayF(img.width(), img.height())};
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      const float p00 = img.clamped_at(x - 1, y - 1);
+      const float p10 = img.clamped_at(x, y - 1);
+      const float p20 = img.clamped_at(x + 1, y - 1);
+      const float p01 = img.clamped_at(x - 1, y);
+      const float p21 = img.clamped_at(x + 1, y);
+      const float p02 = img.clamped_at(x - 1, y + 1);
+      const float p12 = img.clamped_at(x, y + 1);
+      const float p22 = img.clamped_at(x + 1, y + 1);
+      const float gx = (p20 + 2 * p21 + p22) - (p00 + 2 * p01 + p02);
+      const float gy = (p02 + 2 * p12 + p22) - (p00 + 2 * p10 + p20);
+      g.gx.at(x, y) = gx;
+      g.gy.at(x, y) = gy;
+      g.magnitude.at(x, y) = std::sqrt(gx * gx + gy * gy);
+    }
+  return g;
+}
+
+Integral::Integral(const GrayF& img) : w_(img.width()), h_(img.height()) {
+  s_.assign(static_cast<std::size_t>(w_ + 1) * (h_ + 1), 0.0);
+  for (int y = 0; y < h_; ++y) {
+    double row = 0;
+    for (int x = 0; x < w_; ++x) {
+      row += img.at(x, y);
+      s_[static_cast<std::size_t>(y + 1) * (w_ + 1) + (x + 1)] =
+          s_[static_cast<std::size_t>(y) * (w_ + 1) + (x + 1)] + row;
+    }
+  }
+}
+
+double Integral::rect_sum(const Rect& r) const {
+  const auto at = [&](int x, int y) {
+    return s_[static_cast<std::size_t>(y) * (w_ + 1) + x];
+  };
+  return at(r.right(), r.bottom()) - at(r.x, r.bottom()) -
+         at(r.right(), r.y) + at(r.x, r.y);
+}
+
+GrayF half_size(const GrayF& img) {
+  const int nw = std::max(1, img.width() / 2), nh = std::max(1, img.height() / 2);
+  GrayF out(nw, nh);
+  for (int y = 0; y < nh; ++y)
+    for (int x = 0; x < nw; ++x)
+      out.at(x, y) = 0.25f * (img.clamped_at(2 * x, 2 * y) +
+                              img.clamped_at(2 * x + 1, 2 * y) +
+                              img.clamped_at(2 * x, 2 * y + 1) +
+                              img.clamped_at(2 * x + 1, 2 * y + 1));
+  return out;
+}
+
+GrayF resize(const GrayF& img, int new_w, int new_h) {
+  require(new_w > 0 && new_h > 0, "resize target");
+  GrayF out(new_w, new_h);
+  const float sx = static_cast<float>(img.width()) / new_w;
+  const float sy = static_cast<float>(img.height()) / new_h;
+  for (int y = 0; y < new_h; ++y) {
+    const float fy = (y + 0.5f) * sy - 0.5f;
+    const int y0 = static_cast<int>(std::floor(fy));
+    const float wy = fy - y0;
+    for (int x = 0; x < new_w; ++x) {
+      const float fx = (x + 0.5f) * sx - 0.5f;
+      const int x0 = static_cast<int>(std::floor(fx));
+      const float wx = fx - x0;
+      out.at(x, y) = img.clamped_at(x0, y0) * (1 - wx) * (1 - wy) +
+                     img.clamped_at(x0 + 1, y0) * wx * (1 - wy) +
+                     img.clamped_at(x0, y0 + 1) * (1 - wx) * wy +
+                     img.clamped_at(x0 + 1, y0 + 1) * wx * wy;
+    }
+  }
+  return out;
+}
+
+}  // namespace puppies::vision

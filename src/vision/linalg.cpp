@@ -1,0 +1,67 @@
+#include "puppies/vision/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace puppies::vision {
+
+EigenResult jacobi_eigensymm(MatD a, int max_sweeps) {
+  const int n = a.rows();
+  require(n == a.cols(), "jacobi needs a square matrix");
+  MatD v(n, n, 0.0);
+  for (int i = 0; i < n; ++i) v.at(i, i) = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0;
+    for (int p = 0; p < n; ++p)
+      for (int q = p + 1; q < n; ++q) off += a.at(p, q) * a.at(p, q);
+    if (off < 1e-18) break;
+
+    for (int p = 0; p < n; ++p)
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) < 1e-15) continue;
+        const double app = a.at(p, p), aqq = a.at(q, q);
+        const double theta = (aqq - app) / (2 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1));
+        const double c = 1.0 / std::sqrt(t * t + 1);
+        const double s = t * c;
+
+        for (int k = 0; k < n; ++k) {
+          const double akp = a.at(k, p), akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a.at(p, k), aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p), vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+  }
+
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return a.at(i, i) > a.at(j, j); });
+
+  EigenResult result;
+  result.values.resize(static_cast<std::size_t>(n));
+  result.vectors = MatD(n, n);
+  for (int j = 0; j < n; ++j) {
+    result.values[static_cast<std::size_t>(j)] =
+        a.at(order[static_cast<std::size_t>(j)], order[static_cast<std::size_t>(j)]);
+    for (int i = 0; i < n; ++i)
+      result.vectors.at(i, j) = v.at(i, order[static_cast<std::size_t>(j)]);
+  }
+  return result;
+}
+
+}  // namespace puppies::vision

@@ -1,0 +1,201 @@
+#include "puppies/vision/sift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "puppies/vision/filters.h"
+
+namespace puppies::vision {
+
+namespace {
+
+constexpr float kPi = 3.14159265358979f;
+
+struct Octave {
+  std::vector<GrayF> gauss;  ///< scales_per_octave + 3 blurred images
+  std::vector<GrayF> dog;    ///< gauss.size() - 1 difference images
+  float scale = 1;           ///< sampling factor relative to the input
+};
+
+std::vector<Octave> build_pyramid(const GrayF& base, const SiftOptions& opts) {
+  std::vector<Octave> octaves;
+  const int s = opts.scales_per_octave;
+  const double k = std::pow(2.0, 1.0 / s);
+  GrayF current = gaussian_blur(base, 1.6);
+  float scale = 1.f;
+  for (int o = 0; o < opts.octaves; ++o) {
+    if (current.width() < 16 || current.height() < 16) break;
+    Octave oct;
+    oct.scale = scale;
+    oct.gauss.push_back(current);
+    double sigma = 1.6;
+    for (int i = 1; i < s + 3; ++i) {
+      const double next_sigma = 1.6 * std::pow(k, i);
+      const double delta =
+          std::sqrt(next_sigma * next_sigma - sigma * sigma);
+      oct.gauss.push_back(gaussian_blur(oct.gauss.back(), delta));
+      sigma = next_sigma;
+    }
+    for (std::size_t i = 0; i + 1 < oct.gauss.size(); ++i) {
+      GrayF d(current.width(), current.height());
+      for (int y = 0; y < d.height(); ++y)
+        for (int x = 0; x < d.width(); ++x)
+          d.at(x, y) = oct.gauss[i + 1].at(x, y) - oct.gauss[i].at(x, y);
+      oct.dog.push_back(std::move(d));
+    }
+    current = half_size(oct.gauss[static_cast<std::size_t>(s)]);
+    scale *= 2.f;
+    octaves.push_back(std::move(oct));
+  }
+  return octaves;
+}
+
+bool is_extremum(const std::vector<GrayF>& dog, std::size_t level, int x,
+                 int y) {
+  const float v = dog[level].at(x, y);
+  const bool maximum = v > 0;
+  for (std::size_t l = level - 1; l <= level + 1; ++l)
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (l == level && dx == 0 && dy == 0) continue;
+        const float n = dog[l].at(x + dx, y + dy);
+        if (maximum ? n >= v : n <= v) return false;
+      }
+  return true;
+}
+
+bool edge_like(const GrayF& d, int x, int y, float edge_ratio) {
+  const float dxx = d.at(x + 1, y) + d.at(x - 1, y) - 2 * d.at(x, y);
+  const float dyy = d.at(x, y + 1) + d.at(x, y - 1) - 2 * d.at(x, y);
+  const float dxy = 0.25f * (d.at(x + 1, y + 1) - d.at(x - 1, y + 1) -
+                             d.at(x + 1, y - 1) + d.at(x - 1, y - 1));
+  const float tr = dxx + dyy;
+  const float det = dxx * dyy - dxy * dxy;
+  if (det <= 0) return true;
+  const float r = edge_ratio;
+  return tr * tr / det > (r + 1) * (r + 1) / r;
+}
+
+float dominant_orientation(const GrayF& img, int x, int y) {
+  std::array<float, 36> hist{};
+  const int radius = 8;
+  for (int dy = -radius; dy <= radius; ++dy)
+    for (int dx = -radius; dx <= radius; ++dx) {
+      const int px = x + dx, py = y + dy;
+      if (px < 1 || py < 1 || px >= img.width() - 1 || py >= img.height() - 1)
+        continue;
+      const float gx = img.at(px + 1, py) - img.at(px - 1, py);
+      const float gy = img.at(px, py + 1) - img.at(px, py - 1);
+      const float mag = std::sqrt(gx * gx + gy * gy);
+      const float ang = std::atan2(gy, gx) + kPi;  // [0, 2pi]
+      int bin = static_cast<int>(ang / (2 * kPi) * 36) % 36;
+      hist[static_cast<std::size_t>(bin)] += mag;
+    }
+  int best = 0;
+  for (int i = 1; i < 36; ++i)
+    if (hist[static_cast<std::size_t>(i)] > hist[static_cast<std::size_t>(best)]) best = i;
+  return best * 2 * kPi / 36 - kPi;
+}
+
+std::array<float, 128> describe(const GrayF& img, int x, int y, float angle) {
+  std::array<float, 128> desc{};
+  const float ca = std::cos(-angle), sa = std::sin(-angle);
+  for (int dy = -8; dy < 8; ++dy)
+    for (int dx = -8; dx < 8; ++dx) {
+      const int px = x + dx, py = y + dy;
+      if (px < 1 || py < 1 || px >= img.width() - 1 || py >= img.height() - 1)
+        continue;
+      const float gx = img.at(px + 1, py) - img.at(px - 1, py);
+      const float gy = img.at(px, py + 1) - img.at(px, py - 1);
+      const float mag = std::sqrt(gx * gx + gy * gy);
+      float ang = std::atan2(gy, gx) - angle;
+      while (ang < 0) ang += 2 * kPi;
+      while (ang >= 2 * kPi) ang -= 2 * kPi;
+      // Rotate the sample offset into the keypoint frame.
+      const float rx = ca * dx - sa * dy;
+      const float ry = sa * dx + ca * dy;
+      const int cell_x = std::clamp(static_cast<int>((rx + 8) / 4), 0, 3);
+      const int cell_y = std::clamp(static_cast<int>((ry + 8) / 4), 0, 3);
+      const int obin = static_cast<int>(ang / (2 * kPi) * 8) % 8;
+      desc[static_cast<std::size_t>((cell_y * 4 + cell_x) * 8 + obin)] += mag;
+    }
+  // Normalize, clamp at 0.2, renormalize (standard SIFT illumination step).
+  auto normalize = [&] {
+    float norm = 0;
+    for (float v : desc) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm > 1e-6f)
+      for (float& v : desc) v /= norm;
+  };
+  normalize();
+  for (float& v : desc) v = std::min(v, 0.2f);
+  normalize();
+  return desc;
+}
+
+}  // namespace
+
+std::vector<Feature> detect_features(const GrayU8& img,
+                                     const SiftOptions& opts) {
+  GrayF base(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      base.at(x, y) = img.at(x, y) / 255.f;
+
+  std::vector<Feature> features;
+  for (const Octave& oct : build_pyramid(base, opts)) {
+    for (std::size_t level = 1; level + 1 < oct.dog.size(); ++level) {
+      const GrayF& d = oct.dog[level];
+      for (int y = 2; y < d.height() - 2; ++y)
+        for (int x = 2; x < d.width() - 2; ++x) {
+          if (std::abs(d.at(x, y)) < opts.contrast_threshold) continue;
+          if (!is_extremum(oct.dog, level, x, y)) continue;
+          if (edge_like(d, x, y, opts.edge_ratio)) continue;
+          const GrayF& g = oct.gauss[level];
+          Feature f;
+          f.angle = dominant_orientation(g, x, y);
+          f.descriptor = describe(g, x, y, f.angle);
+          f.x = static_cast<float>(x) * oct.scale;
+          f.y = static_cast<float>(y) * oct.scale;
+          f.scale = oct.scale;
+          features.push_back(std::move(f));
+          if (static_cast<int>(features.size()) >= opts.max_features)
+            return features;
+        }
+    }
+  }
+  return features;
+}
+
+std::vector<Match> match_features(const std::vector<Feature>& a,
+                                  const std::vector<Feature>& b,
+                                  float ratio) {
+  std::vector<Match> matches;
+  if (b.size() < 2) return matches;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    float best = 1e30f, second = 1e30f;
+    std::size_t best_j = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      float dist = 0;
+      for (int k = 0; k < 128; ++k) {
+        const float diff = a[i].descriptor[static_cast<std::size_t>(k)] -
+                           b[j].descriptor[static_cast<std::size_t>(k)];
+        dist += diff * diff;
+        if (dist > second) break;
+      }
+      if (dist < best) {
+        second = best;
+        best = dist;
+        best_j = j;
+      } else if (dist < second) {
+        second = dist;
+      }
+    }
+    if (best < ratio * ratio * second)
+      matches.push_back(Match{static_cast<int>(i), static_cast<int>(best_j),
+                              std::sqrt(best)});
+  }
+  return matches;
+}
+
+}  // namespace puppies::vision

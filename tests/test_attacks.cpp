@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "puppies/attacks/bruteforce.h"
+#include "puppies/attacks/search_demo.h"
+#include "puppies/attacks/correlation.h"
+#include "puppies/attacks/judge.h"
+#include "puppies/core/pipeline.h"
+#include "puppies/image/draw.h"
+#include "puppies/image/metrics.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/synth/synth.h"
+
+namespace puppies::attacks {
+namespace {
+
+struct Protected {
+  RgbImage original_rgb;
+  jpeg::CoefficientImage original;
+  core::ProtectResult shared;
+  Rect roi;
+
+  explicit Protected(const RgbImage& img, const Rect& r,
+                     core::Scheme scheme = core::Scheme::kCompression,
+                     core::PrivacyLevel level = core::PrivacyLevel::kMedium)
+      : original_rgb(img),
+        original(jpeg::forward_transform(rgb_to_ycc(img), 75)),
+        shared(core::protect(original,
+                             {core::RoiPolicy{r, SecretKey::from_label("atk"),
+                                              scheme, level}})),
+        roi(shared.params.rois[0].rect) {}
+
+  RgbImage perturbed_rgb() const {
+    return jpeg::decode_to_rgb(shared.perturbed);
+  }
+};
+
+TEST(BruteForce, SecureBitsDwarfNist) {
+  const BruteForceReport low = analyze(core::PrivacyLevel::kLow);
+  const BruteForceReport medium = analyze(core::PrivacyLevel::kMedium);
+  const BruteForceReport high = analyze(core::PrivacyLevel::kHigh);
+  EXPECT_DOUBLE_EQ(low.dc_bits, 704.0);
+  EXPECT_DOUBLE_EQ(low.total_bits, 704.0);
+  EXPECT_DOUBLE_EQ(medium.total_bits, 754.0);
+  EXPECT_DOUBLE_EQ(high.total_bits, 1397.0);
+  for (const auto& r : {low, medium, high}) {
+    EXPECT_TRUE(r.exceeds_nist);
+    EXPECT_GT(r.log10_years_at_terahertz, 100.0);
+  }
+  EXPECT_LT(low.total_bits, medium.total_bits);
+  EXPECT_LT(medium.total_bits, high.total_bits);
+}
+
+TEST(BruteForce, DemonstrationSearchRecoversTinyKeyspace) {
+  const SearchDemo demo = demonstrate_search(2);
+  EXPECT_TRUE(demo.recovered);
+  EXPECT_GT(demo.tries, 1000000);
+  EXPECT_GT(demo.tries_per_second, 1e6);
+  // Even at this measured rate, the full space is >10^150 years away.
+  EXPECT_GT(demo.log10_years_full_space, 150.0);
+  const SearchDemo small = demonstrate_search(1);
+  EXPECT_TRUE(small.recovered);
+  EXPECT_LE(small.tries, 2048);
+  EXPECT_THROW(demonstrate_search(3), InvalidArgument);
+}
+
+TEST(MatrixInference, FailsToRecoverRoi) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kCaltech, 2, 256, 192);
+  const Protected p(scene.image, Rect{64, 48, 96, 96});
+  const RgbImage guess =
+      matrix_inference_attack(p.shared.perturbed, p.shared.params);
+  const RecoveryJudgement j = judge_recovery(p.original_rgb, guess, p.roi);
+  // The inference gets the (block-shared) AC delta approximately right but
+  // cannot recover the per-block DC entries, so brightness stays scrambled
+  // and the content unreadable. (The partial AC-structure leak is analyzed
+  // in EXPERIMENTS.md.) PSNR is the discriminating metric here; window SSIM
+  // is inflated by flat regions that match up to a brightness shift.
+  EXPECT_LT(j.roi_psnr, 15.0);
+  EXPECT_LT(j.roi_ssim, 0.9);
+}
+
+TEST(Inpaint, ProducesSmoothFillNotContent) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kCaltech, 3, 256, 192);
+  const Protected p(scene.image, Rect{64, 48, 96, 96});
+  const RgbImage guess = inpaint_attack(p.perturbed_rgb(), p.roi);
+  // The fill is smooth (it interpolates), so SSIM against the true content
+  // stays low even if PSNR is moderate.
+  const RecoveryJudgement j = judge_recovery(p.original_rgb, guess, p.roi);
+  EXPECT_LT(j.roi_ssim, 0.6);
+}
+
+TEST(Inpaint, FillsEveryPixel) {
+  RgbImage img(64, 64);
+  fill_vgradient(img, Color{0, 0, 0}, Color{255, 255, 255});
+  // Mark ROI with sentinel noise.
+  Rng rng("inpaint-roi");
+  for (int y = 16; y < 48; ++y)
+    for (int x = 16; x < 48; ++x)
+      img.r.at(x, y) = static_cast<std::uint8_t>(rng.below(256));
+  const RgbImage filled = inpaint_attack(img, Rect{16, 16, 32, 32});
+  // Gradient is vertical, so the fill should be roughly gradient-like:
+  // middle row pixels near the gradient value there.
+  const int expected = 255 * 32 / 63;
+  EXPECT_NEAR(filled.r.at(32, 32), expected, 60);
+}
+
+TEST(Pca, FailsToRecoverRoi) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kCaltech, 4, 256, 192);
+  const Protected p(scene.image, Rect{64, 48, 96, 96});
+  const RgbImage guess = pca_attack(p.perturbed_rgb(), p.roi, 8);
+  const RecoveryJudgement j = judge_recovery(p.original_rgb, guess, p.roi);
+  EXPECT_LT(j.roi_ssim, 0.4);
+}
+
+TEST(Judge, PerfectRecoveryScoresHigh) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kPascal, 13, 128, 96);
+  const RecoveryJudgement j =
+      judge_recovery(scene.image, scene.image, Rect{16, 16, 64, 64});
+  EXPECT_TRUE(std::isinf(j.roi_psnr));
+  EXPECT_NEAR(j.roi_ssim, 1.0, 1e-9);
+}
+
+TEST(TextLegibility, CleanTextIsLegible) {
+  const RgbImage img = synth::hello_world_image(256, 128);
+  const GrayU8 gray = to_gray(img);
+  const int scale = std::max(1, 256 / 90);
+  const int tx = (256 - text_width("HELLO WORLD!", scale)) / 2;
+  const int ty = (128 - text_height(scale)) / 2;
+  EXPECT_GT(text_legibility(gray, tx, ty, "HELLO WORLD!", scale), 0.9);
+}
+
+TEST(TextLegibility, NoiseIsIlegible) {
+  GrayU8 noise(256, 128);
+  Rng rng("legibility-noise");
+  for (int y = 0; y < 128; ++y)
+    for (int x = 0; x < 256; ++x)
+      noise.at(x, y) = static_cast<std::uint8_t>(rng.below(256));
+  EXPECT_LT(text_legibility(noise, 10, 10, "HELLO WORLD!", 2), 0.3);
+}
+
+TEST(HelloWorldScenario, AllThreeAttacksFail) {
+  // Fig. 23: the simplest possible perturbed image. None of the three
+  // correlation attacks should make the text legible again.
+  const RgbImage img = synth::hello_world_image(256, 128);
+  const int scale = std::max(1, 256 / 90);
+  const int tx = (256 - text_width("HELLO WORLD!", scale)) / 2;
+  const int ty = (128 - text_height(scale)) / 2;
+  const Rect text_roi =
+      Rect{tx, ty, text_width("HELLO WORLD!", scale), text_height(scale)}
+          .aligned_to(8, Rect{0, 0, 256, 128});
+
+  const Protected p(img, text_roi, core::Scheme::kCompression,
+                    core::PrivacyLevel::kMedium);
+
+  const RgbImage guesses[3] = {
+      matrix_inference_attack(p.shared.perturbed, p.shared.params),
+      inpaint_attack(p.perturbed_rgb(), p.roi),
+      pca_attack(p.perturbed_rgb(), p.roi, 8),
+  };
+  for (const RgbImage& guess : guesses) {
+    const double legibility =
+        text_legibility(to_gray(guess), tx, ty, "HELLO WORLD!", scale);
+    EXPECT_LT(legibility, 0.35);
+  }
+  // Sanity: the original is legible through the same metric.
+  EXPECT_GT(text_legibility(to_gray(img), tx, ty, "HELLO WORLD!", scale),
+            0.9);
+}
+
+}  // namespace
+}  // namespace puppies::attacks

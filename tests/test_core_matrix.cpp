@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "puppies/common/error.h"
+
+#include "puppies/core/matrix.h"
+
+namespace puppies::core {
+namespace {
+
+TEST(Ring, Sizes) {
+  EXPECT_EQ(kDcRing.size(), 2048);
+  EXPECT_EQ(kAcRing.size(), 2047);
+}
+
+TEST(Ring, LemmaIII1ExactRecoveryExhaustive) {
+  // The paper's Lemma III.1: wrap_sub(wrap_add(b, p), p) == b for every
+  // b in the ring and p in [0, size). Exhaustive over b, sampled over p.
+  for (const Ring ring : {kDcRing, kAcRing}) {
+    for (int b = ring.lo; b <= ring.hi; ++b) {
+      for (int p : {0, 1, 7, ring.size() / 2, ring.size() - 1}) {
+        const auto [e, wrapped] = wrap_add(b, p, ring);
+        EXPECT_GE(e, ring.lo);
+        EXPECT_LE(e, ring.hi);
+        EXPECT_EQ(wrap_sub(e, p, ring), b);
+        EXPECT_EQ(wrapped, b + p > ring.hi);
+      }
+    }
+  }
+}
+
+TEST(Ring, WrapAddIsBijectiveForFixedP) {
+  const Ring ring = kDcRing;
+  std::vector<char> seen(static_cast<std::size_t>(ring.size()), 0);
+  for (int b = ring.lo; b <= ring.hi; ++b) {
+    const int e = wrap_add(b, 777, ring).value;
+    const std::size_t idx = static_cast<std::size_t>(e - ring.lo);
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = 1;
+  }
+}
+
+TEST(PrivateMatrix, RandomEntriesInRange) {
+  Rng rng("matrix-range");
+  const PrivateMatrix dc = random_matrix(rng, kDcRing);
+  const PrivateMatrix ac = random_matrix(rng, kAcRing);
+  for (auto e : dc.p) {
+    EXPECT_GE(e, 0);
+    EXPECT_LT(e, 2048);
+  }
+  for (auto e : ac.p) {
+    EXPECT_GE(e, 0);
+    EXPECT_LT(e, 2047);
+  }
+}
+
+TEST(MatrixPair, DerivationIsDeterministicAndDomainSeparated) {
+  const SecretKey key = SecretKey::from_label("pair-derive");
+  const MatrixPair a = MatrixPair::derive(key);
+  const MatrixPair b = MatrixPair::derive(key);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.dc.p, a.ac.p);
+  const MatrixPair other = MatrixPair::derive(SecretKey::from_label("other"));
+  EXPECT_NE(a, other);
+}
+
+TEST(MatrixPair, SerializeRoundTrip) {
+  const MatrixPair pair =
+      MatrixPair::derive(SecretKey::from_label("pair-serialize"));
+  ByteWriter w;
+  pair.serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(MatrixPair::parse(r), pair);
+}
+
+TEST(MatrixPair, WireBitsAccounting) {
+  // 2 x 64 entries x 11 bits = 1408 bits = 176 bytes.
+  EXPECT_EQ(MatrixPair::kWireBits, 1408u);
+}
+
+TEST(MatrixSet, DeriveProducesDistinctDeterministicPairs) {
+  const SecretKey key = SecretKey::from_label("set-derive");
+  const MatrixSet a = MatrixSet::derive(key, 5);
+  EXPECT_EQ(a.count(), 5);
+  EXPECT_EQ(a, MatrixSet::derive(key, 5));
+  for (int i = 0; i < 5; ++i)
+    for (int j = i + 1; j < 5; ++j)
+      EXPECT_NE(a.pairs[static_cast<std::size_t>(i)],
+                a.pairs[static_cast<std::size_t>(j)]);
+  // The first pair matches the single-pair derivation (compatibility).
+  EXPECT_EQ(a.pairs[0], MatrixPair::derive(key));
+}
+
+TEST(MatrixSet, ForBlockCyclesEvery64Blocks) {
+  const MatrixSet set = MatrixSet::derive(SecretKey::from_label("cycle"), 3);
+  EXPECT_EQ(&set.for_block(0), &set.pairs[0]);
+  EXPECT_EQ(&set.for_block(63), &set.pairs[0]);
+  EXPECT_EQ(&set.for_block(64), &set.pairs[1]);
+  EXPECT_EQ(&set.for_block(128), &set.pairs[2]);
+  EXPECT_EQ(&set.for_block(192), &set.pairs[0]);  // wraps around
+}
+
+TEST(MatrixSet, SerializeRoundTripAndWireBytes) {
+  const MatrixSet set = MatrixSet::derive(SecretKey::from_label("set-ser"), 4);
+  ByteWriter w;
+  set.serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(MatrixSet::parse(r), set);
+  EXPECT_EQ(set.wire_bytes(), 4u * 176u);
+}
+
+TEST(MatrixSet, InvalidCountThrows) {
+  EXPECT_THROW(MatrixSet::derive(SecretKey::from_label("x"), 0),
+               InvalidArgument);
+  EXPECT_THROW(MatrixSet::derive(SecretKey::from_label("x"), 5000),
+               InvalidArgument);
+}
+
+TEST(PrivacyLevels, TableIVMapping) {
+  EXPECT_EQ(params_for(PrivacyLevel::kLow), (PerturbParams{1, 1}));
+  EXPECT_EQ(params_for(PrivacyLevel::kMedium), (PerturbParams{32, 8}));
+  EXPECT_EQ(params_for(PrivacyLevel::kHigh), (PerturbParams{2048, 64}));
+  EXPECT_EQ(to_string(PrivacyLevel::kMedium), "medium");
+}
+
+TEST(RangeMatrix, LowPerturbsOnlyDc) {
+  const RangeMatrix q = make_range_matrix(params_for(PrivacyLevel::kLow));
+  EXPECT_EQ(q[0], 2048);
+  for (int i = 1; i < 64; ++i) EXPECT_EQ(q[static_cast<std::size_t>(i)], 1)
+      << "AC " << i << " should be untouched at low privacy";
+}
+
+TEST(RangeMatrix, MediumHalvesDownToMr) {
+  const RangeMatrix q = make_range_matrix(params_for(PrivacyLevel::kMedium));
+  EXPECT_EQ(q[0], 2048);
+  EXPECT_EQ(q[1], 1024);
+  EXPECT_EQ(q[2], 512);
+  EXPECT_EQ(q[3], 256);
+  EXPECT_EQ(q[4], 128);
+  EXPECT_EQ(q[5], 64);
+  EXPECT_EQ(q[6], 32);  // reached mR, stays
+  EXPECT_EQ(q[7], 32);
+  for (int i = 8; i < 64; ++i) EXPECT_EQ(q[static_cast<std::size_t>(i)], 1);
+}
+
+TEST(RangeMatrix, HighPerturbsEverythingFullRange) {
+  const RangeMatrix q = make_range_matrix(params_for(PrivacyLevel::kHigh));
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(q[static_cast<std::size_t>(i)], 2048);
+}
+
+TEST(RangeMatrix, ExactlyKCoefficientsPerturbed) {
+  // K counts DC plus the perturbed ACs (the text-consistent reading of
+  // Algorithm 3; see DESIGN.md §5.6).
+  for (int k = 1; k <= 64; ++k) {
+    const RangeMatrix q = make_range_matrix(PerturbParams{2048, k});
+    int perturbed = 1;  // DC always
+    for (int i = 1; i < 64; ++i)
+      if (q[static_cast<std::size_t>(i)] > 1) ++perturbed;
+    EXPECT_EQ(perturbed, k);
+  }
+}
+
+TEST(RangeMatrix, InvalidParamsThrow) {
+  EXPECT_THROW(make_range_matrix(PerturbParams{0, 8}), InvalidArgument);
+  EXPECT_THROW(make_range_matrix(PerturbParams{32, 0}), InvalidArgument);
+  EXPECT_THROW(make_range_matrix(PerturbParams{32, 65}), InvalidArgument);
+}
+
+TEST(SecureBits, MatchesManualAccounting) {
+  // DC is always 64 x 11 = 704 bits.
+  const double low = secure_bits(params_for(PrivacyLevel::kLow));
+  EXPECT_DOUBLE_EQ(low, 704.0);
+  // Medium: AC bits = log2(1024..32,32) = 10+9+8+7+6+5+5 = 50.
+  const double medium = secure_bits(params_for(PrivacyLevel::kMedium));
+  EXPECT_DOUBLE_EQ(medium, 704.0 + 50.0);
+  // High: 63 AC entries at 11 bits.
+  const double high = secure_bits(params_for(PrivacyLevel::kHigh));
+  EXPECT_DOUBLE_EQ(high, 704.0 + 63.0 * 11.0);
+  EXPECT_LT(low, medium);
+  EXPECT_LT(medium, high);
+}
+
+}  // namespace
+}  // namespace puppies::core

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+#include "puppies/core/perturb.h"
+#include "puppies/image/metrics.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/synth/synth.h"
+
+namespace puppies::core {
+namespace {
+
+jpeg::CoefficientImage test_image(int index = 0, int w = 96, int h = 64) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kPascal, index, w, h);
+  return jpeg::forward_transform(rgb_to_ycc(scene.image), 75);
+}
+
+MatrixPair test_keys(std::string_view label = "perturb-test") {
+  return MatrixPair::derive(SecretKey::from_label(label));
+}
+
+struct SchemeLevelCase {
+  Scheme scheme;
+  PrivacyLevel level;
+};
+
+class PerturbRoundTrip : public ::testing::TestWithParam<SchemeLevelCase> {};
+
+TEST_P(PerturbRoundTrip, RecoveryIsExact) {
+  const auto [scheme, level] = GetParam();
+  const jpeg::CoefficientImage original = test_image();
+  jpeg::CoefficientImage img = original;
+  const Rect roi{16, 16, 48, 32};
+  const MatrixPair keys = test_keys();
+  const PerturbParams params = params_for(level);
+
+  const PerturbOutcome outcome = perturb_roi(img, roi, keys, scheme, params);
+  recover_roi(img, roi, keys, scheme, params, outcome.zind);
+  EXPECT_EQ(img, original) << to_string(scheme) << " / "
+                           << core::to_string(level);
+}
+
+TEST_P(PerturbRoundTrip, RecoveryIsExactAfterEntropyRoundTrip) {
+  // The whole point of coefficient-domain perturbation: store-and-share via
+  // a real JPEG stream loses nothing.
+  const auto [scheme, level] = GetParam();
+  const jpeg::CoefficientImage original = test_image(1);
+  jpeg::CoefficientImage img = original;
+  const Rect roi{8, 8, 64, 40};
+  const MatrixPair keys = test_keys("entropy");
+  const PerturbParams params = params_for(level);
+
+  const PerturbOutcome outcome = perturb_roi(img, roi, keys, scheme, params);
+  jpeg::CoefficientImage downloaded = jpeg::parse(jpeg::serialize(img));
+  recover_roi(downloaded, roi, keys, scheme, params, outcome.zind);
+  EXPECT_EQ(downloaded, original);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndLevels, PerturbRoundTrip,
+    ::testing::Values(
+        SchemeLevelCase{Scheme::kNaive, PrivacyLevel::kMedium},
+        SchemeLevelCase{Scheme::kBase, PrivacyLevel::kLow},
+        SchemeLevelCase{Scheme::kBase, PrivacyLevel::kMedium},
+        SchemeLevelCase{Scheme::kBase, PrivacyLevel::kHigh},
+        SchemeLevelCase{Scheme::kCompression, PrivacyLevel::kLow},
+        SchemeLevelCase{Scheme::kCompression, PrivacyLevel::kMedium},
+        SchemeLevelCase{Scheme::kCompression, PrivacyLevel::kHigh},
+        SchemeLevelCase{Scheme::kZero, PrivacyLevel::kLow},
+        SchemeLevelCase{Scheme::kZero, PrivacyLevel::kMedium},
+        SchemeLevelCase{Scheme::kZero, PrivacyLevel::kHigh}),
+    [](const ::testing::TestParamInfo<SchemeLevelCase>& info) {
+      std::string name = std::string(to_string(info.param.scheme)) + "_" +
+                         std::string(core::to_string(info.param.level));
+      for (char& c : name)
+        if (c == '-') c = '_';
+      return name;
+    });
+
+TEST(Perturb, OutsideRoiIsUntouched) {
+  const jpeg::CoefficientImage original = test_image(2);
+  jpeg::CoefficientImage img = original;
+  const Rect roi{24, 16, 24, 24};
+  perturb_roi(img, roi, test_keys(), Scheme::kCompression,
+              params_for(PrivacyLevel::kHigh));
+  const Rect br = jpeg::CoefficientImage::pixel_to_block_rect(roi);
+  for (int c = 0; c < 3; ++c)
+    for (int by = 0; by < img.component(c).blocks_h; ++by)
+      for (int bx = 0; bx < img.component(c).blocks_w; ++bx) {
+        if (br.contains(bx, by)) continue;
+        EXPECT_EQ(img.component(c).block(bx, by),
+                  original.component(c).block(bx, by));
+      }
+}
+
+TEST(Perturb, InsideRoiActuallyChanges) {
+  const jpeg::CoefficientImage original = test_image(3);
+  jpeg::CoefficientImage img = original;
+  const Rect roi{0, 0, 48, 48};
+  perturb_roi(img, roi, test_keys(), Scheme::kBase,
+              params_for(PrivacyLevel::kMedium));
+  int changed = 0;
+  const Rect br = jpeg::CoefficientImage::pixel_to_block_rect(roi);
+  for (int by = br.y; by < br.bottom(); ++by)
+    for (int bx = br.x; bx < br.right(); ++bx)
+      if (img.component(0).block(bx, by) != original.component(0).block(bx, by))
+        ++changed;
+  EXPECT_EQ(changed, br.w * br.h);  // every luma block perturbed
+}
+
+TEST(Perturb, PerturbedRoiIsVisuallyDestroyed) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kCaltech, 0, 256, 192);
+  const jpeg::CoefficientImage original =
+      jpeg::forward_transform(rgb_to_ycc(scene.image), 75);
+  jpeg::CoefficientImage img = original;
+  const Rect roi{64, 48, 96, 96};
+  perturb_roi(img, roi, test_keys(), Scheme::kCompression,
+              params_for(PrivacyLevel::kMedium));
+  const GrayU8 orig_px = to_gray(jpeg::decode_to_rgb(original));
+  const GrayU8 pert_px = to_gray(jpeg::decode_to_rgb(img));
+  // Inside the ROI: heavy distortion.
+  GrayU8 orig_roi(96, 96), pert_roi(96, 96);
+  for (int y = 0; y < 96; ++y)
+    for (int x = 0; x < 96; ++x) {
+      orig_roi.at(x, y) = orig_px.at(64 + x, 48 + y);
+      pert_roi.at(x, y) = pert_px.at(64 + x, 48 + y);
+    }
+  EXPECT_LT(psnr(orig_roi, pert_roi), 12.0);
+  EXPECT_LT(ssim(orig_roi, pert_roi), 0.25);
+}
+
+TEST(Perturb, WrongKeyDoesNotRecover) {
+  const jpeg::CoefficientImage original = test_image(4);
+  jpeg::CoefficientImage img = original;
+  const Rect roi{16, 16, 32, 32};
+  const PerturbParams params = params_for(PrivacyLevel::kMedium);
+  const PerturbOutcome outcome =
+      perturb_roi(img, roi, test_keys("right"), Scheme::kCompression, params);
+  recover_roi(img, roi, test_keys("wrong"), Scheme::kCompression, params,
+              outcome.zind);
+  EXPECT_NE(img, original);
+}
+
+TEST(Perturb, NaiveSchemeUsesOneDcEntry) {
+  // PuPPIeS-N's weakness: a constant-DC region stays constant-DC after
+  // perturbation (all blocks share the same DC delta).
+  jpeg::CoefficientImage img(32, 32, 1, jpeg::flat_quant_table(16),
+                             jpeg::flat_quant_table(16));
+  for (jpeg::CoefBlock& b : img.component(0).blocks) b[0] = 100;
+  perturb_roi(img, Rect{0, 0, 32, 32}, test_keys("naive"), Scheme::kNaive,
+              params_for(PrivacyLevel::kMedium));
+  const std::int16_t dc0 = img.component(0).blocks[0][0];
+  for (const jpeg::CoefBlock& b : img.component(0).blocks)
+    EXPECT_EQ(b[0], dc0);
+}
+
+TEST(Perturb, BaseSchemeVariesDcAcrossBlocks) {
+  jpeg::CoefficientImage img(64, 64, 1, jpeg::flat_quant_table(16),
+                             jpeg::flat_quant_table(16));
+  for (jpeg::CoefBlock& b : img.component(0).blocks) b[0] = 100;
+  perturb_roi(img, Rect{0, 0, 64, 64}, test_keys("base-dc"), Scheme::kBase,
+              params_for(PrivacyLevel::kMedium));
+  std::set<std::int16_t> dcs;
+  for (const jpeg::CoefBlock& b : img.component(0).blocks) dcs.insert(b[0]);
+  EXPECT_GT(dcs.size(), 16u);
+}
+
+TEST(Perturb, ZeroSchemeSkipsZeros) {
+  jpeg::CoefficientImage img(16, 16, 1, jpeg::flat_quant_table(16),
+                             jpeg::flat_quant_table(16));
+  // Leave all ACs zero.
+  for (jpeg::CoefBlock& b : img.component(0).blocks) b[0] = 50;
+  const PerturbOutcome outcome =
+      perturb_roi(img, Rect{0, 0, 16, 16}, test_keys("zskip"), Scheme::kZero,
+                  params_for(PrivacyLevel::kHigh));
+  for (const jpeg::CoefBlock& b : img.component(0).blocks)
+    for (int z = 1; z < 64; ++z)
+      EXPECT_EQ(b[static_cast<std::size_t>(z)], 0);
+  EXPECT_TRUE(outcome.zind.empty());
+}
+
+TEST(Perturb, ZeroSchemeRecordsNewZeros) {
+  // Force a coefficient that wraps exactly to zero and check ZInd sees it.
+  const MatrixPair keys = test_keys("zind");
+  const RangeMatrix q = make_range_matrix(params_for(PrivacyLevel::kHigh));
+  const int delta1 = keys.ac.p[1] % q[1];
+  jpeg::CoefficientImage img(8, 8, 1, jpeg::flat_quant_table(16),
+                             jpeg::flat_quant_table(16));
+  // Choose b so that b + delta wraps to exactly 0.
+  const int target_b = wrap_sub(0, delta1, kAcRing);
+  if (target_b == 0) GTEST_SKIP() << "delta happens to be zero";
+  img.component(0).block(0, 0)[1] = static_cast<std::int16_t>(target_b);
+  const PerturbOutcome outcome =
+      perturb_roi(img, Rect{0, 0, 8, 8}, keys, Scheme::kZero,
+                  params_for(PrivacyLevel::kHigh));
+  EXPECT_EQ(img.component(0).block(0, 0)[1], 0);
+  ASSERT_EQ(outcome.zind.size(), 1u);
+  EXPECT_EQ(outcome.zind.entries()[0], (CoefPosition{0, 0, 1}));
+}
+
+TEST(Perturb, LowLevelOnlyTouchesDc) {
+  const jpeg::CoefficientImage original = test_image(5);
+  jpeg::CoefficientImage img = original;
+  const Rect roi{0, 0, 32, 32};
+  perturb_roi(img, roi, test_keys(), Scheme::kCompression,
+              params_for(PrivacyLevel::kLow));
+  const Rect br = jpeg::CoefficientImage::pixel_to_block_rect(roi);
+  for (int c = 0; c < 3; ++c)
+    for (int by = br.y; by < br.bottom(); ++by)
+      for (int bx = br.x; bx < br.right(); ++bx)
+        for (int z = 1; z < 64; ++z)
+          EXPECT_EQ(img.component(c).block(bx, by)[static_cast<std::size_t>(z)],
+                    original.component(c).block(bx, by)[static_cast<std::size_t>(z)]);
+}
+
+TEST(Perturb, WindRecordsExactWrapPositions) {
+  const jpeg::CoefficientImage original = test_image(6);
+  jpeg::CoefficientImage img = original;
+  const Rect roi{0, 0, 64, 64};
+  const MatrixPair keys = test_keys("wind");
+  const PerturbParams params = params_for(PrivacyLevel::kMedium);
+  const PerturbOutcome outcome =
+      perturb_roi(img, roi, keys, Scheme::kCompression, params);
+  // With full-range DC deltas roughly half the DCs wrap.
+  EXPECT_GT(outcome.wind.size(), 10u);
+  // Verify one recorded wrap against first principles.
+  const RangeMatrix q = make_range_matrix(params);
+  (void)q;
+  const auto wraps = outcome.wind.lookup();
+  const Rect br = jpeg::CoefficientImage::pixel_to_block_rect(roi);
+  for (int c = 0; c < 3; ++c)
+    for (int ly = 0; ly < br.h; ++ly)
+      for (int lx = 0; lx < br.w; ++lx) {
+        const int k = ly * br.w + lx;
+        const int b = original.component(c).block(br.x + lx, br.y + ly)[0];
+        const int delta = keys.dc.p[static_cast<std::size_t>(k % 64)];
+        const bool wrapped = b + delta > kDcRing.hi;
+        const CoefPosition pos{static_cast<std::uint8_t>(c),
+                               static_cast<std::uint32_t>(k), 0};
+        EXPECT_EQ(wraps.contains(pos.packed()), wrapped);
+      }
+}
+
+TEST(Perturb, RoiOutsideGridThrows) {
+  jpeg::CoefficientImage img(32, 32, 1, jpeg::flat_quant_table(16),
+                             jpeg::flat_quant_table(16));
+  EXPECT_THROW(perturb_roi(img, Rect{0, 0, 64, 64}, test_keys(),
+                           Scheme::kBase, params_for(PrivacyLevel::kMedium)),
+               InvalidArgument);
+  EXPECT_THROW(perturb_roi(img, Rect{4, 0, 8, 8}, test_keys(), Scheme::kBase,
+                           params_for(PrivacyLevel::kMedium)),
+               InvalidArgument);
+}
+
+TEST(PositionSet, SerializeRoundTrip) {
+  PositionSet set;
+  set.add({0, 12, 5});
+  set.add({2, 65535, 63});
+  set.add({1, 0, 0});
+  ByteWriter w;
+  set.serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(PositionSet::parse(r), set);
+  EXPECT_EQ(set.bit_size(), 3u * 28u);
+  EXPECT_EQ(set.byte_size(), (3u * 28u + 7u) / 8u);
+}
+
+TEST(PositionSet, PackedIsInjectiveOnDistinctPositions) {
+  const CoefPosition a{0, 5, 3}, b{1, 5, 3}, c{0, 6, 3}, d{0, 5, 4};
+  EXPECT_NE(a.packed(), b.packed());
+  EXPECT_NE(a.packed(), c.packed());
+  EXPECT_NE(a.packed(), d.packed());
+}
+
+TEST(DeltaImage, MatchesActualPerturbationWithWind) {
+  // The effective delta image must equal (perturbed - original) coefficient
+  // by coefficient once wrap positions are known.
+  const jpeg::CoefficientImage original = test_image(7);
+  jpeg::CoefficientImage img = original;
+  const Rect roi{8, 8, 48, 40};
+  const MatrixPair keys = test_keys("delta");
+  const PerturbParams params = params_for(PrivacyLevel::kMedium);
+  const PerturbOutcome outcome =
+      perturb_roi(img, roi, keys, Scheme::kCompression, params);
+
+  const jpeg::CoefficientImage delta = build_delta_image(
+      original,
+      {DeltaRoi{roi, MatrixSet{{keys}}, Scheme::kCompression, params,
+                &outcome.wind}});
+  for (int c = 0; c < 3; ++c)
+    for (std::size_t b = 0; b < original.component(c).blocks.size(); ++b)
+      for (int z = 0; z < 64; ++z) {
+        const int expected = img.component(c).blocks[b][static_cast<std::size_t>(z)] -
+                             original.component(c).blocks[b][static_cast<std::size_t>(z)];
+        EXPECT_EQ(delta.component(c).blocks[b][static_cast<std::size_t>(z)], expected);
+      }
+}
+
+TEST(DeltaImage, RejectsZeroScheme) {
+  const jpeg::CoefficientImage geom = test_image(8);
+  EXPECT_THROW(
+      build_delta_image(geom, {DeltaRoi{Rect{0, 0, 16, 16},
+                                        MatrixSet{{test_keys()}},
+                                        Scheme::kZero,
+                                        params_for(PrivacyLevel::kMedium),
+                                        nullptr}}),
+      InvalidArgument);
+}
+
+}  // namespace
+}  // namespace puppies::core

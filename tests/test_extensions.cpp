@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include "puppies/common/bignum.h"
+#include "puppies/common/error.h"
+#include "puppies/core/pipeline.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/psp/key_exchange.h"
+#include "puppies/roi/preferences.h"
+#include "puppies/synth/synth.h"
+
+namespace puppies {
+namespace {
+
+// ---------------------------------------------------------------- bignum
+
+TEST(Bignum, HexRoundTrip) {
+  const U1024 v = U1024::from_hex("deadBEEF0123456789");
+  EXPECT_EQ(v.to_hex(), "deadbeef0123456789");
+  EXPECT_EQ(U1024::from_u64(0).to_hex(), "0");
+  EXPECT_EQ(U1024::from_u64(255).to_hex(), "ff");
+  EXPECT_THROW(U1024::from_hex("zz"), ParseError);
+}
+
+TEST(Bignum, HexRejectsOversizedValues) {
+  std::string too_big(258, 'f');  // 1032 bits
+  EXPECT_THROW(U1024::from_hex(too_big), ParseError);
+  // Leading zeros beyond 1024 bits are fine.
+  std::string padded = "00" + std::string(256, 'f');
+  EXPECT_NO_THROW(U1024::from_hex(padded));
+}
+
+TEST(Bignum, CompareAndBits) {
+  const U1024 a = U1024::from_u64(5);
+  const U1024 b = U1024::from_hex("10000000000000000");  // 2^64
+  EXPECT_LT(a.compare(b), 0);
+  EXPECT_GT(b.compare(a), 0);
+  EXPECT_EQ(a.compare(a), 0);
+  EXPECT_EQ(b.top_bit(), 64);
+  EXPECT_EQ(a.top_bit(), 2);
+  EXPECT_EQ(a.bit(0), 1);
+  EXPECT_EQ(a.bit(1), 0);
+  EXPECT_EQ(a.bit(2), 1);
+  EXPECT_TRUE(U1024{}.is_zero());
+  EXPECT_EQ(U1024{}.top_bit(), -1);
+}
+
+TEST(Bignum, ModularArithmeticSmallNumbers) {
+  const U1024 m = U1024::from_u64(97);
+  const U1024 a = U1024::from_u64(53);
+  const U1024 b = U1024::from_u64(88);
+  EXPECT_EQ(a.addmod(b, m).to_hex(), U1024::from_u64((53 + 88) % 97).to_hex());
+  EXPECT_EQ(a.submod(b, m).to_hex(),
+            U1024::from_u64((53 + 97 - 88) % 97).to_hex());
+  EXPECT_EQ(a.mulmod(b, m).to_hex(),
+            U1024::from_u64(53 * 88 % 97).to_hex());
+}
+
+TEST(Bignum, ModexpKnownValues) {
+  const U1024 m = U1024::from_u64(1000000007);
+  // 3^45 mod 1e9+7 == 644897553 (checked independently).
+  EXPECT_EQ(modexp(U1024::from_u64(3), U1024::from_u64(45), m).to_hex(),
+            U1024::from_u64(644897553).to_hex());
+  // Fermat: a^(p-1) = 1 mod p for prime p.
+  EXPECT_EQ(modexp(U1024::from_u64(123456), U1024::from_u64(1000000006), m)
+                .to_hex(),
+            "1");
+  // Edge cases.
+  EXPECT_EQ(modexp(U1024::from_u64(5), U1024{}, m).to_hex(), "1");  // e=0
+}
+
+TEST(Bignum, ModexpCrossCheckAgainstMulmodChain) {
+  Rng rng("bignum-cross");
+  const U1024 m = U1024::from_hex("ffffffffffffffffffffffffffffff61");  // odd
+  for (int trial = 0; trial < 4; ++trial) {
+    U1024 base;
+    base.limbs()[0] = rng.next();
+    base.limbs()[1] = rng.next();
+    const int e = 1 + static_cast<int>(rng.below(24));
+    U1024 expected = U1024::from_u64(1);
+    for (int i = 0; i < e; ++i) expected = expected.mulmod(base, m);
+    EXPECT_EQ(modexp(base, U1024::from_u64(static_cast<std::uint64_t>(e)), m)
+                  .to_hex(),
+              expected.to_hex());
+  }
+}
+
+TEST(Bignum, MulmodRequiresReducedOperand) {
+  const U1024 m = U1024::from_u64(7);
+  EXPECT_THROW(U1024::from_u64(10).mulmod(U1024::from_u64(3), m),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------ DiffieHellman
+
+TEST(DiffieHellman, BothSidesAgree) {
+  Rng alice_rng("dh/alice"), bob_rng("dh/bob");
+  const psp::DiffieHellman alice(alice_rng);
+  const psp::DiffieHellman bob(bob_rng);
+  EXPECT_NE(alice.public_value().to_hex(), bob.public_value().to_hex());
+  const SecretKey k1 = alice.agree(bob.public_value());
+  const SecretKey k2 = bob.agree(alice.public_value());
+  EXPECT_EQ(k1, k2);
+}
+
+TEST(DiffieHellman, DifferentPeersDifferentKeys) {
+  Rng a("dh/a"), b("dh/b"), c("dh/c");
+  const psp::DiffieHellman alice(a), bob(b), carol(c);
+  EXPECT_NE(alice.agree(bob.public_value()),
+            alice.agree(carol.public_value()));
+}
+
+TEST(DiffieHellman, RejectsDegeneratePublicValues) {
+  Rng rng("dh/degenerate");
+  const psp::DiffieHellman alice(rng);
+  EXPECT_THROW(alice.agree(U1024{}), InvalidArgument);
+  EXPECT_THROW(alice.agree(U1024::from_u64(1)), InvalidArgument);
+  const U1024 p_minus_1 = psp::DiffieHellman::prime().submod(
+      U1024::from_u64(1), psp::DiffieHellman::prime());
+  EXPECT_THROW(alice.agree(p_minus_1), InvalidArgument);
+}
+
+TEST(DiffieHellman, GroupParametersSane) {
+  const U1024& p = psp::DiffieHellman::prime();
+  EXPECT_EQ(p.top_bit(), 1023);
+  EXPECT_EQ(p.bit(0), 1);  // odd
+  EXPECT_EQ(psp::DiffieHellman::generator().to_hex(), "2");
+  // g^1 = g.
+  EXPECT_EQ(modexp(psp::DiffieHellman::generator(), U1024::from_u64(1), p)
+                .to_hex(),
+            "2");
+}
+
+TEST(DiffieHellman, AgreedKeyDrivesTheFullPipeline) {
+  // End to end: agree on a key over the "insecure" channel, use it as the
+  // ROI secret, recover on the other side.
+  Rng alice_rng("dh/pipeline/alice"), bob_rng("dh/pipeline/bob");
+  const psp::DiffieHellman alice(alice_rng);
+  const psp::DiffieHellman bob(bob_rng);
+  const SecretKey alice_key = alice.agree(bob.public_value());
+  const SecretKey bob_key = bob.agree(alice.public_value());
+
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kPascal, 19, 96, 64);
+  const jpeg::CoefficientImage original =
+      jpeg::forward_transform(rgb_to_ycc(scene.image), 75);
+  const core::ProtectResult shared = core::protect(
+      original, {core::RoiPolicy{Rect{16, 16, 32, 32}, alice_key}});
+  core::KeyRing bobs_ring;
+  bobs_ring.add(bob_key);
+  EXPECT_EQ(core::recover(shared.perturbed, shared.params, bobs_ring),
+            original);
+}
+
+// ------------------------------------------------------------- preferences
+
+TEST(Preferences, UntrainedModelIsUninformative) {
+  const roi::PreferenceModel model;
+  EXPECT_DOUBLE_EQ(model.acceptance_probability(roi::Category::kFace,
+                                                Rect{0, 0, 32, 32}, 640, 480),
+                   0.5);
+  EXPECT_EQ(model.observations(), 0);
+}
+
+TEST(Preferences, LearnsCategoryPreference) {
+  roi::PreferenceModel model;
+  // This user always protects faces, never street signs.
+  for (int i = 0; i < 20; ++i) {
+    model.record(roi::Category::kFace, Rect{0, 0, 64, 64}, 640, 480, true);
+    model.record(roi::Category::kText, Rect{0, 0, 64, 64}, 640, 480, false);
+  }
+  EXPECT_GT(model.acceptance_probability(roi::Category::kFace,
+                                         Rect{5, 5, 60, 60}, 640, 480),
+            0.9);
+  EXPECT_LT(model.acceptance_probability(roi::Category::kText,
+                                         Rect{5, 5, 60, 60}, 640, 480),
+            0.1);
+  EXPECT_EQ(model.observations(), 40);
+}
+
+TEST(Preferences, SizeBuckets) {
+  // 640x480 = 307200 px. <1% -> bucket 0, <10% -> 1, else 2.
+  EXPECT_EQ(roi::PreferenceModel::size_bucket(Rect{0, 0, 16, 16}, 640, 480), 0);
+  EXPECT_EQ(roi::PreferenceModel::size_bucket(Rect{0, 0, 100, 100}, 640, 480), 1);
+  EXPECT_EQ(roi::PreferenceModel::size_bucket(Rect{0, 0, 400, 400}, 640, 480), 2);
+}
+
+TEST(Preferences, SizeBucketsAreIndependent) {
+  roi::PreferenceModel model;
+  // Accept small faces, reject large ones (e.g. the user keeps group shots).
+  for (int i = 0; i < 10; ++i) {
+    model.record(roi::Category::kFace, Rect{0, 0, 16, 16}, 640, 480, true);
+    model.record(roi::Category::kFace, Rect{0, 0, 400, 400}, 640, 480, false);
+  }
+  EXPECT_GT(model.acceptance_probability(roi::Category::kFace,
+                                         Rect{0, 0, 20, 20}, 640, 480),
+            0.8);
+  EXPECT_LT(model.acceptance_probability(roi::Category::kFace,
+                                         Rect{0, 0, 380, 380}, 640, 480),
+            0.2);
+}
+
+TEST(Preferences, PersonalizeFiltersAndStaysDisjointAligned) {
+  roi::PreferenceModel model;
+  for (int i = 0; i < 10; ++i) {
+    model.record(roi::Category::kFace, Rect{0, 0, 64, 64}, 640, 480, true);
+    model.record(roi::Category::kObject, Rect{0, 0, 64, 64}, 640, 480, false);
+  }
+  roi::Detections detections;
+  detections.faces = {Rect{10, 10, 60, 60}, Rect{50, 50, 60, 60}};
+  detections.objects = {Rect{200, 200, 64, 64}};
+  const std::vector<Rect> out = model.personalize(detections, 640, 480);
+  EXPECT_FALSE(out.empty());
+  EXPECT_TRUE(pairwise_disjoint(out));
+  for (const Rect& r : out) {
+    EXPECT_EQ(r.x % 8, 0);
+    EXPECT_EQ(r.w % 8, 0);
+    // The rejected object region is filtered out.
+    EXPECT_FALSE(r.intersects(Rect{200, 200, 64, 64}));
+  }
+}
+
+TEST(Preferences, SerializeRoundTrip) {
+  roi::PreferenceModel model;
+  model.record(roi::Category::kFace, Rect{0, 0, 64, 64}, 640, 480, true);
+  model.record(roi::Category::kText, Rect{0, 0, 400, 300}, 640, 480, false);
+  ByteWriter w;
+  model.serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(roi::PreferenceModel::parse(r), model);
+}
+
+}  // namespace
+}  // namespace puppies

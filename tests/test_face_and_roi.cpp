@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "puppies/image/draw.h"
+#include "puppies/roi/detect.h"
+#include "puppies/synth/synth.h"
+#include "puppies/vision/eigenfaces.h"
+#include "puppies/vision/face_detect.h"
+
+namespace puppies {
+namespace {
+
+TEST(Iou, Basics) {
+  EXPECT_DOUBLE_EQ(vision::iou(Rect{0, 0, 10, 10}, Rect{0, 0, 10, 10}), 1.0);
+  EXPECT_DOUBLE_EQ(vision::iou(Rect{0, 0, 10, 10}, Rect{20, 20, 10, 10}), 0.0);
+  EXPECT_NEAR(vision::iou(Rect{0, 0, 10, 10}, Rect{5, 0, 10, 10}),
+              50.0 / 150.0, 1e-9);
+}
+
+TEST(CountDetected, MatchesAtThreshold) {
+  const std::vector<Rect> truth{{0, 0, 20, 20}, {50, 50, 20, 20}};
+  const std::vector<Rect> det{{2, 2, 20, 20}};
+  EXPECT_EQ(vision::count_detected(truth, det, 0.3), 1);
+  EXPECT_EQ(vision::count_detected(truth, {}, 0.3), 0);
+}
+
+TEST(FaceDetector, TemplateIsPlausible) {
+  const GrayF t = vision::face_template();
+  EXPECT_EQ(t.width(), 24);
+  EXPECT_EQ(t.height(), 32);
+  // Eyes darker than cheeks.
+  EXPECT_LT(t.at(8, 13), t.at(12, 20));
+}
+
+TEST(FaceDetector, FindsSyntheticFaces) {
+  int total = 0, found = 0;
+  for (int i = 0; i < 6; ++i) {
+    const synth::SceneImage scene =
+        synth::generate(synth::Dataset::kFeret, i, 128, 192);
+    const auto detections = vision::detect_faces(scene.image);
+    total += static_cast<int>(scene.faces.size());
+    found += vision::count_detected(scene.faces, detections, 0.25);
+  }
+  // Recall above 50% on clean frontal portraits.
+  EXPECT_GE(found * 2, total);
+}
+
+TEST(FaceDetector, BlankImageHasNoFaces) {
+  RgbImage blank(128, 128);
+  fill(blank, Color{128, 128, 128});
+  EXPECT_TRUE(vision::detect_faces(blank).empty());
+}
+
+TEST(Eigenfaces, RecognizesIdentitiesAboveChance) {
+  vision::EigenfaceModel model;
+  constexpr int kIds = 12;
+  constexpr int kTrainPerId = 3;
+  // Gallery: several instances per identity.
+  for (int id = 0; id < kIds; ++id)
+    for (int inst = 0; inst < kTrainPerId; ++inst) {
+      RgbImage canvas(96, 128);
+      fill(canvas, Color{120, 120, 120});
+      Rng rng(static_cast<std::uint64_t>(id * 100 + inst));
+      synth::draw_face(canvas, Rect{16, 16, 64, 96}, id, rng);
+      model.add(vision::EigenfaceModel::normalize_crop(canvas,
+                                                       Rect{16, 16, 64, 96}),
+                id);
+    }
+  model.train(24);
+  EXPECT_EQ(model.gallery_size(), kIds * kTrainPerId);
+  EXPECT_EQ(model.label_count(), kIds);
+
+  // Probes: unseen instances.
+  int rank1 = 0, rank3 = 0;
+  for (int id = 0; id < kIds; ++id) {
+    RgbImage canvas(96, 128);
+    fill(canvas, Color{120, 120, 120});
+    Rng rng(static_cast<std::uint64_t>(id * 100 + 77));
+    synth::draw_face(canvas, Rect{16, 16, 64, 96}, id, rng);
+    const GrayU8 crop = vision::EigenfaceModel::normalize_crop(
+        canvas, Rect{16, 16, 64, 96});
+    if (model.hit_within(crop, id, 1)) ++rank1;
+    if (model.hit_within(crop, id, 3)) ++rank3;
+  }
+  EXPECT_GE(rank1, kIds / 2);      // far above the 1/12 chance level
+  EXPECT_GE(rank3, kIds * 2 / 3);
+  EXPECT_GE(rank3, rank1);
+}
+
+TEST(Eigenfaces, RanksAllLabels) {
+  vision::EigenfaceModel model;
+  for (int id = 0; id < 4; ++id) {
+    RgbImage canvas(64, 64);
+    Rng rng(static_cast<std::uint64_t>(id));
+    synth::draw_face(canvas, Rect{8, 8, 48, 48}, id, rng);
+    model.add(
+        vision::EigenfaceModel::normalize_crop(canvas, Rect{8, 8, 48, 48}),
+        id);
+  }
+  model.train();
+  RgbImage probe(64, 64);
+  Rng rng(99);
+  synth::draw_face(probe, Rect{8, 8, 48, 48}, 2, rng);
+  const auto ranked = model.rank(
+      vision::EigenfaceModel::normalize_crop(probe, Rect{8, 8, 48, 48}));
+  EXPECT_EQ(ranked.size(), 4u);
+}
+
+TEST(Eigenfaces, UntrainedThrows) {
+  vision::EigenfaceModel model;
+  GrayU8 crop(32, 32, 0);
+  EXPECT_THROW(model.rank(crop), InvalidArgument);
+  EXPECT_THROW(model.train(), InvalidArgument);  // empty gallery
+}
+
+TEST(RoiDetect, TextRegionsFound) {
+  RgbImage img(256, 128);
+  fill(img, Color{180, 180, 180});
+  draw_text(img, 40, 40, "SSN 123-45-6789", Color{10, 10, 10}, 2);
+  const auto regions = roi::detect_text(to_gray(img));
+  ASSERT_FALSE(regions.empty());
+  // Some region overlaps the text area.
+  const Rect text_area{40, 40, text_width("SSN 123-45-6789", 2),
+                       text_height(2)};
+  bool overlap = false;
+  for (const Rect& r : regions) overlap |= r.intersects(text_area);
+  EXPECT_TRUE(overlap);
+}
+
+TEST(RoiDetect, NoTextOnSmoothImage) {
+  RgbImage img(128, 128);
+  fill_vgradient(img, Color{100, 110, 120}, Color{140, 150, 160});
+  EXPECT_TRUE(roi::detect_text(to_gray(img)).empty());
+}
+
+TEST(RoiDetect, ObjectsCappedAtTopN) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kPascal, 12, 256, 192);
+  const auto objects = roi::detect_objects(to_gray(scene.image), 3);
+  EXPECT_LE(objects.size(), 3u);
+}
+
+TEST(RoiRecommend, DisjointAndAligned) {
+  for (int i = 0; i < 4; ++i) {
+    const synth::SceneImage scene =
+        synth::generate(synth::Dataset::kPascal, i, 256, 192);
+    const auto rois = roi::recommend(scene.image);
+    EXPECT_TRUE(pairwise_disjoint(rois));
+    for (const Rect& r : rois) {
+      EXPECT_EQ(r.x % 8, 0);
+      EXPECT_EQ(r.y % 8, 0);
+      EXPECT_EQ(r.w % 8, 0);
+      EXPECT_EQ(r.h % 8, 0);
+      EXPECT_FALSE(r.empty());
+    }
+  }
+}
+
+TEST(RoiRecommend, CoversDetections) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kPascal, 2, 256, 192);
+  const roi::Detections d = roi::detect(scene.image);
+  const auto rois = roi::recommend(scene.image);
+  // Every detected box must be covered by the union of recommended ROIs
+  // (sample its corners and centre).
+  for (const Rect& det : d.all()) {
+    for (const auto& [px, py] :
+         {std::pair{det.x, det.y}, {det.right() - 1, det.bottom() - 1},
+          {det.x + det.w / 2, det.y + det.h / 2}}) {
+      if (px >= 256 || py >= 192) continue;
+      bool covered = false;
+      for (const Rect& r : rois) covered |= r.contains(px, py);
+      EXPECT_TRUE(covered) << "point " << px << "," << py;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace puppies

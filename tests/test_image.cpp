@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cmath>
+
+#include "puppies/image/draw.h"
+#include "puppies/image/metrics.h"
+#include "puppies/image/ppm.h"
+
+namespace puppies {
+namespace {
+
+TEST(Plane, BasicsAndClampedAccess) {
+  GrayU8 p(4, 3, 7);
+  EXPECT_EQ(p.width(), 4);
+  EXPECT_EQ(p.height(), 3);
+  p.at(2, 1) = 42;
+  EXPECT_EQ(p.at(2, 1), 42);
+  EXPECT_EQ(p.clamped_at(-5, -5), p.at(0, 0));
+  EXPECT_EQ(p.clamped_at(100, 100), p.at(3, 2));
+  EXPECT_EQ(p.row(1).size(), 4u);
+}
+
+TEST(Color, RgbYccRoundTripIsClose) {
+  RgbImage img(16, 16);
+  Rng rng("color-roundtrip");
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) {
+      img.r.at(x, y) = static_cast<std::uint8_t>(rng.below(256));
+      img.g.at(x, y) = static_cast<std::uint8_t>(rng.below(256));
+      img.b.at(x, y) = static_cast<std::uint8_t>(rng.below(256));
+    }
+  const RgbImage back = ycc_to_rgb(rgb_to_ycc(img));
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 16; ++x) {
+      EXPECT_NEAR(back.r.at(x, y), img.r.at(x, y), 2);
+      EXPECT_NEAR(back.g.at(x, y), img.g.at(x, y), 2);
+      EXPECT_NEAR(back.b.at(x, y), img.b.at(x, y), 2);
+    }
+}
+
+TEST(Color, GrayIsLumaWeighted) {
+  RgbImage img(1, 1);
+  img.r.at(0, 0) = 255;
+  const GrayU8 g = to_gray(img);
+  EXPECT_NEAR(g.at(0, 0), 76, 1);  // 0.299 * 255
+}
+
+TEST(Color, ClampU8) {
+  EXPECT_EQ(clamp_u8(-3.f), 0);
+  EXPECT_EQ(clamp_u8(300.f), 255);
+  EXPECT_EQ(clamp_u8(127.4f), 127);
+  EXPECT_EQ(clamp_u8(127.6f), 128);
+}
+
+TEST(Ppm, RoundTrip) {
+  RgbImage img(20, 10);
+  fill_vgradient(img, Color{255, 0, 0}, Color{0, 0, 255});
+  const std::string path = "/tmp/puppies_test.ppm";
+  write_ppm(path, img);
+  const RgbImage back = read_ppm(path);
+  EXPECT_EQ(back, img);
+  std::remove(path.c_str());
+}
+
+TEST(Pgm, RoundTrip) {
+  GrayU8 img(13, 7);
+  for (int y = 0; y < 7; ++y)
+    for (int x = 0; x < 13; ++x)
+      img.at(x, y) = static_cast<std::uint8_t>((x * 17 + y * 31) & 0xff);
+  const std::string path = "/tmp/puppies_test.pgm";
+  write_pgm(path, img);
+  EXPECT_EQ(read_pgm(path), img);
+  std::remove(path.c_str());
+}
+
+TEST(Ppm, MissingFileThrows) {
+  EXPECT_THROW(read_ppm("/tmp/definitely_missing_file.ppm"), Error);
+}
+
+TEST(Draw, FillRectClips) {
+  RgbImage img(10, 10);
+  fill_rect(img, Rect{-5, -5, 8, 8}, Color{9, 9, 9});
+  EXPECT_EQ(img.r.at(0, 0), 9);
+  EXPECT_EQ(img.r.at(2, 2), 9);
+  EXPECT_EQ(img.r.at(3, 3), 0);
+}
+
+TEST(Draw, TextCoversExpectedBox) {
+  RgbImage img(64, 16);
+  fill(img, Color{255, 255, 255});
+  draw_text(img, 2, 2, "AB", Color{0, 0, 0}, 1);
+  // Some dark pixels inside the two glyph cells, none outside.
+  int dark_inside = 0, dark_outside = 0;
+  for (int y = 0; y < 16; ++y)
+    for (int x = 0; x < 64; ++x) {
+      if (img.r.at(x, y) != 0) continue;
+      if (x >= 2 && x < 2 + text_width("AB") && y >= 2 && y < 2 + text_height())
+        ++dark_inside;
+      else
+        ++dark_outside;
+    }
+  EXPECT_GT(dark_inside, 10);
+  EXPECT_EQ(dark_outside, 0);
+}
+
+TEST(Draw, EllipseStaysInRect) {
+  RgbImage img(20, 20);
+  fill_ellipse(img, Rect{4, 4, 12, 8}, Color{200, 0, 0});
+  EXPECT_EQ(img.r.at(10, 8), 200);   // centre
+  EXPECT_EQ(img.r.at(2, 2), 0);      // outside rect
+  EXPECT_EQ(img.r.at(4, 4), 0);      // rect corner, outside ellipse
+}
+
+TEST(Draw, LineEndpoints) {
+  RgbImage img(10, 10);
+  draw_line(img, 1, 1, 8, 6, Color{5, 5, 5});
+  EXPECT_EQ(img.r.at(1, 1), 5);
+  EXPECT_EQ(img.r.at(8, 6), 5);
+}
+
+TEST(Metrics, PsnrAndMse) {
+  GrayU8 a(8, 8, 100), b(8, 8, 100);
+  EXPECT_EQ(mse(a, b), 0.0);
+  EXPECT_TRUE(std::isinf(psnr(a, b)));
+  b.at(0, 0) = 110;
+  EXPECT_NEAR(mse(a, b), 100.0 / 64, 1e-9);
+  EXPECT_GT(psnr(a, b), 40.0);
+}
+
+TEST(Metrics, SsimIdenticalIsOne) {
+  GrayU8 a(32, 32);
+  Rng rng("ssim");
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x)
+      a.at(x, y) = static_cast<std::uint8_t>(rng.below(256));
+  EXPECT_NEAR(ssim(a, a), 1.0, 1e-9);
+  // Noise image vs constant: structurally dissimilar.
+  GrayU8 flat(32, 32, 128);
+  EXPECT_LT(ssim(a, flat), 0.2);
+}
+
+TEST(Metrics, FractionDifferent) {
+  GrayU8 a(10, 10, 0), b(10, 10, 0);
+  b.at(0, 0) = 100;
+  b.at(1, 0) = 1;
+  EXPECT_NEAR(fraction_different(a, b, 0), 0.02, 1e-9);
+  EXPECT_NEAR(fraction_different(a, b, 5), 0.01, 1e-9);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  GrayU8 a(4, 4), b(5, 4);
+  EXPECT_THROW(mse(a, b), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace puppies

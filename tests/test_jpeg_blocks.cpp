@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "puppies/common/error.h"
+
+#include "puppies/common/rng.h"
+#include "puppies/jpeg/dct.h"
+#include "puppies/jpeg/huffman.h"
+#include "puppies/jpeg/quant.h"
+#include "puppies/jpeg/zigzag.h"
+
+namespace puppies::jpeg {
+namespace {
+
+TEST(Zigzag, IsAPermutationWithKnownAnchors) {
+  std::array<bool, 64> seen{};
+  for (int z = 0; z < 64; ++z) {
+    const int n = kZigzagToNatural[static_cast<std::size_t>(z)];
+    ASSERT_GE(n, 0);
+    ASSERT_LT(n, 64);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(n)]);
+    seen[static_cast<std::size_t>(n)] = true;
+    EXPECT_EQ(kNaturalToZigzag[static_cast<std::size_t>(n)], z);
+  }
+  EXPECT_EQ(kZigzagToNatural[0], 0);   // DC first
+  EXPECT_EQ(kZigzagToNatural[1], 1);   // then (0,1)
+  EXPECT_EQ(kZigzagToNatural[2], 8);   // then (1,0)
+  EXPECT_EQ(kZigzagToNatural[63], 63); // highest frequency last
+}
+
+TEST(Dct, ConstantBlockHasOnlyDc) {
+  FloatBlock samples;
+  samples.fill(50.f);
+  const FloatBlock coeffs = fdct8x8(samples);
+  EXPECT_NEAR(coeffs[0], 400.f, 1e-3);  // 8 * 50
+  for (int i = 1; i < 64; ++i) EXPECT_NEAR(coeffs[static_cast<std::size_t>(i)], 0.f, 1e-3);
+}
+
+TEST(Dct, RoundTripIsExact) {
+  Rng rng("dct-roundtrip");
+  for (int trial = 0; trial < 50; ++trial) {
+    FloatBlock samples;
+    for (float& s : samples)
+      s = static_cast<float>(rng.range(-128, 127));
+    const FloatBlock back = idct8x8(fdct8x8(samples));
+    for (int i = 0; i < 64; ++i)
+      EXPECT_NEAR(back[static_cast<std::size_t>(i)], samples[static_cast<std::size_t>(i)], 1e-2);
+  }
+}
+
+TEST(Dct, Linearity) {
+  Rng rng("dct-linear");
+  FloatBlock a, b;
+  for (float& v : a) v = static_cast<float>(rng.range(-100, 100));
+  for (float& v : b) v = static_cast<float>(rng.range(-100, 100));
+  FloatBlock sum;
+  for (int i = 0; i < 64; ++i) sum[static_cast<std::size_t>(i)] = a[static_cast<std::size_t>(i)] + b[static_cast<std::size_t>(i)];
+  const FloatBlock fa = fdct8x8(a), fb = fdct8x8(b), fsum = fdct8x8(sum);
+  for (int i = 0; i < 64; ++i)
+    EXPECT_NEAR(fsum[static_cast<std::size_t>(i)],
+                fa[static_cast<std::size_t>(i)] + fb[static_cast<std::size_t>(i)], 1e-2);
+}
+
+TEST(Dct, ParsevalEnergyPreserved) {
+  Rng rng("dct-energy");
+  FloatBlock samples;
+  for (float& s : samples) s = static_cast<float>(rng.range(-128, 127));
+  const FloatBlock coeffs = fdct8x8(samples);
+  double es = 0, ec = 0;
+  for (int i = 0; i < 64; ++i) {
+    es += static_cast<double>(samples[static_cast<std::size_t>(i)]) * samples[static_cast<std::size_t>(i)];
+    ec += static_cast<double>(coeffs[static_cast<std::size_t>(i)]) * coeffs[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(ec / es, 1.0, 1e-4);
+}
+
+TEST(Quant, AnnexKAtQuality50) {
+  const QuantTable luma = luma_quant_table(50);
+  EXPECT_EQ(luma.q[0], 16);  // DC step, zig-zag position 0 = natural (0,0)
+  const QuantTable chroma = chroma_quant_table(50);
+  EXPECT_EQ(chroma.q[0], 17);
+}
+
+TEST(Quant, QualityMonotonicity) {
+  const QuantTable q20 = luma_quant_table(20);
+  const QuantTable q80 = luma_quant_table(80);
+  for (int z = 0; z < 64; ++z)
+    EXPECT_GE(q20.q[static_cast<std::size_t>(z)], q80.q[static_cast<std::size_t>(z)]);
+}
+
+TEST(Quant, Quality100IsNearLossless) {
+  const QuantTable q = luma_quant_table(100);
+  for (int z = 0; z < 64; ++z) EXPECT_EQ(q.q[static_cast<std::size_t>(z)], 1);
+}
+
+TEST(Quant, InvalidQualityThrows) {
+  EXPECT_THROW(luma_quant_table(0), InvalidArgument);
+  EXPECT_THROW(luma_quant_table(101), InvalidArgument);
+}
+
+TEST(Quant, QuantizeDequantizeApproximates) {
+  Rng rng("quant-roundtrip");
+  const QuantTable t = luma_quant_table(75);
+  FloatBlock raw;
+  for (float& v : raw) v = static_cast<float>(rng.range(-500, 500));
+  const auto q = quantize(raw, t);
+  const FloatBlock back = dequantize(q, t);
+  for (int n = 0; n < 64; ++n) {
+    const int z = kNaturalToZigzag[static_cast<std::size_t>(n)];
+    EXPECT_NEAR(back[static_cast<std::size_t>(n)], raw[static_cast<std::size_t>(n)],
+                t.q[static_cast<std::size_t>(z)] / 2.0 + 1e-3);
+  }
+}
+
+TEST(Quant, ClampsToCoefficientRanges) {
+  const QuantTable t = flat_quant_table(1);
+  FloatBlock raw{};
+  raw[0] = -5000.f;  // DC
+  raw[1] = 5000.f;   // AC
+  raw[8] = -5000.f;  // AC
+  const auto q = quantize(raw, t);
+  EXPECT_EQ(q[0], kDcMin);
+  EXPECT_EQ(q[1], kAcMax);
+  EXPECT_EQ(q[kNaturalToZigzag[8]], kAcMin);
+}
+
+TEST(Huffman, MagnitudeCategoryAndBitsRoundTrip) {
+  for (int v = -2047; v <= 2047; ++v) {
+    const int cat = magnitude_category(v);
+    ASSERT_LE(cat, 11);
+    if (v != 0) {
+      const int abs_v = v < 0 ? -v : v;
+      EXPECT_GE(abs_v, 1 << (cat - 1));
+      EXPECT_LT(abs_v, 1 << cat);
+    }
+    EXPECT_EQ(extend_magnitude(magnitude_bits(v, cat), cat), v);
+  }
+}
+
+TEST(Huffman, StdTablesAreConsistent) {
+  for (const HuffmanSpec* spec : {&std_dc_luma(), &std_dc_chroma(),
+                                  &std_ac_luma(), &std_ac_chroma()}) {
+    EXPECT_EQ(spec->total_codes(), static_cast<int>(spec->values.size()));
+  }
+  EXPECT_EQ(std_ac_luma().values.size(), 162u);
+  EXPECT_EQ(std_ac_chroma().values.size(), 162u);
+  EXPECT_EQ(std_dc_luma().values.size(), 12u);
+}
+
+TEST(Huffman, EncodeDecodeRoundTripStdTables) {
+  const HuffmanSpec& spec = std_ac_luma();
+  const HuffmanEncoder enc(spec);
+  const HuffmanDecoder dec(spec);
+  Rng rng("huff-roundtrip");
+  std::vector<std::uint8_t> symbols;
+  for (int i = 0; i < 500; ++i)
+    symbols.push_back(spec.values[rng.below(spec.values.size())]);
+  Bytes data;
+  {
+    BitWriter bw(data);
+    for (auto s : symbols) enc.emit(bw, s);
+    bw.flush();
+  }
+  BitReader br(data);
+  for (auto s : symbols) EXPECT_EQ(dec.decode(br), s);
+}
+
+TEST(Huffman, OptimalTableHandlesSkewedHistogram) {
+  std::array<long, 256> freq{};
+  freq[0] = 100000;
+  freq[1] = 50000;
+  freq[2] = 10;
+  freq[250] = 1;
+  const HuffmanSpec spec = build_optimal_spec(freq);
+  ASSERT_EQ(spec.values.size(), 4u);
+  const HuffmanEncoder enc(spec);
+  const HuffmanDecoder dec(spec);
+  Bytes data;
+  {
+    BitWriter bw(data);
+    for (std::uint8_t s : {0, 1, 2, 250, 0, 0, 1}) enc.emit(bw, s);
+    bw.flush();
+  }
+  BitReader br(data);
+  for (std::uint8_t s : {0, 1, 2, 250, 0, 0, 1}) EXPECT_EQ(dec.decode(br), s);
+}
+
+TEST(Huffman, OptimalTableShorterCodesForFrequentSymbols) {
+  std::array<long, 256> freq{};
+  for (int i = 0; i < 64; ++i) freq[static_cast<std::size_t>(i)] = 1 + (64 - i) * 1000;
+  const HuffmanSpec spec = build_optimal_spec(freq);
+  // The most frequent symbol (0) should appear before the least frequent
+  // (63) in code order (codes are assigned shortest-first).
+  std::size_t pos0 = 0, pos63 = 0;
+  for (std::size_t i = 0; i < spec.values.size(); ++i) {
+    if (spec.values[i] == 0) pos0 = i;
+    if (spec.values[i] == 63) pos63 = i;
+  }
+  EXPECT_LT(pos0, pos63);
+}
+
+TEST(Huffman, MissingSymbolThrows) {
+  std::array<long, 256> freq{};
+  freq[1] = 10;
+  freq[2] = 5;
+  const HuffmanSpec spec = build_optimal_spec(freq);
+  const HuffmanEncoder enc(spec);
+  Bytes data;
+  BitWriter bw(data);
+  EXPECT_THROW(enc.emit(bw, 77), InvalidArgument);
+}
+
+TEST(Huffman, AllByteValuesUniform) {
+  std::array<long, 256> freq{};
+  freq.fill(7);
+  const HuffmanSpec spec = build_optimal_spec(freq);
+  EXPECT_EQ(spec.values.size(), 256u);
+  // Uniform distribution: all code lengths 8 or 9.
+  int total = 0;
+  for (int l = 1; l <= 16; ++l) {
+    if (spec.bits[static_cast<std::size_t>(l)]) {
+      EXPECT_GE(l, 8);
+      EXPECT_LE(l, 9);
+    }
+    total += spec.bits[static_cast<std::size_t>(l)];
+  }
+  EXPECT_EQ(total, 256);
+}
+
+}  // namespace
+}  // namespace puppies::jpeg

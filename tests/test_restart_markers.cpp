@@ -1,0 +1,138 @@
+// DRI / RSTn restart markers: round trips, interop with perturbation, and
+// the error-containment property they exist for.
+#include <gtest/gtest.h>
+
+#include "puppies/common/error.h"
+#include "puppies/core/perturb.h"
+#include "puppies/image/metrics.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/synth/synth.h"
+
+namespace puppies::jpeg {
+namespace {
+
+CoefficientImage sample(int index = 0, int w = 96, int h = 64,
+                        ChromaMode mode = ChromaMode::k444) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kPascal, index, w, h);
+  return forward_transform(rgb_to_ycc(scene.image), 75, mode);
+}
+
+class RestartRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RestartRoundTrip, SerializeParseIsExact) {
+  const int interval = GetParam();
+  EncodeOptions opts;
+  opts.restart_interval = interval;
+  for (const ChromaMode mode : {ChromaMode::k444, ChromaMode::k420}) {
+    const CoefficientImage img = sample(1, 96, 64, mode);
+    const Bytes data = serialize(img, opts);
+    EXPECT_EQ(parse(data), img) << "interval " << interval;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, RestartRoundTrip,
+                         ::testing::Values(1, 2, 3, 7, 100),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "interval_" + std::to_string(info.param);
+                         });
+
+TEST(RestartMarkers, DriSegmentAndMarkersPresent) {
+  EncodeOptions opts;
+  opts.restart_interval = 2;
+  const Bytes data = serialize(sample(2), opts);
+  // DRI marker FF DD present.
+  bool dri = false, rst0 = false;
+  for (std::size_t i = 0; i + 1 < data.size(); ++i) {
+    if (data[i] == 0xff && data[i + 1] == 0xdd) dri = true;
+    if (data[i] == 0xff && data[i + 1] == 0xd0) rst0 = true;
+  }
+  EXPECT_TRUE(dri);
+  EXPECT_TRUE(rst0);
+}
+
+TEST(RestartMarkers, StandardTablesAlsoRoundTrip) {
+  EncodeOptions opts;
+  opts.restart_interval = 3;
+  opts.huffman = HuffmanMode::kStandard;
+  const CoefficientImage img = sample(3);
+  EXPECT_EQ(parse(serialize(img, opts)), img);
+}
+
+TEST(RestartMarkers, PerturbedImagesRoundTripWithRestarts) {
+  CoefficientImage img = sample(4, 128, 96);
+  const CoefficientImage original = img;
+  const core::MatrixPair keys =
+      core::MatrixPair::derive(SecretKey::from_label("rst"));
+  const core::PerturbOutcome outcome = core::perturb_roi(
+      img, Rect{16, 16, 64, 48}, keys, core::Scheme::kZero,
+      core::params_for(core::PrivacyLevel::kMedium));
+  EncodeOptions opts;
+  opts.restart_interval = 4;
+  CoefficientImage downloaded = parse(serialize(img, opts));
+  core::recover_roi(downloaded, Rect{16, 16, 64, 48}, keys,
+                    core::Scheme::kZero,
+                    core::params_for(core::PrivacyLevel::kMedium),
+                    outcome.zind);
+  EXPECT_EQ(downloaded, original);
+}
+
+TEST(RestartMarkers, OutOfSequenceMarkerRejected) {
+  EncodeOptions opts;
+  opts.restart_interval = 1;
+  Bytes data = serialize(sample(5), opts);
+  // Find the first RST0 marker and renumber it to RST5.
+  for (std::size_t i = 0; i + 1 < data.size(); ++i)
+    if (data[i] == 0xff && data[i + 1] == 0xd0) {
+      data[i + 1] = 0xd5;
+      break;
+    }
+  EXPECT_THROW(parse(data), ParseError);
+}
+
+TEST(RestartMarkers, ContainErrorPropagation) {
+  // Corrupt one byte mid-scan; with restarts, later intervals stay clean, so
+  // the decodable damage is bounded. Without restarts the same corruption
+  // usually kills (or garbles) the rest of the image.
+  const CoefficientImage img = sample(6, 160, 112);
+  const GrayU8 reference = to_gray(decode_to_rgb(img));
+
+  EncodeOptions with_rst;
+  with_rst.restart_interval = 2;
+  Bytes data = serialize(img, with_rst);
+
+  // Locate the entropy segment: corrupt a byte shortly after the first RST
+  // marker, then RESYNC: a real decoder skips to the next restart. Our
+  // strict decoder throws instead — assert that behaviour (documented), and
+  // assert the clean prefix decodes when truncating at marker boundaries is
+  // not possible. The containment property we can check directly: flipping a
+  // byte in the LAST restart interval leaves a stream whose parse either
+  // throws or yields an image identical to the original in the first half.
+  std::size_t last_rst = 0;
+  for (std::size_t i = 0; i + 1 < data.size(); ++i)
+    if (data[i] == 0xff && data[i + 1] >= 0xd0 && data[i + 1] <= 0xd7)
+      last_rst = i;
+  ASSERT_GT(last_rst, 0u);
+  ASSERT_LT(last_rst + 4, data.size());
+  data[last_rst + 3] ^= 0x55;
+
+  try {
+    const CoefficientImage damaged = parse(data);
+    const GrayU8 decoded = to_gray(decode_to_rgb(damaged));
+    // Top half (decoded before the damaged interval) must match exactly.
+    GrayU8 top_ref(reference.width(), reference.height() / 2);
+    GrayU8 top_dec(reference.width(), reference.height() / 2);
+    for (int y = 0; y < top_ref.height(); ++y)
+      for (int x = 0; x < top_ref.width(); ++x) {
+        top_ref.at(x, y) = reference.at(x, y);
+        top_dec.at(x, y) = decoded.at(x, y);
+      }
+    EXPECT_EQ(fraction_different(top_ref, top_dec, 0), 0.0);
+  } catch (const Error&) {
+    // Strict decoding may reject the damaged interval entirely — also fine.
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace puppies::jpeg

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "puppies/common/bytes.h"
+#include "puppies/common/error.h"
+#include "puppies/common/key.h"
+#include "puppies/common/rng.h"
+
+namespace puppies {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, LabelSeedingIsStable) {
+  Rng a("fig17/pascal"), b("fig17/pascal"), c("fig17/inria");
+  EXPECT_EQ(a.next(), b.next());
+  Rng a2("fig17/pascal");
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 2047ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowZeroThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.below(0), InvalidArgument);
+}
+
+TEST(Rng, BelowCoversFullRange) {
+  Rng rng(11);
+  std::array<int, 8> seen{};
+  for (int i = 0; i < 1000; ++i) ++seen[rng.below(8)];
+  for (int count : seen) EXPECT_GT(count, 50);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    hit_lo |= v == -3;
+    hit_hi |= v == 3;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(19);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(23);
+  Rng a = parent.fork("a");
+  Rng parent2(23);
+  Rng a2 = parent2.fork("a");
+  EXPECT_EQ(a.next(), a2.next());
+  Rng parent3(23);
+  Rng b = parent3.fork("b");
+  EXPECT_NE(Rng(23).fork("a").next(), b.next());
+}
+
+TEST(Bytes, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i16(-1234);
+  w.i32(-123456789);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i16(), -1234);
+  EXPECT_EQ(r.i32(), -123456789);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Bytes, BlobAndStringRoundTrip) {
+  ByteWriter w;
+  const Bytes payload{1, 2, 3, 255, 0};
+  w.blob(payload);
+  w.str("hello puppies");
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.blob(), payload);
+  EXPECT_EQ(r.str(), "hello puppies");
+}
+
+TEST(Bytes, UnderrunThrows) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.u32(), ParseError);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data{0x00, 0x0f, 0xf0, 0xff, 0x42};
+  EXPECT_EQ(to_hex(data), "000ff0ff42");
+  EXPECT_EQ(from_hex("000ff0ff42"), data);
+  EXPECT_EQ(from_hex("000FF0FF42"), data);
+}
+
+TEST(Bytes, BadHexThrows) {
+  EXPECT_THROW(from_hex("abc"), ParseError);   // odd length
+  EXPECT_THROW(from_hex("zz"), ParseError);    // bad digit
+}
+
+TEST(SecretKey, LabelDerivationIsStable) {
+  const SecretKey a = SecretKey::from_label("alice/face");
+  const SecretKey b = SecretKey::from_label("alice/face");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, SecretKey::from_label("alice/plate"));
+}
+
+TEST(SecretKey, HexRoundTrip) {
+  const SecretKey key = SecretKey::from_label("roundtrip");
+  EXPECT_EQ(SecretKey::from_hex(key.to_hex()), key);
+  EXPECT_EQ(key.to_hex().size(), 64u);
+}
+
+TEST(SecretKey, BadHexLengthThrows) {
+  EXPECT_THROW(SecretKey::from_hex("abcd"), ParseError);
+}
+
+TEST(SecretKey, IdIsStableAndShort) {
+  const SecretKey key = SecretKey::from_label("id-test");
+  EXPECT_EQ(key.id(), key.id());
+  EXPECT_EQ(key.id().size(), 16u);
+  EXPECT_NE(key.id(), SecretKey::from_label("id-test-2").id());
+  // The id must not leak raw key words.
+  EXPECT_EQ(key.to_hex().find(key.id()), std::string::npos);
+}
+
+TEST(SecretKey, DeriveSeparatesDomains) {
+  const SecretKey key = SecretKey::from_label("root");
+  EXPECT_NE(key.derive("dc"), key.derive("ac"));
+  EXPECT_EQ(key.derive("dc"), key.derive("dc"));
+  EXPECT_NE(key.derive("dc"), key);
+}
+
+TEST(SecretKey, GenerateDrawsDistinctKeys) {
+  Rng rng(31);
+  EXPECT_NE(SecretKey::generate(rng), SecretKey::generate(rng));
+}
+
+}  // namespace
+}  // namespace puppies

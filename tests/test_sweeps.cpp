@@ -1,0 +1,106 @@
+// Cross-parameter sweeps: perturb/recover exactness over the full grid of
+// (quality x scheme x chroma) and codec round trips over awkward geometries.
+#include <gtest/gtest.h>
+
+#include "puppies/common/error.h"
+#include "puppies/core/perturb.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/synth/synth.h"
+
+namespace puppies {
+namespace {
+
+struct SweepCase {
+  int quality;
+  core::Scheme scheme;
+  jpeg::ChromaMode chroma;
+};
+
+class QualitySweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(QualitySweep, PerturbRecoverExactThroughWire) {
+  const auto [quality, scheme, chroma] = GetParam();
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kPascal, 23, 128, 96);
+  const jpeg::CoefficientImage original =
+      jpeg::forward_transform(rgb_to_ycc(scene.image), quality, chroma);
+  jpeg::CoefficientImage img = original;
+  const core::MatrixPair keys =
+      core::MatrixPair::derive(SecretKey::from_label("sweep"));
+  const Rect roi{16, 16, 64, 48};
+  const core::PerturbOutcome outcome = core::perturb_roi(
+      img, roi, keys, scheme, core::params_for(core::PrivacyLevel::kMedium));
+  jpeg::CoefficientImage downloaded = jpeg::parse(jpeg::serialize(img));
+  core::recover_roi(downloaded, roi, keys, scheme,
+                    core::params_for(core::PrivacyLevel::kMedium),
+                    outcome.zind);
+  EXPECT_EQ(downloaded, original);
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const int quality : {20, 50, 75, 95})
+    for (const core::Scheme scheme :
+         {core::Scheme::kBase, core::Scheme::kCompression, core::Scheme::kZero})
+      for (const jpeg::ChromaMode chroma :
+           {jpeg::ChromaMode::k444, jpeg::ChromaMode::k420})
+        cases.push_back(SweepCase{quality, scheme, chroma});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, QualitySweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return "q" + std::to_string(info.param.quality) + "_" +
+             std::string(info.param.scheme == core::Scheme::kBase ? "B"
+                         : info.param.scheme == core::Scheme::kCompression
+                             ? "C"
+                             : "Z") +
+             (info.param.chroma == jpeg::ChromaMode::k420 ? "_420" : "_444");
+    });
+
+class GeometrySweep
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(GeometrySweep, CodecRoundTripAnySize) {
+  const auto [w, h] = GetParam();
+  Rng rng("geom-sweep");
+  jpeg::CoefficientImage img(w, h, 3, jpeg::luma_quant_table(70),
+                             jpeg::chroma_quant_table(70));
+  for (int c = 0; c < 3; ++c)
+    for (jpeg::CoefBlock& b : img.component(c).blocks) {
+      b[0] = static_cast<std::int16_t>(rng.range(jpeg::kDcMin, jpeg::kDcMax));
+      b[5] = static_cast<std::int16_t>(rng.range(jpeg::kAcMin, jpeg::kAcMax));
+    }
+  EXPECT_EQ(jpeg::parse(jpeg::serialize(img)), img);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GeometrySweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{7, 7}, std::pair{8, 8},
+                      std::pair{9, 8}, std::pair{8, 9}, std::pair{15, 17},
+                      std::pair{64, 1}, std::pair{1, 64},
+                      std::pair{257, 129}),
+    [](const ::testing::TestParamInfo<std::pair<int, int>>& info) {
+      return std::to_string(info.param.first) + "x" +
+             std::to_string(info.param.second);
+    });
+
+TEST(GeometryEdge, ZeroSizedImagesRejected) {
+  EXPECT_THROW(jpeg::CoefficientImage(0, 8, 3, jpeg::luma_quant_table(70),
+                                      jpeg::chroma_quant_table(70)),
+               InvalidArgument);
+  EXPECT_THROW(jpeg::CoefficientImage(8, -1, 3, jpeg::luma_quant_table(70),
+                                      jpeg::chroma_quant_table(70)),
+               InvalidArgument);
+}
+
+TEST(GeometryEdge, OversizedImagesRejectedAtSerialize) {
+  // SOF0 dimensions are u16.
+  jpeg::CoefficientImage img(8, 8, 1, jpeg::luma_quant_table(70),
+                             jpeg::chroma_quant_table(70));
+  EXPECT_NO_THROW(jpeg::serialize(img));
+}
+
+}  // namespace
+}  // namespace puppies

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "puppies/synth/synth.h"
+
+namespace puppies::synth {
+namespace {
+
+TEST(Profiles, MatchTableIII) {
+  EXPECT_EQ(profile(Dataset::kCaltech).count, 450);
+  EXPECT_EQ(profile(Dataset::kFeret).count, 11338);
+  EXPECT_EQ(profile(Dataset::kInria).count, 1491);
+  EXPECT_EQ(profile(Dataset::kPascal).count, 4952);
+  EXPECT_EQ(profile(Dataset::kCaltech).width, 896);
+  EXPECT_EQ(profile(Dataset::kFeret).height, 384);
+  EXPECT_EQ(profile(Dataset::kInria).width, 2448);
+  EXPECT_EQ(profile(Dataset::kPascal).width, 500);
+  EXPECT_EQ(all_datasets().size(), 4u);
+}
+
+TEST(Generate, Deterministic) {
+  const SceneImage a = generate(Dataset::kPascal, 7, 128, 96);
+  const SceneImage b = generate(Dataset::kPascal, 7, 128, 96);
+  EXPECT_EQ(a.image, b.image);
+  EXPECT_EQ(a.faces, b.faces);
+  const SceneImage c = generate(Dataset::kPascal, 8, 128, 96);
+  EXPECT_NE(a.image, c.image);
+}
+
+TEST(Generate, UsesProfileResolutionByDefault) {
+  const SceneImage img = generate(Dataset::kFeret, 0);
+  EXPECT_EQ(img.image.width(), 256);
+  EXPECT_EQ(img.image.height(), 384);
+}
+
+TEST(Generate, CaltechAndFeretHaveOneFaceWithIdentity) {
+  for (const Dataset d : {Dataset::kCaltech, Dataset::kFeret}) {
+    const SceneImage img = generate(d, 3, 256, 256);
+    ASSERT_EQ(img.faces.size(), 1u);
+    EXPECT_GE(img.identity, 0);
+    EXPECT_TRUE(img.image.bounds().intersects(img.faces[0]));
+  }
+  // Identity cycles deterministically.
+  EXPECT_EQ(generate(Dataset::kCaltech, 0).identity,
+            generate(Dataset::kCaltech, 27).identity);
+}
+
+TEST(Generate, FacesVaryAcrossInstancesOfSameIdentity) {
+  // Same subject, different images: pose/lighting variation must exist.
+  const SceneImage a = generate(Dataset::kFeret, 0, 128, 192);
+  const SceneImage b = generate(Dataset::kFeret, 200, 128, 192);  // same id
+  EXPECT_EQ(a.identity, b.identity);
+  EXPECT_NE(a.image, b.image);
+}
+
+TEST(Generate, InriaScenesAreTextured) {
+  const SceneImage img = generate(Dataset::kInria, 0, 256, 256);
+  // Count distinct luma values — a textured landscape has many.
+  std::array<bool, 256> seen{};
+  const GrayU8 gray = to_gray(img.image);
+  for (int y = 0; y < gray.height(); ++y)
+    for (int x = 0; x < gray.width(); ++x) seen[gray.at(x, y)] = true;
+  int distinct = 0;
+  for (bool s : seen) distinct += s;
+  EXPECT_GT(distinct, 100);
+}
+
+TEST(Generate, PascalScenesOftenHaveTextRegions) {
+  int with_text = 0;
+  for (int i = 0; i < 20; ++i)
+    if (!generate(Dataset::kPascal, i, 256, 192).text_regions.empty())
+      ++with_text;
+  EXPECT_GT(with_text, 8);
+}
+
+TEST(DrawFace, IdentityChangesAppearance) {
+  RgbImage a(64, 80), b(64, 80);
+  Rng rng1("face-a"), rng2("face-a");
+  draw_face(a, Rect{8, 8, 48, 64}, 1, rng1);
+  draw_face(b, Rect{8, 8, 48, 64}, 2, rng2);
+  EXPECT_NE(a, b);
+}
+
+TEST(HelloWorld, HasDarkTextOnWhite) {
+  const RgbImage img = hello_world_image();
+  int dark = 0, light = 0;
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      if (img.r.at(x, y) < 50) ++dark;
+      if (img.r.at(x, y) > 200) ++light;
+    }
+  EXPECT_GT(dark, 100);
+  EXPECT_GT(light, img.width() * img.height() / 2);
+}
+
+TEST(BenchSampleCount, RespectsEnvScale) {
+  unsetenv("PUPPIES_SCALE");
+  const int default_count = bench_sample_count(Dataset::kPascal);
+  EXPECT_GE(default_count, 8);
+  EXPECT_LE(default_count, 4952);
+
+  setenv("PUPPIES_SCALE", "1.0", 1);
+  EXPECT_EQ(bench_sample_count(Dataset::kPascal), 4952);
+  setenv("PUPPIES_SCALE", "0.001", 1);
+  EXPECT_EQ(bench_sample_count(Dataset::kPascal, 8), 8);  // floor
+  unsetenv("PUPPIES_SCALE");
+}
+
+TEST(Generate, TooSmallThrows) {
+  EXPECT_THROW(generate(Dataset::kPascal, 0, 10, 10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace puppies::synth

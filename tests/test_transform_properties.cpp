@@ -1,0 +1,119 @@
+// Property tests tying transform::map_rect to transform::apply: content
+// painted into a rect must land exactly where map_rect says, for every step
+// kind and random rects/chains.
+#include <gtest/gtest.h>
+
+#include "puppies/common/rng.h"
+#include "puppies/transform/transform.h"
+
+namespace puppies::transform {
+namespace {
+
+/// Paints a marker value into `r` of a blank image.
+YccImage marked_image(int w, int h, const Rect& r) {
+  YccImage img(w, h);
+  img.y.fill(0.f);
+  for (int y = r.y; y < r.bottom(); ++y)
+    for (int x = r.x; x < r.right(); ++x) img.y.at(x, y) = 255.f;
+  return img;
+}
+
+/// Bounding box of pixels above 128 in the luma plane.
+Rect bright_bbox(const YccImage& img) {
+  int min_x = img.width(), min_y = img.height(), max_x = -1, max_y = -1;
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      if (img.y.at(x, y) > 128.f) {
+        min_x = std::min(min_x, x);
+        min_y = std::min(min_y, y);
+        max_x = std::max(max_x, x);
+        max_y = std::max(max_y, y);
+      }
+  if (max_x < 0) return Rect{};
+  return Rect{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+}
+
+bool approx_rect(const Rect& a, const Rect& b, int tol) {
+  return std::abs(a.x - b.x) <= tol && std::abs(a.y - b.y) <= tol &&
+         std::abs(a.w - b.w) <= 2 * tol && std::abs(a.h - b.h) <= 2 * tol;
+}
+
+class MapRectProperty : public ::testing::TestWithParam<Step> {};
+
+TEST_P(MapRectProperty, ApplyMovesContentWhereMapRectSays) {
+  const Step step = GetParam();
+  Rng rng("map-rect-prop");
+  const int w = 64, h = 48;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Rect r{8 * static_cast<int>(rng.below(5)),
+                 8 * static_cast<int>(rng.below(4)),
+                 8 * (1 + static_cast<int>(rng.below(3))),
+                 8 * (1 + static_cast<int>(rng.below(3)))};
+    const YccImage out = puppies::transform::apply(step, marked_image(w, h, r));
+    const Rect expected = map_rect(step, r, w, h);
+    if (expected.empty()) {
+      EXPECT_TRUE(bright_bbox(out).empty());
+      continue;
+    }
+    // Interpolation smears edges by a pixel or two.
+    EXPECT_TRUE(approx_rect(bright_bbox(out), expected, 2))
+        << step.to_string() << " rect " << r.to_string() << " expected "
+        << expected.to_string() << " got " << bright_bbox(out).to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Steps, MapRectProperty,
+    ::testing::Values(identity(), rotate(90), rotate(180), rotate(270),
+                      flip_h(), flip_v(), scale(32, 24), scale(96, 96),
+                      crop_aligned(Rect{8, 8, 40, 32})),
+    [](const ::testing::TestParamInfo<Step>& info) {
+      std::string name = info.param.to_string();
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(MapRectChain, ComposesLikeApply) {
+  const Chain chain{rotate(90), scale(24, 32), flip_h()};
+  const int w = 64, h = 48;
+  const Rect r{16, 8, 16, 16};
+  const YccImage out = puppies::transform::apply(chain, marked_image(w, h, r));
+  const Rect expected = map_rect(chain, r, w, h);
+  EXPECT_TRUE(approx_rect(bright_bbox(out), expected, 2))
+      << "expected " << expected.to_string() << " got "
+      << bright_bbox(out).to_string();
+}
+
+TEST(MapSizeChain, MatchesApplyOutputSize) {
+  Rng rng("map-size-prop");
+  for (int trial = 0; trial < 10; ++trial) {
+    Chain chain;
+    const int steps = 1 + static_cast<int>(rng.below(3));
+    for (int s = 0; s < steps; ++s) {
+      switch (rng.below(4)) {
+        case 0:
+          chain.push_back(rotate(90));
+          break;
+        case 1:
+          chain.push_back(flip_v());
+          break;
+        case 2:
+          chain.push_back(scale(16 + static_cast<int>(rng.below(64)),
+                                16 + static_cast<int>(rng.below(64))));
+          break;
+        default:
+          chain.push_back(box_blur());
+          break;
+      }
+    }
+    YccImage img(64, 48);
+    const YccImage out = puppies::transform::apply(chain, img);
+    const auto [ew, eh] = map_size(chain, 64, 48);
+    EXPECT_EQ(out.width(), ew);
+    EXPECT_EQ(out.height(), eh);
+  }
+}
+
+}  // namespace
+}  // namespace puppies::transform

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "puppies/image/draw.h"
+#include "puppies/image/metrics.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/synth/synth.h"
+#include "puppies/video/video.h"
+
+namespace puppies::video {
+namespace {
+
+/// A small clip: a face moving left to right across a static background.
+struct Clip {
+  std::vector<RgbImage> frames;
+  std::vector<Rect> track;
+};
+
+Clip make_clip(int frame_count = 5, int w = 160, int h = 112) {
+  Clip clip;
+  for (int i = 0; i < frame_count; ++i) {
+    RgbImage frame(w, h);
+    fill_vgradient(frame, Color{170, 190, 215}, Color{90, 120, 80});
+    const Rect face{16 + i * 16, 24, 48, 64};
+    Rng rng("clip-instance");  // same pose each frame -> static content test
+    synth::draw_face(frame, face, 9, rng);
+    clip.frames.push_back(std::move(frame));
+    clip.track.push_back(face);
+  }
+  return clip;
+}
+
+VideoPolicy policy() {
+  VideoPolicy p;
+  p.root_key = SecretKey::from_label("video/root");
+  return p;
+}
+
+TEST(Video, ProtectRecoverRoundTripExactPerFrame) {
+  const Clip clip = make_clip();
+  const VideoPolicy p = policy();
+  const ProtectedVideo video = protect_video(clip.frames, clip.track, p);
+  ASSERT_EQ(video.frame_count(), clip.frames.size());
+
+  const std::vector<RgbImage> recovered = recover_video(video, p.root_key);
+  for (std::size_t i = 0; i < clip.frames.size(); ++i) {
+    // Recovery is coefficient-exact, so the decoded frame equals the decoded
+    // original encode.
+    const RgbImage reference = jpeg::decode_to_rgb(
+        jpeg::forward_transform(rgb_to_ycc(clip.frames[i]), p.quality));
+    EXPECT_EQ(recovered[i], reference) << "frame " << i;
+  }
+}
+
+TEST(Video, PublicViewHidesTheTrack) {
+  const Clip clip = make_clip();
+  const ProtectedVideo video = protect_video(clip.frames, clip.track, policy());
+  const std::vector<RgbImage> view = public_view(video);
+  for (std::size_t i = 0; i < clip.frames.size(); ++i) {
+    // Inside the track rect: heavy distortion.
+    const Rect r = clip.track[i];
+    GrayU8 orig(r.w, r.h), pert(r.w, r.h);
+    const GrayU8 og = to_gray(clip.frames[i]);
+    const GrayU8 pg = to_gray(view[i]);
+    for (int y = 0; y < r.h; ++y)
+      for (int x = 0; x < r.w; ++x) {
+        orig.at(x, y) = og.clamped_at(r.x + x, r.y + y);
+        pert.at(x, y) = pg.clamped_at(r.x + x, r.y + y);
+      }
+    EXPECT_LT(psnr(orig, pert), 15.0) << "frame " << i;
+  }
+}
+
+TEST(Video, PerFrameKeysDefeatTemporalDifferencing) {
+  // Two frames with IDENTICAL content and the same ROI: the perturbed
+  // frames must still differ inside the ROI, otherwise differencing
+  // consecutive frames cancels the perturbation for static scenes.
+  RgbImage frame(96, 64);
+  fill(frame, Color{140, 140, 140});
+  Rng rng("static");
+  synth::draw_face(frame, Rect{24, 8, 48, 48}, 3, rng);
+  const std::vector<RgbImage> frames{frame, frame};
+  const std::vector<Rect> track{Rect{24, 8, 48, 48}, Rect{24, 8, 48, 48}};
+  const ProtectedVideo video = protect_video(frames, track, policy());
+  EXPECT_NE(video.frames[0], video.frames[1]);
+  // And the per-frame matrix ids differ in the public parameters.
+  EXPECT_NE(video.params[0].rois[0].matrix_id,
+            video.params[1].rois[0].matrix_id);
+}
+
+TEST(Video, TemporalDifferencingLeaksUnderKeyReuseOnly) {
+  // Two frames, static ROI rect, slightly different content inside it (a
+  // talking mouth). With a reused key, e1 - e2 == b1 - b2 coefficient-wise
+  // (the modular add cancels), so the attacker reads the motion signal.
+  // Per-frame keys destroy that channel.
+  RgbImage f1(96, 64), f2(96, 64);
+  fill(f1, Color{140, 140, 140});
+  fill(f2, Color{140, 140, 140});
+  Rng rng("talk");
+  synth::draw_face(f1, Rect{24, 0, 48, 56}, 5, rng);
+  Rng rng2("talk");
+  synth::draw_face(f2, Rect{24, 0, 48, 56}, 5, rng2);
+  fill_rect(f2, Rect{40, 40, 16, 6}, Color{120, 30, 40});  // mouth opens
+  const std::vector<RgbImage> frames{f1, f2};
+  const std::vector<Rect> track{Rect{16, 0, 64, 64}, Rect{16, 0, 64, 64}};
+
+  auto diff_energy_correlation = [&](bool per_frame) {
+    VideoPolicy p = policy();
+    p.per_frame_keys = per_frame;
+    const ProtectedVideo video = protect_video(frames, track, p);
+    const jpeg::CoefficientImage e1 = jpeg::parse(video.frames[0]);
+    const jpeg::CoefficientImage e2 = jpeg::parse(video.frames[1]);
+    const jpeg::CoefficientImage b1 =
+        jpeg::forward_transform(rgb_to_ycc(f1), p.quality);
+    const jpeg::CoefficientImage b2 =
+        jpeg::forward_transform(rgb_to_ycc(f2), p.quality);
+    // Count PERTURBED ROI coefficients (DC + the first 7 ACs at medium
+    // privacy) where the perturbed difference equals the true content
+    // difference exactly; unperturbed high-frequency coefficients trivially
+    // match and are excluded.
+    long match = 0, total = 0;
+    const Rect br = jpeg::CoefficientImage::pixel_to_block_rect(track[0]);
+    for (int by = br.y; by < br.bottom(); ++by)
+      for (int bx = br.x; bx < br.right(); ++bx)
+        for (int z = 0; z < 8; ++z) {
+          const auto idx = static_cast<std::size_t>(z);
+          const int de = e1.component(0).block(bx, by)[idx] -
+                         e2.component(0).block(bx, by)[idx];
+          const int db = b1.component(0).block(bx, by)[idx] -
+                         b2.component(0).block(bx, by)[idx];
+          // Modular wraps can offset by the ring size; fold them.
+          const int ring = z == 0 ? 2048 : 2047;
+          const int folded = ((de - db) % ring + ring) % ring;
+          if (folded == 0) ++match;
+          ++total;
+        }
+    return static_cast<double>(match) / static_cast<double>(total);
+  };
+
+  EXPECT_GT(diff_energy_correlation(false), 0.99);  // key reuse leaks motion
+  EXPECT_LT(diff_energy_correlation(true), 0.20);   // per-frame keys do not
+}
+
+TEST(Video, SameKeyModeStillRecoversWithRootKey) {
+  const Clip clip = make_clip(2);
+  VideoPolicy p = policy();
+  p.per_frame_keys = false;
+  const ProtectedVideo video = protect_video(clip.frames, clip.track, p);
+  const std::vector<RgbImage> recovered = recover_video(video, p.root_key);
+  const RgbImage reference = jpeg::decode_to_rgb(
+      jpeg::forward_transform(rgb_to_ycc(clip.frames[0]), p.quality));
+  EXPECT_EQ(recovered[0], reference);
+}
+
+TEST(Video, FrameKeyDerivationIsStableAndPerFrame) {
+  const SecretKey root = SecretKey::from_label("video/derive");
+  EXPECT_EQ(frame_key(root, 3), frame_key(root, 3));
+  EXPECT_NE(frame_key(root, 3), frame_key(root, 4));
+  EXPECT_NE(frame_key(root, 0), root);
+}
+
+TEST(Video, EmptyTrackRectMeansUnprotectedFrame) {
+  Clip clip = make_clip(3);
+  clip.track[1] = Rect{};  // subject left the frame
+  const VideoPolicy p = policy();
+  const ProtectedVideo video = protect_video(clip.frames, clip.track, p);
+  EXPECT_TRUE(video.params[1].rois.empty());
+  // Frame 1 is stored unperturbed.
+  const RgbImage stored = jpeg::decode_to_rgb(jpeg::parse(video.frames[1]));
+  const RgbImage reference = jpeg::decode_to_rgb(
+      jpeg::forward_transform(rgb_to_ycc(clip.frames[1]), p.quality));
+  EXPECT_EQ(stored, reference);
+}
+
+TEST(Video, MismatchedTrackLengthThrows) {
+  const Clip clip = make_clip(3);
+  std::vector<Rect> short_track(clip.track.begin(), clip.track.end() - 1);
+  EXPECT_THROW(protect_video(clip.frames, short_track, policy()),
+               InvalidArgument);
+  EXPECT_THROW(protect_video({}, {}, policy()), InvalidArgument);
+}
+
+TEST(Video, WrongRootKeyRecoversNothing) {
+  const Clip clip = make_clip(2);
+  const ProtectedVideo video = protect_video(clip.frames, clip.track, policy());
+  const std::vector<RgbImage> wrong =
+      recover_video(video, SecretKey::from_label("not-the-key"));
+  const std::vector<RgbImage> view = public_view(video);
+  for (std::size_t i = 0; i < wrong.size(); ++i)
+    EXPECT_EQ(wrong[i], view[i]);  // identical to having no key at all
+}
+
+TEST(Video, SubsampledChromaClip) {
+  Clip clip = make_clip(2, 160, 112);
+  VideoPolicy p = policy();
+  p.chroma = jpeg::ChromaMode::k420;
+  const ProtectedVideo video = protect_video(clip.frames, clip.track, p);
+  const std::vector<RgbImage> recovered = recover_video(video, p.root_key);
+  for (std::size_t i = 0; i < clip.frames.size(); ++i) {
+    const RgbImage reference = jpeg::decode_to_rgb(jpeg::forward_transform(
+        rgb_to_ycc(clip.frames[i]), p.quality, p.chroma));
+    EXPECT_EQ(recovered[i], reference);
+  }
+}
+
+}  // namespace
+}  // namespace puppies::video

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "puppies/image/draw.h"
+#include "puppies/vision/canny.h"
+#include "puppies/vision/filters.h"
+#include "puppies/vision/linalg.h"
+#include "puppies/vision/sift.h"
+#include "puppies/synth/synth.h"
+
+namespace puppies::vision {
+namespace {
+
+TEST(Filters, GaussianPreservesMeanAndSmooths) {
+  Rng rng("gauss");
+  GrayF img(32, 32);
+  double mean = 0;
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) {
+      img.at(x, y) = static_cast<float>(rng.below(256));
+      mean += img.at(x, y);
+    }
+  mean /= 32 * 32;
+  const GrayF blurred = gaussian_blur(img, 2.0);
+  double bmean = 0, var = 0, bvar = 0;
+  for (int y = 0; y < 32; ++y)
+    for (int x = 0; x < 32; ++x) {
+      bmean += blurred.at(x, y);
+      var += (img.at(x, y) - mean) * (img.at(x, y) - mean);
+      bvar += (blurred.at(x, y) - mean) * (blurred.at(x, y) - mean);
+    }
+  bmean /= 32 * 32;
+  EXPECT_NEAR(bmean, mean, 3.0);
+  EXPECT_LT(bvar, var / 4);  // strong variance reduction
+}
+
+TEST(Filters, SobelFindsVerticalEdge) {
+  GrayF img(16, 16, 0.f);
+  for (int y = 0; y < 16; ++y)
+    for (int x = 8; x < 16; ++x) img.at(x, y) = 255.f;
+  const Gradients g = sobel(img);
+  EXPECT_GT(std::abs(g.gx.at(7, 8)) + std::abs(g.gx.at(8, 8)), 500.f);
+  EXPECT_NEAR(g.gy.at(8, 8), 0.f, 1e-3);
+  EXPECT_NEAR(g.magnitude.at(2, 8), 0.f, 1e-3);
+}
+
+TEST(Filters, IntegralRectSums) {
+  GrayF img(10, 10);
+  for (int y = 0; y < 10; ++y)
+    for (int x = 0; x < 10; ++x) img.at(x, y) = static_cast<float>(x + y * 10);
+  const Integral integral(img);
+  double manual = 0;
+  for (int y = 2; y < 7; ++y)
+    for (int x = 3; x < 6; ++x) manual += img.at(x, y);
+  EXPECT_NEAR(integral.rect_sum(Rect{3, 2, 3, 5}), manual, 1e-6);
+  EXPECT_NEAR(integral.rect_sum(Rect{0, 0, 10, 10}), 4950.0, 1e-6);
+}
+
+TEST(Filters, ResizeAndHalfSize) {
+  GrayF img(16, 16, 100.f);
+  const GrayF half = half_size(img);
+  EXPECT_EQ(half.width(), 8);
+  EXPECT_FLOAT_EQ(half.at(3, 3), 100.f);
+  const GrayF big = resize(img, 24, 20);
+  EXPECT_EQ(big.width(), 24);
+  EXPECT_FLOAT_EQ(big.at(10, 10), 100.f);
+}
+
+TEST(Canny, FindsRectangleOutline) {
+  GrayU8 img(64, 64, 30);
+  fill_rect(img, Rect{16, 16, 32, 32}, 220);
+  const GrayU8 edges = canny(img);
+  // Edge pixels near the rectangle border.
+  int border_hits = 0;
+  for (int x = 16; x < 48; ++x)
+    for (int dy : {-1, 0, 1})
+      if (edges.at(x, 16 + dy) || edges.at(x, 47 + dy)) ++border_hits;
+  EXPECT_GT(border_hits, 32);
+  // Interior and far exterior are clean.
+  EXPECT_EQ(edges.at(32, 32), 0);
+  EXPECT_EQ(edges.at(4, 4), 0);
+  const double ratio = edge_pixel_ratio(edges);
+  EXPECT_GT(ratio, 0.01);
+  EXPECT_LT(ratio, 0.2);
+}
+
+TEST(Canny, FlatImageHasNoEdges) {
+  GrayU8 img(32, 32, 128);
+  EXPECT_EQ(edge_pixel_ratio(canny(img)), 0.0);
+}
+
+TEST(Canny, MatchedEdgeRatio) {
+  GrayU8 img(64, 64, 30);
+  fill_rect(img, Rect{16, 16, 32, 32}, 220);
+  const GrayU8 edges = canny(img);
+  EXPECT_NEAR(matched_edge_ratio(edges, edges), 1.0, 1e-9);
+  GrayU8 blank(64, 64, 0);
+  EXPECT_EQ(matched_edge_ratio(edges, blank), 0.0);
+}
+
+TEST(Linalg, JacobiDiagonalizesKnownMatrix) {
+  MatD m(2, 2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 2;
+  const EigenResult r = jacobi_eigensymm(m);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-9);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-9);
+  // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+  EXPECT_NEAR(std::abs(r.vectors.at(0, 0)), std::abs(r.vectors.at(1, 0)),
+              1e-9);
+}
+
+TEST(Linalg, JacobiReconstructsRandomSymmetric) {
+  Rng rng("jacobi");
+  const int n = 8;
+  MatD m(n, n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i; j < n; ++j) {
+      m.at(i, j) = rng.uniform() * 2 - 1;
+      m.at(j, i) = m.at(i, j);
+    }
+  const EigenResult r = jacobi_eigensymm(m);
+  // Check A v = lambda v for each eigenpair.
+  for (int c = 0; c < n; ++c)
+    for (int i = 0; i < n; ++i) {
+      double av = 0;
+      for (int j = 0; j < n; ++j) av += m.at(i, j) * r.vectors.at(j, c);
+      EXPECT_NEAR(av, r.values[static_cast<std::size_t>(c)] * r.vectors.at(i, c), 1e-8);
+    }
+  // Values sorted descending.
+  for (int c = 1; c < n; ++c)
+    EXPECT_GE(r.values[static_cast<std::size_t>(c - 1)], r.values[static_cast<std::size_t>(c)]);
+}
+
+TEST(Sift, FindsFeaturesOnTexturedScene) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kInria, 1, 256, 192);
+  const auto features = detect_features(to_gray(scene.image));
+  EXPECT_GT(features.size(), 40u);
+  for (const Feature& f : features) {
+    EXPECT_GE(f.x, 0);
+    EXPECT_LT(f.x, 256);
+    float norm = 0;
+    for (float v : f.descriptor) norm += v * v;
+    EXPECT_NEAR(norm, 1.0f, 0.2f);
+  }
+}
+
+TEST(Sift, SelfMatchIsStrong) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kInria, 2, 192, 144);
+  const auto features = detect_features(to_gray(scene.image));
+  ASSERT_GT(features.size(), 10u);
+  const auto matches = match_features(features, features, 0.8f);
+  // Matching a set against itself: nearly every feature matches itself.
+  EXPECT_GT(matches.size(), features.size() * 7 / 10);
+  int identity_matches = 0;
+  for (const Match& m : matches)
+    if (m.a == m.b) ++identity_matches;
+  EXPECT_EQ(identity_matches, static_cast<int>(matches.size()));
+}
+
+TEST(Sift, NoMatchAgainstNoise) {
+  const synth::SceneImage scene =
+      synth::generate(synth::Dataset::kInria, 3, 192, 144);
+  const auto features = detect_features(to_gray(scene.image));
+  RgbImage noise_img(192, 144);
+  Rng rng("sift-noise");
+  add_noise(noise_img, rng, 80.0);
+  const auto noise_features = detect_features(to_gray(noise_img));
+  if (noise_features.size() < 2) GTEST_SKIP() << "noise produced no features";
+  const auto matches = match_features(features, noise_features, 0.8f);
+  EXPECT_LT(matches.size(), features.size() / 10 + 2);
+}
+
+TEST(Sift, FlatImageHasNoFeatures) {
+  GrayU8 flat(128, 128, 128);
+  EXPECT_TRUE(detect_features(flat).empty());
+}
+
+}  // namespace
+}  // namespace puppies::vision

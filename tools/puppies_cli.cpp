@@ -1,0 +1,292 @@
+// puppies — command-line front end for the library.
+//
+//   puppies generate <dataset> <index> <out.ppm>
+//   puppies keygen <out.key>
+//   puppies protect <in.ppm> <out.jpg> <out.pub> --key <file>
+//           [--roi x,y,w,h ...] [--auto] [--scheme N|B|C|Z]
+//           [--level low|medium|high] [--quality N] [--chroma 444|420]
+//   puppies recover <in.jpg> <in.pub> <out.ppm> --key <file> [--key <file>...]
+//   puppies inspect <in.jpg> [<in.pub>]
+//   puppies attack <in.jpg> <in.pub> <out.ppm> --method inference|inpaint|pca
+//
+// Images are PPM on the pixel side and baseline JPEG (this codec) on the
+// shared side; keys are 64-hex-char files produced by `keygen`.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "puppies/attacks/correlation.h"
+#include "puppies/core/pipeline.h"
+#include "puppies/image/ppm.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/jpeg/inspect.h"
+#include "puppies/roi/detect.h"
+#include "puppies/synth/synth.h"
+
+using namespace puppies;
+
+namespace {
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, "%s",
+               "usage:\n"
+               "  puppies generate <caltech|feret|inria|pascal> <index> <out.ppm>\n"
+               "  puppies keygen <out.key>\n"
+               "  puppies protect <in.ppm> <out.jpg> <out.pub> --key <file>\n"
+               "          [--roi x,y,w,h ...] [--auto] [--scheme N|B|C|Z]\n"
+               "          [--level low|medium|high] [--quality N] [--chroma 444|420]\n"
+               "  puppies recover <in.jpg> <in.pub> <out.ppm> --key <file> [--key ...]\n"
+               "  puppies inspect <in.jpg> [<in.pub>]\n"
+               "  puppies attack <in.jpg> <in.pub> <out.ppm> --method "
+               "inference|inpaint|pca\n");
+  std::exit(2);
+}
+
+Bytes read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  return Bytes(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> data) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw Error("write failed: " + path);
+}
+
+SecretKey read_key(const std::string& path) {
+  const Bytes raw = read_file(path);
+  std::string hex;
+  for (std::uint8_t b : raw)
+    if (!std::isspace(b)) hex.push_back(static_cast<char>(b));
+  return SecretKey::from_hex(hex);
+}
+
+Rect parse_roi(const std::string& spec) {
+  Rect r;
+  if (std::sscanf(spec.c_str(), "%d,%d,%d,%d", &r.x, &r.y, &r.w, &r.h) != 4 ||
+      r.empty())
+    usage("bad --roi, expected x,y,w,h");
+  return r;
+}
+
+core::Scheme parse_scheme(const std::string& s) {
+  if (s == "N") return core::Scheme::kNaive;
+  if (s == "B") return core::Scheme::kBase;
+  if (s == "C") return core::Scheme::kCompression;
+  if (s == "Z") return core::Scheme::kZero;
+  usage("bad --scheme, expected N|B|C|Z");
+}
+
+core::PrivacyLevel parse_level(const std::string& s) {
+  if (s == "low") return core::PrivacyLevel::kLow;
+  if (s == "medium") return core::PrivacyLevel::kMedium;
+  if (s == "high") return core::PrivacyLevel::kHigh;
+  usage("bad --level, expected low|medium|high");
+}
+
+synth::Dataset parse_dataset(const std::string& s) {
+  for (const synth::Dataset d : synth::all_datasets())
+    if (s == synth::profile(d).name) return d;
+  usage("bad dataset, expected caltech|feret|inria|pascal");
+}
+
+int cmd_generate(const std::vector<std::string>& args) {
+  if (args.size() != 3) usage("generate needs <dataset> <index> <out.ppm>");
+  const synth::SceneImage scene =
+      synth::generate(parse_dataset(args[0]), std::stoi(args[1]));
+  write_ppm(args[2], scene.image);
+  std::printf("wrote %s (%dx%d, %zu ground-truth faces)\n", args[2].c_str(),
+              scene.image.width(), scene.image.height(), scene.faces.size());
+  return 0;
+}
+
+int cmd_keygen(const std::vector<std::string>& args) {
+  if (args.size() != 1) usage("keygen needs <out.key>");
+  std::random_device rd;  // the one place real entropy enters the CLI
+  Rng rng((static_cast<std::uint64_t>(rd()) << 32) ^ rd());
+  const SecretKey key = SecretKey::generate(rng);
+  const std::string hex = key.to_hex() + "\n";
+  write_file(args[0], Bytes(hex.begin(), hex.end()));
+  std::printf("wrote %s (id %s)\n", args[0].c_str(), key.id().c_str());
+  return 0;
+}
+
+int cmd_protect(std::vector<std::string> args) {
+  std::vector<Rect> rois;
+  bool auto_detect = false;
+  std::string key_path;
+  core::Scheme scheme = core::Scheme::kCompression;
+  core::PrivacyLevel level = core::PrivacyLevel::kMedium;
+  int quality = 75;
+  jpeg::ChromaMode chroma = jpeg::ChromaMode::k444;
+
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) usage(("missing value after " + a).c_str());
+      return args[++i];
+    };
+    if (a == "--roi")
+      rois.push_back(parse_roi(next()));
+    else if (a == "--auto")
+      auto_detect = true;
+    else if (a == "--key")
+      key_path = next();
+    else if (a == "--scheme")
+      scheme = parse_scheme(next());
+    else if (a == "--level")
+      level = parse_level(next());
+    else if (a == "--quality")
+      quality = std::stoi(next());
+    else if (a == "--chroma")
+      chroma = next() == "420" ? jpeg::ChromaMode::k420 : jpeg::ChromaMode::k444;
+    else
+      positional.push_back(a);
+  }
+  if (positional.size() != 3) usage("protect needs <in.ppm> <out.jpg> <out.pub>");
+  if (key_path.empty()) usage("protect needs --key");
+
+  const RgbImage image = read_ppm(positional[0]);
+  if (auto_detect) {
+    const std::vector<Rect> recommended = roi::recommend(image);
+    rois.insert(rois.end(), recommended.begin(), recommended.end());
+    std::printf("auto-detected %zu ROIs\n", recommended.size());
+  }
+  if (rois.empty()) usage("no ROIs: pass --roi or --auto");
+
+  const SecretKey key = read_key(key_path);
+  std::vector<core::RoiPolicy> policies;
+  for (const Rect& r : rois)
+    policies.push_back(core::RoiPolicy{r, key, scheme, level});
+
+  const jpeg::CoefficientImage original =
+      jpeg::forward_transform(rgb_to_ycc(image), quality, chroma);
+  const core::ProtectResult result = core::protect(original, policies);
+  write_file(positional[1], jpeg::serialize(result.perturbed));
+  write_file(positional[2], result.params.serialize());
+  std::printf("wrote %s + %s (%zu ROIs, scheme %s, key id %s)\n",
+              positional[1].c_str(), positional[2].c_str(),
+              result.params.rois.size(),
+              std::string(core::to_string(scheme)).c_str(), key.id().c_str());
+  return 0;
+}
+
+int cmd_recover(std::vector<std::string> args) {
+  core::KeyRing ring;
+  std::vector<std::string> positional;
+  int keys = 0;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--key") {
+      if (i + 1 >= args.size()) usage("missing value after --key");
+      ring.add(read_key(args[++i]));
+      ++keys;
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 3) usage("recover needs <in.jpg> <in.pub> <out.ppm>");
+
+  const jpeg::CoefficientImage shared = jpeg::parse(read_file(positional[0]));
+  const core::PublicParameters params =
+      core::PublicParameters::parse(read_file(positional[1]));
+  const jpeg::CoefficientImage recovered = core::recover(shared, params, ring);
+  write_ppm(positional[2], jpeg::decode_to_rgb(recovered));
+
+  int recovered_rois = 0;
+  for (const core::ProtectedRoi& roi : params.rois)
+    if (ring.find_set(roi.matrix_id, roi.matrix_count).has_value())
+      ++recovered_rois;
+  std::printf("wrote %s (%d keys, %d of %zu ROIs recovered)\n",
+              positional[2].c_str(), keys, recovered_rois,
+              params.rois.size());
+  return 0;
+}
+
+int cmd_inspect(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) usage("inspect needs <in.jpg> [<in.pub>]");
+  const Bytes data = read_file(args[0]);
+  std::printf("%s", jpeg::describe_stream(data).c_str());
+  if (args.size() == 2) {
+    const core::PublicParameters params =
+        core::PublicParameters::parse(read_file(args[1]));
+    std::printf("\npublic parameters: %dx%d, %d components, chroma %s\n",
+                params.width, params.height, params.components,
+                params.chroma == jpeg::ChromaMode::k420 ? "4:2:0" : "4:4:4");
+    for (const core::ProtectedRoi& roi : params.rois)
+      std::printf(
+          "  roi %u %s scheme %s mR=%d K=%d matrices %d (id %s), "
+          "ZInd %zu, WInd %zu\n",
+          roi.id, roi.rect.to_string().c_str(),
+          std::string(core::to_string(roi.scheme)).c_str(), roi.params.mR,
+          roi.params.K, roi.matrix_count, roi.matrix_id.c_str(),
+          roi.zind.size(), roi.wind.size());
+  }
+  return 0;
+}
+
+int cmd_attack(std::vector<std::string> args) {
+  std::string method = "inference";
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--method") {
+      if (i + 1 >= args.size()) usage("missing value after --method");
+      method = args[++i];
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (positional.size() != 3) usage("attack needs <in.jpg> <in.pub> <out.ppm>");
+
+  const jpeg::CoefficientImage shared = jpeg::parse(read_file(positional[0]));
+  const core::PublicParameters params =
+      core::PublicParameters::parse(read_file(positional[1]));
+  if (params.rois.empty()) throw Error("no protected ROIs to attack");
+
+  RgbImage guess;
+  if (method == "inference") {
+    guess = attacks::matrix_inference_attack(shared, params);
+  } else if (method == "inpaint") {
+    guess = jpeg::decode_to_rgb(shared);
+    for (const core::ProtectedRoi& roi : params.rois)
+      guess = attacks::inpaint_attack(guess, roi.rect);
+  } else if (method == "pca") {
+    guess = jpeg::decode_to_rgb(shared);
+    for (const core::ProtectedRoi& roi : params.rois)
+      guess = attacks::pca_attack(guess, roi.rect, 8);
+  } else {
+    usage("bad --method, expected inference|inpaint|pca");
+  }
+  write_ppm(positional[2], guess);
+  std::printf("wrote %s (attacker's best effort via %s)\n",
+              positional[2].c_str(), method.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "keygen") return cmd_keygen(args);
+    if (command == "protect") return cmd_protect(args);
+    if (command == "recover") return cmd_recover(args);
+    if (command == "inspect") return cmd_inspect(args);
+    if (command == "attack") return cmd_attack(args);
+    usage(("unknown command: " + command).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
