@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/codec_throughput"
+  "../bench/codec_throughput.pdb"
+  "CMakeFiles/codec_throughput.dir/codec_throughput.cpp.o"
+  "CMakeFiles/codec_throughput.dir/codec_throughput.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/face_detection_attack"
+  "../bench/face_detection_attack.pdb"
+  "CMakeFiles/face_detection_attack.dir/face_detection_attack.cpp.o"
+  "CMakeFiles/face_detection_attack.dir/face_detection_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/face_detection_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

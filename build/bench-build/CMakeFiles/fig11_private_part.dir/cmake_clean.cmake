@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_private_part"
+  "../bench/fig11_private_part.pdb"
+  "CMakeFiles/fig11_private_part.dir/fig11_private_part.cpp.o"
+  "CMakeFiles/fig11_private_part.dir/fig11_private_part.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_private_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

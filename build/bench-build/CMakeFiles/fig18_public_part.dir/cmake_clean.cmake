@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_public_part"
+  "../bench/fig18_public_part.pdb"
+  "CMakeFiles/fig18_public_part.dir/fig18_public_part.cpp.o"
+  "CMakeFiles/fig18_public_part.dir/fig18_public_part.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_public_part.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

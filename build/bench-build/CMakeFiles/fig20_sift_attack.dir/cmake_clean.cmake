@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_sift_attack"
+  "../bench/fig20_sift_attack.pdb"
+  "CMakeFiles/fig20_sift_attack.dir/fig20_sift_attack.cpp.o"
+  "CMakeFiles/fig20_sift_attack.dir/fig20_sift_attack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_sift_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig21_edge_cdf"
+  "../bench/fig21_edge_cdf.pdb"
+  "CMakeFiles/fig21_edge_cdf.dir/fig21_edge_cdf.cpp.o"
+  "CMakeFiles/fig21_edge_cdf.dir/fig21_edge_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_edge_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig22_face_recognition"
+  "../bench/fig22_face_recognition.pdb"
+  "CMakeFiles/fig22_face_recognition.dir/fig22_face_recognition.cpp.o"
+  "CMakeFiles/fig22_face_recognition.dir/fig22_face_recognition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_face_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

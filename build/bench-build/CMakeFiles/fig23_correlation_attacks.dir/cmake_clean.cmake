@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig23_correlation_attacks"
+  "../bench/fig23_correlation_attacks.pdb"
+  "CMakeFiles/fig23_correlation_attacks.dir/fig23_correlation_attacks.cpp.o"
+  "CMakeFiles/fig23_correlation_attacks.dir/fig23_correlation_attacks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_correlation_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_transform_fidelity"
+  "../bench/fig4_transform_fidelity.pdb"
+  "CMakeFiles/fig4_transform_fidelity.dir/fig4_transform_fidelity.cpp.o"
+  "CMakeFiles/fig4_transform_fidelity.dir/fig4_transform_fidelity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_transform_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec6_securebits"
+  "../bench/sec6_securebits.pdb"
+  "CMakeFiles/sec6_securebits.dir/sec6_securebits.cpp.o"
+  "CMakeFiles/sec6_securebits.dir/sec6_securebits.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_securebits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_capabilities"
+  "../bench/table1_capabilities.pdb"
+  "CMakeFiles/table1_capabilities.dir/table1_capabilities.cpp.o"
+  "CMakeFiles/table1_capabilities.dir/table1_capabilities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_perturbed_size"
+  "../bench/table2_perturbed_size.pdb"
+  "CMakeFiles/table2_perturbed_size.dir/table2_perturbed_size.cpp.o"
+  "CMakeFiles/table2_perturbed_size.dir/table2_perturbed_size.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_perturbed_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_datasets"
+  "../bench/table3_datasets.pdb"
+  "CMakeFiles/table3_datasets.dir/table3_datasets.cpp.o"
+  "CMakeFiles/table3_datasets.dir/table3_datasets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

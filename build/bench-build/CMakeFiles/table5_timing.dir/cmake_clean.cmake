@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_timing"
+  "../bench/table5_timing.pdb"
+  "CMakeFiles/table5_timing.dir/table5_timing.cpp.o"
+  "CMakeFiles/table5_timing.dir/table5_timing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/video_extension"
+  "../bench/video_extension.pdb"
+  "CMakeFiles/video_extension.dir/video_extension.cpp.o"
+  "CMakeFiles/video_extension.dir/video_extension.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

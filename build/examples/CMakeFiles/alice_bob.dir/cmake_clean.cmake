@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alice_bob.dir/alice_bob.cpp.o"
+  "CMakeFiles/alice_bob.dir/alice_bob.cpp.o.d"
+  "alice_bob"
+  "alice_bob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alice_bob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for alice_bob.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for alice_bob.
+# This may be replaced when dependencies are built.

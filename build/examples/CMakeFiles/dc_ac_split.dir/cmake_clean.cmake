@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_ac_split.dir/dc_ac_split.cpp.o"
+  "CMakeFiles/dc_ac_split.dir/dc_ac_split.cpp.o.d"
+  "dc_ac_split"
+  "dc_ac_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_ac_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

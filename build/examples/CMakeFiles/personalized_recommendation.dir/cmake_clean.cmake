@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_recommendation.dir/personalized_recommendation.cpp.o"
+  "CMakeFiles/personalized_recommendation.dir/personalized_recommendation.cpp.o.d"
+  "personalized_recommendation"
+  "personalized_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

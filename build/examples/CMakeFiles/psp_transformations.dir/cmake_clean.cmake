@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psp_transformations.dir/psp_transformations.cpp.o"
+  "CMakeFiles/psp_transformations.dir/psp_transformations.cpp.o.d"
+  "psp_transformations"
+  "psp_transformations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psp_transformations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/roi_detection.cpp" "examples/CMakeFiles/roi_detection.dir/roi_detection.cpp.o" "gcc" "examples/CMakeFiles/roi_detection.dir/roi_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/puppies_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/puppies_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/jpeg/CMakeFiles/puppies_jpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/puppies_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/puppies_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/roi/CMakeFiles/puppies_roi.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/puppies_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/p3/CMakeFiles/puppies_p3.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/puppies_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attacks/CMakeFiles/puppies_attacks.dir/DependInfo.cmake"
+  "/root/repo/build/src/psp/CMakeFiles/puppies_psp.dir/DependInfo.cmake"
+  "/root/repo/build/src/video/CMakeFiles/puppies_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

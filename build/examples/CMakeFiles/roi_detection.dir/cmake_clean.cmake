@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roi_detection.dir/roi_detection.cpp.o"
+  "CMakeFiles/roi_detection.dir/roi_detection.cpp.o.d"
+  "roi_detection"
+  "roi_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roi_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_sharing.dir/video_sharing.cpp.o"
+  "CMakeFiles/video_sharing.dir/video_sharing.cpp.o.d"
+  "video_sharing"
+  "video_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

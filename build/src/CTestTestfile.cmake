@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("image")
+subdirs("jpeg")
+subdirs("transform")
+subdirs("synth")
+subdirs("roi")
+subdirs("vision")
+subdirs("p3")
+subdirs("core")
+subdirs("attacks")
+subdirs("psp")
+subdirs("video")

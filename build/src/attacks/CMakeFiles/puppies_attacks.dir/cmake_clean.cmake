@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_attacks.dir/bruteforce.cpp.o"
+  "CMakeFiles/puppies_attacks.dir/bruteforce.cpp.o.d"
+  "CMakeFiles/puppies_attacks.dir/correlation.cpp.o"
+  "CMakeFiles/puppies_attacks.dir/correlation.cpp.o.d"
+  "CMakeFiles/puppies_attacks.dir/judge.cpp.o"
+  "CMakeFiles/puppies_attacks.dir/judge.cpp.o.d"
+  "CMakeFiles/puppies_attacks.dir/search_demo.cpp.o"
+  "CMakeFiles/puppies_attacks.dir/search_demo.cpp.o.d"
+  "libpuppies_attacks.a"
+  "libpuppies_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_common.dir/bignum.cpp.o"
+  "CMakeFiles/puppies_common.dir/bignum.cpp.o.d"
+  "CMakeFiles/puppies_common.dir/bytes.cpp.o"
+  "CMakeFiles/puppies_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/puppies_common.dir/key.cpp.o"
+  "CMakeFiles/puppies_common.dir/key.cpp.o.d"
+  "CMakeFiles/puppies_common.dir/rng.cpp.o"
+  "CMakeFiles/puppies_common.dir/rng.cpp.o.d"
+  "libpuppies_common.a"
+  "libpuppies_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/matrix.cpp" "src/core/CMakeFiles/puppies_core.dir/matrix.cpp.o" "gcc" "src/core/CMakeFiles/puppies_core.dir/matrix.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/puppies_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/puppies_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/perturb.cpp" "src/core/CMakeFiles/puppies_core.dir/perturb.cpp.o" "gcc" "src/core/CMakeFiles/puppies_core.dir/perturb.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/puppies_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/puppies_core.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jpeg/CMakeFiles/puppies_jpeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/puppies_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/puppies_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/puppies_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

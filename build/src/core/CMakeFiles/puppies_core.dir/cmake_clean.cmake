@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_core.dir/matrix.cpp.o"
+  "CMakeFiles/puppies_core.dir/matrix.cpp.o.d"
+  "CMakeFiles/puppies_core.dir/params.cpp.o"
+  "CMakeFiles/puppies_core.dir/params.cpp.o.d"
+  "CMakeFiles/puppies_core.dir/perturb.cpp.o"
+  "CMakeFiles/puppies_core.dir/perturb.cpp.o.d"
+  "CMakeFiles/puppies_core.dir/pipeline.cpp.o"
+  "CMakeFiles/puppies_core.dir/pipeline.cpp.o.d"
+  "libpuppies_core.a"
+  "libpuppies_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

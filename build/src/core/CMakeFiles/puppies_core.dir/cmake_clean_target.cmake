@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpuppies_core.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_image.dir/draw.cpp.o"
+  "CMakeFiles/puppies_image.dir/draw.cpp.o.d"
+  "CMakeFiles/puppies_image.dir/geometry.cpp.o"
+  "CMakeFiles/puppies_image.dir/geometry.cpp.o.d"
+  "CMakeFiles/puppies_image.dir/image.cpp.o"
+  "CMakeFiles/puppies_image.dir/image.cpp.o.d"
+  "CMakeFiles/puppies_image.dir/metrics.cpp.o"
+  "CMakeFiles/puppies_image.dir/metrics.cpp.o.d"
+  "CMakeFiles/puppies_image.dir/ppm.cpp.o"
+  "CMakeFiles/puppies_image.dir/ppm.cpp.o.d"
+  "libpuppies_image.a"
+  "libpuppies_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

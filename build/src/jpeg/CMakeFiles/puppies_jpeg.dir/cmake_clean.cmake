@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_jpeg.dir/bitio.cpp.o"
+  "CMakeFiles/puppies_jpeg.dir/bitio.cpp.o.d"
+  "CMakeFiles/puppies_jpeg.dir/codec.cpp.o"
+  "CMakeFiles/puppies_jpeg.dir/codec.cpp.o.d"
+  "CMakeFiles/puppies_jpeg.dir/coeffs.cpp.o"
+  "CMakeFiles/puppies_jpeg.dir/coeffs.cpp.o.d"
+  "CMakeFiles/puppies_jpeg.dir/dct.cpp.o"
+  "CMakeFiles/puppies_jpeg.dir/dct.cpp.o.d"
+  "CMakeFiles/puppies_jpeg.dir/huffman.cpp.o"
+  "CMakeFiles/puppies_jpeg.dir/huffman.cpp.o.d"
+  "CMakeFiles/puppies_jpeg.dir/inspect.cpp.o"
+  "CMakeFiles/puppies_jpeg.dir/inspect.cpp.o.d"
+  "CMakeFiles/puppies_jpeg.dir/lossless.cpp.o"
+  "CMakeFiles/puppies_jpeg.dir/lossless.cpp.o.d"
+  "CMakeFiles/puppies_jpeg.dir/quant.cpp.o"
+  "CMakeFiles/puppies_jpeg.dir/quant.cpp.o.d"
+  "libpuppies_jpeg.a"
+  "libpuppies_jpeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_p3.dir/p3.cpp.o"
+  "CMakeFiles/puppies_p3.dir/p3.cpp.o.d"
+  "libpuppies_p3.a"
+  "libpuppies_p3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_p3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

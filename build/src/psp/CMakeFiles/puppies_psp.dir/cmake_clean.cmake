@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_psp.dir/key_exchange.cpp.o"
+  "CMakeFiles/puppies_psp.dir/key_exchange.cpp.o.d"
+  "CMakeFiles/puppies_psp.dir/psp.cpp.o"
+  "CMakeFiles/puppies_psp.dir/psp.cpp.o.d"
+  "CMakeFiles/puppies_psp.dir/session.cpp.o"
+  "CMakeFiles/puppies_psp.dir/session.cpp.o.d"
+  "libpuppies_psp.a"
+  "libpuppies_psp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_psp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

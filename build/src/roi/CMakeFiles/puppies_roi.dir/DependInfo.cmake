@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roi/detect.cpp" "src/roi/CMakeFiles/puppies_roi.dir/detect.cpp.o" "gcc" "src/roi/CMakeFiles/puppies_roi.dir/detect.cpp.o.d"
+  "/root/repo/src/roi/preferences.cpp" "src/roi/CMakeFiles/puppies_roi.dir/preferences.cpp.o" "gcc" "src/roi/CMakeFiles/puppies_roi.dir/preferences.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vision/CMakeFiles/puppies_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/puppies_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/puppies_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_roi.dir/detect.cpp.o"
+  "CMakeFiles/puppies_roi.dir/detect.cpp.o.d"
+  "CMakeFiles/puppies_roi.dir/preferences.cpp.o"
+  "CMakeFiles/puppies_roi.dir/preferences.cpp.o.d"
+  "libpuppies_roi.a"
+  "libpuppies_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

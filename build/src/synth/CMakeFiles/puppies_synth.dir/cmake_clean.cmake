@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_synth.dir/faces.cpp.o"
+  "CMakeFiles/puppies_synth.dir/faces.cpp.o.d"
+  "CMakeFiles/puppies_synth.dir/scenes.cpp.o"
+  "CMakeFiles/puppies_synth.dir/scenes.cpp.o.d"
+  "libpuppies_synth.a"
+  "libpuppies_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

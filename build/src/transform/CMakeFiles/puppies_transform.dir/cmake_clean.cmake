@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_transform.dir/transform.cpp.o"
+  "CMakeFiles/puppies_transform.dir/transform.cpp.o.d"
+  "libpuppies_transform.a"
+  "libpuppies_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_video.dir/video.cpp.o"
+  "CMakeFiles/puppies_video.dir/video.cpp.o.d"
+  "libpuppies_video.a"
+  "libpuppies_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

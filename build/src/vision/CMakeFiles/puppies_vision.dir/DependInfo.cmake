@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/canny.cpp" "src/vision/CMakeFiles/puppies_vision.dir/canny.cpp.o" "gcc" "src/vision/CMakeFiles/puppies_vision.dir/canny.cpp.o.d"
+  "/root/repo/src/vision/eigenfaces.cpp" "src/vision/CMakeFiles/puppies_vision.dir/eigenfaces.cpp.o" "gcc" "src/vision/CMakeFiles/puppies_vision.dir/eigenfaces.cpp.o.d"
+  "/root/repo/src/vision/face_detect.cpp" "src/vision/CMakeFiles/puppies_vision.dir/face_detect.cpp.o" "gcc" "src/vision/CMakeFiles/puppies_vision.dir/face_detect.cpp.o.d"
+  "/root/repo/src/vision/filters.cpp" "src/vision/CMakeFiles/puppies_vision.dir/filters.cpp.o" "gcc" "src/vision/CMakeFiles/puppies_vision.dir/filters.cpp.o.d"
+  "/root/repo/src/vision/linalg.cpp" "src/vision/CMakeFiles/puppies_vision.dir/linalg.cpp.o" "gcc" "src/vision/CMakeFiles/puppies_vision.dir/linalg.cpp.o.d"
+  "/root/repo/src/vision/sift.cpp" "src/vision/CMakeFiles/puppies_vision.dir/sift.cpp.o" "gcc" "src/vision/CMakeFiles/puppies_vision.dir/sift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/puppies_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/puppies_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

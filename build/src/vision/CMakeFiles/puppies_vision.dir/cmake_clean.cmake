@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies_vision.dir/canny.cpp.o"
+  "CMakeFiles/puppies_vision.dir/canny.cpp.o.d"
+  "CMakeFiles/puppies_vision.dir/eigenfaces.cpp.o"
+  "CMakeFiles/puppies_vision.dir/eigenfaces.cpp.o.d"
+  "CMakeFiles/puppies_vision.dir/face_detect.cpp.o"
+  "CMakeFiles/puppies_vision.dir/face_detect.cpp.o.d"
+  "CMakeFiles/puppies_vision.dir/filters.cpp.o"
+  "CMakeFiles/puppies_vision.dir/filters.cpp.o.d"
+  "CMakeFiles/puppies_vision.dir/linalg.cpp.o"
+  "CMakeFiles/puppies_vision.dir/linalg.cpp.o.d"
+  "CMakeFiles/puppies_vision.dir/sift.cpp.o"
+  "CMakeFiles/puppies_vision.dir/sift.cpp.o.d"
+  "libpuppies_vision.a"
+  "libpuppies_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

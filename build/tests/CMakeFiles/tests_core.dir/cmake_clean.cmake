@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/test_core_matrix.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_matrix.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_core_perturb.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_perturb.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_core_pipeline.cpp.o"
+  "CMakeFiles/tests_core.dir/test_core_pipeline.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_transform.cpp.o"
+  "CMakeFiles/tests_core.dir/test_transform.cpp.o.d"
+  "CMakeFiles/tests_core.dir/test_transform_properties.cpp.o"
+  "CMakeFiles/tests_core.dir/test_transform_properties.cpp.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_foundation.dir/test_geometry.cpp.o"
+  "CMakeFiles/tests_foundation.dir/test_geometry.cpp.o.d"
+  "CMakeFiles/tests_foundation.dir/test_image.cpp.o"
+  "CMakeFiles/tests_foundation.dir/test_image.cpp.o.d"
+  "CMakeFiles/tests_foundation.dir/test_rng.cpp.o"
+  "CMakeFiles/tests_foundation.dir/test_rng.cpp.o.d"
+  "tests_foundation"
+  "tests_foundation.pdb"
+  "tests_foundation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_foundation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_jpeg.dir/test_chroma420.cpp.o"
+  "CMakeFiles/tests_jpeg.dir/test_chroma420.cpp.o.d"
+  "CMakeFiles/tests_jpeg.dir/test_jpeg_blocks.cpp.o"
+  "CMakeFiles/tests_jpeg.dir/test_jpeg_blocks.cpp.o.d"
+  "CMakeFiles/tests_jpeg.dir/test_jpeg_codec.cpp.o"
+  "CMakeFiles/tests_jpeg.dir/test_jpeg_codec.cpp.o.d"
+  "CMakeFiles/tests_jpeg.dir/test_restart_markers.cpp.o"
+  "CMakeFiles/tests_jpeg.dir/test_restart_markers.cpp.o.d"
+  "CMakeFiles/tests_jpeg.dir/test_sweeps.cpp.o"
+  "CMakeFiles/tests_jpeg.dir/test_sweeps.cpp.o.d"
+  "tests_jpeg"
+  "tests_jpeg.pdb"
+  "tests_jpeg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_jpeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_system.dir/test_extensions.cpp.o"
+  "CMakeFiles/tests_system.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/tests_system.dir/test_p3.cpp.o"
+  "CMakeFiles/tests_system.dir/test_p3.cpp.o.d"
+  "CMakeFiles/tests_system.dir/test_psp.cpp.o"
+  "CMakeFiles/tests_system.dir/test_psp.cpp.o.d"
+  "CMakeFiles/tests_system.dir/test_robustness.cpp.o"
+  "CMakeFiles/tests_system.dir/test_robustness.cpp.o.d"
+  "CMakeFiles/tests_system.dir/test_session.cpp.o"
+  "CMakeFiles/tests_system.dir/test_session.cpp.o.d"
+  "CMakeFiles/tests_system.dir/test_synth.cpp.o"
+  "CMakeFiles/tests_system.dir/test_synth.cpp.o.d"
+  "CMakeFiles/tests_system.dir/test_video.cpp.o"
+  "CMakeFiles/tests_system.dir/test_video.cpp.o.d"
+  "tests_system"
+  "tests_system.pdb"
+  "tests_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_vision.dir/test_attacks.cpp.o"
+  "CMakeFiles/tests_vision.dir/test_attacks.cpp.o.d"
+  "CMakeFiles/tests_vision.dir/test_face_and_roi.cpp.o"
+  "CMakeFiles/tests_vision.dir/test_face_and_roi.cpp.o.d"
+  "CMakeFiles/tests_vision.dir/test_vision.cpp.o"
+  "CMakeFiles/tests_vision.dir/test_vision.cpp.o.d"
+  "tests_vision"
+  "tests_vision.pdb"
+  "tests_vision[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tests_foundation[1]_include.cmake")
+include("/root/repo/build/tests/tests_jpeg[1]_include.cmake")
+include("/root/repo/build/tests/tests_core[1]_include.cmake")
+include("/root/repo/build/tests/tests_system[1]_include.cmake")
+include("/root/repo/build/tests/tests_vision[1]_include.cmake")

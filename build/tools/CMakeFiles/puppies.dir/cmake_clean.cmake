@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puppies.dir/puppies_cli.cpp.o"
+  "CMakeFiles/puppies.dir/puppies_cli.cpp.o.d"
+  "puppies"
+  "puppies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puppies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

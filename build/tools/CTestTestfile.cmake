@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "bash" "-c" "set -e; cd \$(mktemp -d);     /root/repo/build/tools/puppies generate pascal 0 photo.ppm;     /root/repo/build/tools/puppies keygen k.key;     /root/repo/build/tools/puppies protect photo.ppm s.jpg s.pub --key k.key --roi 64,64,96,64 --chroma 420;     /root/repo/build/tools/puppies inspect s.jpg s.pub > /dev/null;     /root/repo/build/tools/puppies recover s.jpg s.pub out.ppm --key k.key;     /root/repo/build/tools/puppies attack s.jpg s.pub atk.ppm --method inference")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_errors "bash" "-c" "! /root/repo/build/tools/puppies protect 2>/dev/null && ! /root/repo/build/tools/puppies bogus 2>/dev/null")
+set_tests_properties(cli_usage_errors PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
