@@ -1,6 +1,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +64,63 @@ inline void print_stats_row(const char* label, const Stats& s) {
 inline void print_stats_heading(const char* first_col) {
   std::printf("%-28s %8s %8s %8s %8s %8s\n", first_col, "mean", "median",
               "std", "min", "max");
+}
+
+/// Best-of-N wall time of fn() in milliseconds.
+template <typename Fn>
+inline double min_ms(int reps, Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// One timed stage at one thread count, for the BENCH_*.json trajectory
+/// files. mp_per_s <= 0 omits the throughput field.
+struct StageRecord {
+  std::string stage;
+  int threads = 1;
+  double ms = 0;
+  double mp_per_s = 0;
+};
+
+/// Writes the machine-readable perf record next to the bench's stdout
+/// report. One JSON object per file, stages as a flat array, so the perf
+/// trajectory is trivially diffable across PRs.
+inline void write_bench_json(const char* path, const char* bench, int width,
+                             int height, int hardware_threads,
+                             const std::vector<StageRecord>& stages,
+                             bool byte_identical, double speedup) {
+  std::FILE* f = std::fopen(path, "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench);
+  std::fprintf(f,
+               "  \"image\": {\"width\": %d, \"height\": %d, "
+               "\"megapixels\": %.3f},\n",
+               width, height, width * height / 1e6);
+  std::fprintf(f, "  \"hardware_threads\": %d,\n", hardware_threads);
+  std::fprintf(f, "  \"stages\": [\n");
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageRecord& s = stages[i];
+    std::fprintf(f, "    {\"stage\": \"%s\", \"threads\": %d, \"ms\": %.3f",
+                 s.stage.c_str(), s.threads, s.ms);
+    if (s.mp_per_s > 0) std::fprintf(f, ", \"mp_per_s\": %.3f", s.mp_per_s);
+    std::fprintf(f, "}%s\n", i + 1 < stages.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"output_byte_identical\": %s,\n",
+               byte_identical ? "true" : "false");
+  std::fprintf(f, "  \"speedup_vs_1_thread\": %.3f\n}\n", speedup);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
 }
 
 }  // namespace puppies::bench

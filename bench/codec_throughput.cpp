@@ -2,8 +2,11 @@
 // every experiment sits on (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "bench_common.h"
 #include "puppies/core/perturb.h"
+#include "puppies/exec/pool.h"
 #include "puppies/jpeg/dct.h"
 
 using namespace puppies;
@@ -90,6 +93,68 @@ void BM_PerturbRoiQuarterImage(benchmark::State& state) {
 }
 BENCHMARK(BM_PerturbRoiQuarterImage)->Unit(benchmark::kMillisecond);
 
+/// Thread-scaling sweep over the block-parallel codec on a >= 1 MP image;
+/// records ms and MP/s per stage at 1 and N threads into BENCH_codec.json
+/// and checks the determinism contract (byte-identical serialize output).
+void emit_codec_json() {
+  // 1184 x 888 = 1.05 MP, both dimensions multiples of 16.
+  const int w = 1184, h = 888;
+  const synth::SceneImage big =
+      synth::generate(synth::Dataset::kPascal, 0, w, h);
+  const YccImage ycc = rgb_to_ycc(big.image);
+  const double mp = w * h / 1e6;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int n_threads =
+      static_cast<int>(std::max(4u, hw > 0 ? hw : 1u));
+
+  std::vector<bench::StageRecord> stages;
+  Bytes bytes_at_1;
+  bool identical = true;
+  double fwd_inv_ms_1 = 0, fwd_inv_ms_n = 0;
+
+  for (const int threads : {1, n_threads}) {
+    exec::configure(exec::Config{threads});
+    jpeg::CoefficientImage coeffs = jpeg::forward_transform(ycc, 75);
+
+    const double fwd_ms =
+        bench::min_ms(3, [&] { coeffs = jpeg::forward_transform(ycc, 75); });
+    YccImage decoded;
+    const double inv_ms =
+        bench::min_ms(3, [&] { decoded = jpeg::inverse_transform(coeffs); });
+
+    stages.push_back({"forward_transform", threads, fwd_ms,
+                      mp / (fwd_ms / 1e3)});
+    stages.push_back({"inverse_transform", threads, inv_ms,
+                      mp / (inv_ms / 1e3)});
+    stages.push_back({"forward_plus_inverse", threads, fwd_ms + inv_ms,
+                      mp / ((fwd_ms + inv_ms) / 1e3)});
+    if (threads == 1) {
+      fwd_inv_ms_1 = fwd_ms + inv_ms;
+      bytes_at_1 = jpeg::serialize(coeffs);
+    } else {
+      fwd_inv_ms_n = fwd_ms + inv_ms;
+      identical = jpeg::serialize(coeffs) == bytes_at_1;
+    }
+  }
+  exec::configure(exec::Config{});
+
+  const double speedup = fwd_inv_ms_n > 0 ? fwd_inv_ms_1 / fwd_inv_ms_n : 0;
+  std::printf(
+      "codec scaling: forward+inverse %.1f ms @1 thread, %.1f ms @%d "
+      "threads (%.2fx, hardware_concurrency=%u), serialize %s\n",
+      fwd_inv_ms_1, fwd_inv_ms_n, n_threads, speedup, hw,
+      identical ? "byte-identical" : "DIVERGED");
+  bench::write_bench_json("BENCH_codec.json", "codec_throughput", w, h,
+                          static_cast<int>(hw), stages, identical, speedup);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  emit_codec_json();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

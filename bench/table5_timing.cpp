@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <thread>
 
 #include "bench_common.h"
 #include "puppies/core/perturb.h"
+#include "puppies/exec/pool.h"
 #include "puppies/roi/detect.h"
 
 using namespace puppies;
@@ -111,10 +113,71 @@ void BM_RoiDetectionAndRecommendation(benchmark::State& state) {
 }
 BENCHMARK(BM_RoiDetectionAndRecommendation)->Unit(benchmark::kMillisecond);
 
+/// Per-stage timing at 1 and N threads into BENCH_timing.json: the paper's
+/// Table V operations (encrypt = perturb, decrypt = recover) plus the codec
+/// stages they ride on, so the perf trajectory records every hot path.
+void emit_timing_json() {
+  const synth::SceneImage scene = bench::load(synth::Dataset::kPascal, 0);
+  const int w = scene.image.width(), h = scene.image.height();
+  const core::MatrixPair keys =
+      core::MatrixPair::derive(SecretKey::from_label("bench-timing"));
+  const core::PerturbParams params =
+      core::params_for(core::PrivacyLevel::kMedium);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int n_threads = static_cast<int>(std::max(4u, hw > 0 ? hw : 1u));
+
+  std::vector<bench::StageRecord> stages;
+  double total_ms_1 = 0, total_ms_n = 0;
+  Bytes perturbed_bytes_at_1;
+  bool identical = true;
+  for (const int threads : {1, n_threads}) {
+    exec::configure(exec::Config{threads});
+    const YccImage ycc = rgb_to_ycc(scene.image);
+    jpeg::CoefficientImage coeffs = jpeg::forward_transform(ycc, 75);
+    const Rect roi = bench::full_roi(coeffs);
+
+    const double fwd_ms =
+        bench::min_ms(3, [&] { (void)jpeg::forward_transform(ycc, 75); });
+    const double inv_ms =
+        bench::min_ms(3, [&] { (void)jpeg::inverse_transform(coeffs); });
+    core::PerturbOutcome outcome;
+    const double enc_ms = bench::min_ms(3, [&] {
+      jpeg::CoefficientImage img = coeffs;
+      outcome = core::perturb_roi(img, roi, keys, core::Scheme::kZero, params);
+    });
+    jpeg::CoefficientImage perturbed = coeffs;
+    outcome = core::perturb_roi(perturbed, roi, keys, core::Scheme::kZero,
+                                params);
+    const double dec_ms = bench::min_ms(3, [&] {
+      jpeg::CoefficientImage img = perturbed;
+      core::recover_roi(img, roi, keys, core::Scheme::kZero, params,
+                        outcome.zind);
+    });
+
+    stages.push_back({"forward_transform", threads, fwd_ms, 0});
+    stages.push_back({"inverse_transform", threads, inv_ms, 0});
+    stages.push_back({"encrypt_puppies_z", threads, enc_ms, 0});
+    stages.push_back({"decrypt_puppies_z", threads, dec_ms, 0});
+    (threads == 1 ? total_ms_1 : total_ms_n) =
+        fwd_ms + inv_ms + enc_ms + dec_ms;
+    if (threads == 1)
+      perturbed_bytes_at_1 = jpeg::serialize(perturbed);
+    else
+      identical = jpeg::serialize(perturbed) == perturbed_bytes_at_1;
+  }
+  exec::configure(exec::Config{});
+
+  const double speedup = total_ms_n > 0 ? total_ms_1 / total_ms_n : 0;
+  bench::write_bench_json("BENCH_timing.json", "table5_timing", w, h,
+                          static_cast<int>(hw), stages, identical, speedup);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   summary_table();
+  emit_timing_json();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -39,6 +39,12 @@ struct CoefPosition {
 class PositionSet {
  public:
   void add(CoefPosition p) { entries_.push_back(p); }
+  /// Appends another set's entries in order; merging per-chunk sets in
+  /// chunk order reproduces the sequential insertion order exactly.
+  void append(const PositionSet& other) {
+    entries_.insert(entries_.end(), other.entries_.begin(),
+                    other.entries_.end());
+  }
   const std::vector<CoefPosition>& entries() const { return entries_; }
   bool empty() const { return entries_.empty(); }
   std::size_t size() const { return entries_.size(); }

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "puppies/exec/pool.h"
+
+namespace puppies::exec {
+
+/// Deterministic static tiling: [0, n) splits into ceil(n / grain)
+/// contiguous chunks of `grain` consecutive indices (the last chunk may be
+/// short). The decomposition depends only on (n, grain) — never on thread
+/// count or scheduling — so chunk-indexed accumulators merged in chunk
+/// order reproduce the sequential result bit-for-bit at any thread count.
+constexpr std::size_t chunk_count(std::size_t n, std::size_t grain) {
+  return grain == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+/// Runs fn(chunk_index, begin, end) for every chunk of the static tiling of
+/// [0, n). Chunks may run concurrently and in any order; iteration inside a
+/// chunk is sequential. Callers needing ordered side effects preallocate
+/// one slot per chunk (see chunk_count) and merge in chunk order.
+template <typename Fn>
+void parallel_for_chunked(std::size_t n, std::size_t grain, Fn&& fn) {
+  const std::size_t nchunks = chunk_count(n, grain);
+  if (nchunks == 0) return;
+  detail::run_chunks(nchunks, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < n ? begin + grain : n;
+    fn(c, begin, end);
+  });
+}
+
+/// Runs fn(i) for every i in [0, n). fn must write only to slots keyed by
+/// i (disjoint, preallocated); then the output is bit-identical for any
+/// thread count. `grain` batches consecutive indices per task to amortize
+/// scheduling overhead for cheap bodies.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 1) {
+  parallel_for_chunked(
+      n, grain, [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      });
+}
+
+/// Row-major 2-D loop: fn(y, x) for every (x, y) in [0, width) x
+/// [0, height), parallelized over rows. The workhorse for pixel kernels.
+template <typename Fn>
+void parallel_for_2d(int height, int width, Fn&& fn) {
+  if (height <= 0 || width <= 0) return;
+  parallel_for(static_cast<std::size_t>(height), [&](std::size_t y) {
+    for (int x = 0; x < width; ++x) fn(static_cast<int>(y), x);
+  });
+}
+
+}  // namespace puppies::exec

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace puppies::exec {
+
+/// Thread-count configuration for the global pool. Resolution order:
+/// explicit `threads` > PUPPIES_THREADS env var > hardware_concurrency.
+struct Config {
+  int threads = 0;  ///< 0 = auto
+};
+
+/// (Re)configures the global pool. Any existing workers are joined and the
+/// pool is lazily rebuilt with the new count on next use. Must not be
+/// called while a parallel region is running on another thread.
+void configure(const Config& config);
+
+/// Number of threads parallel loops will use (>= 1).
+int thread_count();
+
+namespace detail {
+
+/// Runs fn(chunk) for every chunk in [0, nchunks) across the global pool
+/// and the calling thread, blocking until all chunks have completed.
+/// Rethrows the first exception thrown by fn. Falls back to inline
+/// sequential execution when the pool is single-threaded, when called from
+/// a pool worker (nested parallelism), or when another external thread is
+/// already inside a parallel region — all of which preserve the result
+/// because chunk decomposition never depends on who executes the chunks.
+void run_chunks(std::size_t nchunks,
+                const std::function<void(std::size_t)>& fn);
+
+}  // namespace detail
+}  // namespace puppies::exec

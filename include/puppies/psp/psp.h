@@ -44,6 +44,14 @@ class PspService {
                        DeliveryMode mode = DeliveryMode::kLinearFloat,
                        int reencode_quality = 85);
 
+  /// Applies `chain` to every stored image, fanning entries across the
+  /// exec pool (the serving-side batch path: one thumbnailing or
+  /// re-encode pass over a whole library). Per-image results are identical
+  /// to calling apply_transform per id, at any thread count.
+  void apply_transform_all(const transform::Chain& chain,
+                           DeliveryMode mode = DeliveryMode::kLinearFloat,
+                           int reencode_quality = 85);
+
   Download download(const std::string& id) const;
 
   /// Cloud-side storage in bytes for this image (perturbed image + public
@@ -63,6 +71,8 @@ class PspService {
     bool transformed = false;
   };
   const Entry& entry(const std::string& id) const;
+  static void transform_entry(Entry& e, const transform::Chain& chain,
+                              DeliveryMode mode, int reencode_quality);
 
   std::map<std::string, Entry> entries_;
   int next_id_ = 0;

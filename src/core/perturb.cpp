@@ -1,6 +1,7 @@
 #include "puppies/core/perturb.h"
 
 #include "puppies/common/error.h"
+#include "puppies/exec/parallel_for.h"
 
 namespace puppies::core {
 
@@ -133,37 +134,52 @@ PerturbOutcome perturb_roi(jpeg::CoefficientImage& img, const Rect& roi,
   for (int c = 0; c < img.component_count(); ++c) {
     jpeg::Component& comp = img.component(c);
     const Rect& walk = walks[static_cast<std::size_t>(c)];
-    for (int ly = 0; ly < walk.h; ++ly)
-      for (int lx = 0; lx < walk.w; ++lx) {
-        const int k = ly * walk.w + lx;
-        jpeg::CoefBlock& blk = comp.block(walk.x + lx, walk.y + ly);
+    // Block rows run concurrently. Each chunk appends ZInd/WInd entries to
+    // its own slot; merging in chunk order reproduces the sequential
+    // (row-major) position order bit-for-bit at any thread count.
+    const std::size_t rows = static_cast<std::size_t>(walk.h);
+    std::vector<PerturbOutcome> partial(exec::chunk_count(rows, 1));
+    exec::parallel_for_chunked(
+        rows, 1, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          PerturbOutcome& local = partial[chunk];
+          for (std::size_t row = begin; row < end; ++row) {
+            const int ly = static_cast<int>(row);
+            for (int lx = 0; lx < walk.w; ++lx) {
+              const int k = ly * walk.w + lx;
+              jpeg::CoefBlock& blk = comp.block(walk.x + lx, walk.y + ly);
 
-        if (dc_perturbed(params, scheme)) {
-          const auto [v, wrapped] =
-              wrap_add(blk[0], dc_delta(keys, scheme, k), kDcRing);
-          blk[0] = static_cast<std::int16_t>(v);
-          if (wrapped)
-            outcome.wind.add({static_cast<std::uint8_t>(c),
-                              static_cast<std::uint32_t>(k), 0});
-        }
+              if (dc_perturbed(params, scheme)) {
+                const auto [v, wrapped] =
+                    wrap_add(blk[0], dc_delta(keys, scheme, k), kDcRing);
+                blk[0] = static_cast<std::int16_t>(v);
+                if (wrapped)
+                  local.wind.add({static_cast<std::uint8_t>(c),
+                                  static_cast<std::uint32_t>(k), 0});
+              }
 
-        for (int i = 1; i < 64; ++i) {
-          if (!ac_perturbed(q, scheme, i)) continue;
-          const auto idx = static_cast<std::size_t>(i);
-          if (scheme == Scheme::kZero && blk[idx] == 0) continue;
-          const auto [v, wrapped] =
-              wrap_add(blk[idx], ac_delta(keys, q, scheme, i, k), kAcRing);
-          blk[idx] = static_cast<std::int16_t>(v);
-          if (wrapped)
-            outcome.wind.add({static_cast<std::uint8_t>(c),
-                              static_cast<std::uint32_t>(k),
-                              static_cast<std::uint8_t>(i)});
-          if (scheme == Scheme::kZero && v == 0)
-            outcome.zind.add({static_cast<std::uint8_t>(c),
-                              static_cast<std::uint32_t>(k),
-                              static_cast<std::uint8_t>(i)});
-        }
-      }
+              for (int i = 1; i < 64; ++i) {
+                if (!ac_perturbed(q, scheme, i)) continue;
+                const auto idx = static_cast<std::size_t>(i);
+                if (scheme == Scheme::kZero && blk[idx] == 0) continue;
+                const auto [v, wrapped] = wrap_add(
+                    blk[idx], ac_delta(keys, q, scheme, i, k), kAcRing);
+                blk[idx] = static_cast<std::int16_t>(v);
+                if (wrapped)
+                  local.wind.add({static_cast<std::uint8_t>(c),
+                                  static_cast<std::uint32_t>(k),
+                                  static_cast<std::uint8_t>(i)});
+                if (scheme == Scheme::kZero && v == 0)
+                  local.zind.add({static_cast<std::uint8_t>(c),
+                                  static_cast<std::uint32_t>(k),
+                                  static_cast<std::uint8_t>(i)});
+              }
+            }
+          }
+        });
+    for (const PerturbOutcome& local : partial) {
+      outcome.zind.append(local.zind);
+      outcome.wind.append(local.wind);
+    }
   }
   return outcome;
 }
@@ -179,28 +195,32 @@ void recover_roi(jpeg::CoefficientImage& img, const Rect& roi,
   for (int c = 0; c < img.component_count(); ++c) {
     jpeg::Component& comp = img.component(c);
     const Rect& walk = walks[static_cast<std::size_t>(c)];
-    for (int ly = 0; ly < walk.h; ++ly)
-      for (int lx = 0; lx < walk.w; ++lx) {
-        const int k = ly * walk.w + lx;
-        jpeg::CoefBlock& blk = comp.block(walk.x + lx, walk.y + ly);
+    // Pure per-block inverse; rows touch disjoint blocks, no accumulation.
+    exec::parallel_for(
+        static_cast<std::size_t>(walk.h), [&](std::size_t row) {
+          const int ly = static_cast<int>(row);
+          for (int lx = 0; lx < walk.w; ++lx) {
+            const int k = ly * walk.w + lx;
+            jpeg::CoefBlock& blk = comp.block(walk.x + lx, walk.y + ly);
 
-        if (dc_perturbed(params, scheme))
-          blk[0] = static_cast<std::int16_t>(
-              wrap_sub(blk[0], dc_delta(keys, scheme, k), kDcRing));
+            if (dc_perturbed(params, scheme))
+              blk[0] = static_cast<std::int16_t>(
+                  wrap_sub(blk[0], dc_delta(keys, scheme, k), kDcRing));
 
-        for (int i = 1; i < 64; ++i) {
-          if (!ac_perturbed(q, scheme, i)) continue;
-          const auto idx = static_cast<std::size_t>(i);
-          if (scheme == Scheme::kZero && blk[idx] == 0) {
-            const CoefPosition pos{static_cast<std::uint8_t>(c),
-                                   static_cast<std::uint32_t>(k),
-                                   static_cast<std::uint8_t>(i)};
-            if (!zeros.contains(pos.packed())) continue;  // original zero
+            for (int i = 1; i < 64; ++i) {
+              if (!ac_perturbed(q, scheme, i)) continue;
+              const auto idx = static_cast<std::size_t>(i);
+              if (scheme == Scheme::kZero && blk[idx] == 0) {
+                const CoefPosition pos{static_cast<std::uint8_t>(c),
+                                       static_cast<std::uint32_t>(k),
+                                       static_cast<std::uint8_t>(i)};
+                if (!zeros.contains(pos.packed())) continue;  // original zero
+              }
+              blk[idx] = static_cast<std::int16_t>(wrap_sub(
+                  blk[idx], ac_delta(keys, q, scheme, i, k), kAcRing));
+            }
           }
-          blk[idx] = static_cast<std::int16_t>(
-              wrap_sub(blk[idx], ac_delta(keys, q, scheme, i, k), kAcRing));
-        }
-      }
+        });
   }
 }
 
@@ -224,31 +244,35 @@ jpeg::CoefficientImage build_delta_image(
     for (int c = 0; c < delta.component_count(); ++c) {
       jpeg::Component& comp = delta.component(c);
       const Rect& walk = walks[static_cast<std::size_t>(c)];
-      for (int ly = 0; ly < walk.h; ++ly)
-        for (int lx = 0; lx < walk.w; ++lx) {
-          const int k = ly * walk.w + lx;
-          jpeg::CoefBlock& blk = comp.block(walk.x + lx, walk.y + ly);
+      // ROIs are applied sequentially (deltas accumulate across overlapping
+      // ROIs); rows within one ROI touch disjoint blocks.
+      exec::parallel_for(
+          static_cast<std::size_t>(walk.h), [&](std::size_t row) {
+            const int ly = static_cast<int>(row);
+            for (int lx = 0; lx < walk.w; ++lx) {
+              const int k = ly * walk.w + lx;
+              jpeg::CoefBlock& blk = comp.block(walk.x + lx, walk.y + ly);
 
-          auto effective = [&](int raw_delta, Ring ring, int coef) {
-            const CoefPosition pos{static_cast<std::uint8_t>(c),
-                                   static_cast<std::uint32_t>(k),
-                                   static_cast<std::uint8_t>(coef)};
-            return wraps.contains(pos.packed()) ? raw_delta - ring.size()
-                                                : raw_delta;
-          };
+              auto effective = [&](int raw_delta, Ring ring, int coef) {
+                const CoefPosition pos{static_cast<std::uint8_t>(c),
+                                       static_cast<std::uint32_t>(k),
+                                       static_cast<std::uint8_t>(coef)};
+                return wraps.contains(pos.packed()) ? raw_delta - ring.size()
+                                                    : raw_delta;
+              };
 
-          // Deltas accumulate across overlapping ROIs (though policies are
-          // expected to keep ROIs disjoint).
-          blk[0] = static_cast<std::int16_t>(
-              blk[0] + effective(dc_delta(d.keys, d.scheme, k), kDcRing, 0));
-          for (int i = 1; i < 64; ++i) {
-            if (!ac_perturbed(q, d.scheme, i)) continue;
-            const auto idx = static_cast<std::size_t>(i);
-            blk[idx] = static_cast<std::int16_t>(
-                blk[idx] +
-                effective(ac_delta(d.keys, q, d.scheme, i, k), kAcRing, i));
-          }
-        }
+              blk[0] = static_cast<std::int16_t>(
+                  blk[0] +
+                  effective(dc_delta(d.keys, d.scheme, k), kDcRing, 0));
+              for (int i = 1; i < 64; ++i) {
+                if (!ac_perturbed(q, d.scheme, i)) continue;
+                const auto idx = static_cast<std::size_t>(i);
+                blk[idx] = static_cast<std::int16_t>(
+                    blk[idx] + effective(ac_delta(d.keys, q, d.scheme, i, k),
+                                         kAcRing, i));
+              }
+            }
+          });
     }
   }
   return delta;

@@ -2,6 +2,7 @@
 
 #include <tuple>
 
+#include "puppies/exec/parallel_for.h"
 #include "puppies/jpeg/codec.h"
 #include "puppies/jpeg/lossless.h"
 
@@ -170,8 +171,11 @@ YccImage build_shadow(const PublicParameters& params, const KeyRing& keys) {
   // difference signal centred at 0.
   for (int c = 0; c < 3; ++c) {
     Plane<float>& plane = shadow.component(c);
-    for (int y = 0; y < plane.height(); ++y)
-      for (int x = 0; x < plane.width(); ++x) plane.at(x, y) -= 128.f;
+    exec::parallel_for(static_cast<std::size_t>(plane.height()),
+                       [&](std::size_t y) {
+                         for (float& v : plane.row(static_cast<int>(y)))
+                           v -= 128.f;
+                       });
   }
   return shadow;
 }
@@ -196,8 +200,9 @@ YccImage recover_pixels(const YccImage& transformed,
   for (int c = 0; c < 3; ++c) {
     Plane<float>& plane = out.component(c);
     const Plane<float>& s = shadow.component(c);
-    for (int y = 0; y < plane.height(); ++y)
-      for (int x = 0; x < plane.width(); ++x) plane.at(x, y) -= s.at(x, y);
+    exec::parallel_for_2d(plane.height(), plane.width(), [&](int y, int x) {
+      plane.at(x, y) -= s.at(x, y);
+    });
   }
   return out;
 }

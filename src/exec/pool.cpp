@@ -1,0 +1,184 @@
+#include "puppies/exec/pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace puppies::exec {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+int resolve_thread_count(int configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("PUPPIES_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// One parallel region. Heap-allocated and shared so a worker that wakes
+/// late (after the region completed and a new one started) still holds a
+/// valid — exhausted — job instead of racing on recycled state.
+struct Job {
+  std::function<void(std::size_t)> fn;
+  std::size_t nchunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> failed{false};
+  std::mutex err_mu;
+  std::exception_ptr error;
+};
+
+/// Batch-style pool: one region at a time, workers sleep between regions.
+/// Scheduling is dynamic (workers pull chunk indices from an atomic
+/// counter) but the chunk decomposition is fixed by the caller, so outputs
+/// written to chunk- or index-keyed slots are scheduling-invariant.
+class Pool {
+ public:
+  explicit Pool(int threads) : size_(threads) {
+    // size_ - 1 workers; the thread calling run() is the remaining lane.
+    for (int i = 1; i < threads; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  int size() const { return size_; }
+
+  void run(std::size_t nchunks, const std::function<void(std::size_t)>& fn) {
+    std::unique_lock run_lk(run_mu_, std::try_to_lock);
+    if (!run_lk.owns_lock()) {
+      // Another external thread is inside a region; run inline. Same
+      // decomposition, same result.
+      for (std::size_t c = 0; c < nchunks; ++c) fn(c);
+      return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = fn;
+    job->nchunks = nchunks;
+    {
+      std::lock_guard lk(mu_);
+      job_ = job;
+      ++generation_;
+    }
+    cv_.notify_all();
+    drain(*job);  // the caller participates
+    {
+      std::unique_lock lk(mu_);
+      done_cv_.wait(lk, [&] {
+        return job->done.load(std::memory_order_acquire) == job->nchunks;
+      });
+      job_.reset();
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  void drain(Job& job) {
+    for (;;) {
+      const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.nchunks) return;
+      if (!job.failed.load(std::memory_order_relaxed)) {
+        try {
+          job.fn(c);
+        } catch (...) {
+          std::lock_guard lk(job.err_mu);
+          if (!job.error) job.error = std::current_exception();
+          job.failed.store(true, std::memory_order_relaxed);
+        }
+      }
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.nchunks) {
+        std::lock_guard lk(mu_);  // pairs with the caller's wait predicate
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop() {
+    t_on_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock lk(mu_);
+        cv_.wait(lk, [&] { return stop_ || (generation_ != seen && job_); });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;
+      }
+      drain(*job);
+    }
+  }
+
+  const int size_;
+  std::vector<std::thread> workers_;
+
+  std::mutex run_mu_;  ///< serializes external parallel regions
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  std::uint64_t generation_ = 0;
+  std::shared_ptr<Job> job_;
+};
+
+std::mutex g_mu;
+std::unique_ptr<Pool> g_pool;
+Config g_config;
+
+Pool& pool() {
+  std::lock_guard lk(g_mu);
+  if (!g_pool)
+    g_pool = std::make_unique<Pool>(resolve_thread_count(g_config.threads));
+  return *g_pool;
+}
+
+}  // namespace
+
+void configure(const Config& config) {
+  std::lock_guard lk(g_mu);
+  g_pool.reset();  // joins workers
+  g_config = config;
+}
+
+int thread_count() {
+  std::lock_guard lk(g_mu);
+  if (g_pool) return g_pool->size();
+  return resolve_thread_count(g_config.threads);
+}
+
+namespace detail {
+
+void run_chunks(std::size_t nchunks,
+                const std::function<void(std::size_t)>& fn) {
+  if (nchunks == 0) return;
+  if (t_on_worker || nchunks == 1 || thread_count() <= 1) {
+    // Nested region on a worker lane, trivially small region, or a
+    // single-threaded pool: execute inline in chunk order.
+    for (std::size_t c = 0; c < nchunks; ++c) fn(c);
+    return;
+  }
+  pool().run(nchunks, fn);
+}
+
+}  // namespace detail
+}  // namespace puppies::exec

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "puppies/exec/parallel_for.h"
+
 namespace puppies {
 
 std::uint8_t clamp_u8(float v) {
@@ -12,7 +14,9 @@ std::uint8_t clamp_u8(float v) {
 
 YccImage rgb_to_ycc(const RgbImage& rgb) {
   YccImage out(rgb.width(), rgb.height());
-  for (int y = 0; y < rgb.height(); ++y) {
+  exec::parallel_for(static_cast<std::size_t>(rgb.height()),
+                     [&](std::size_t row) {
+    const int y = static_cast<int>(row);
     for (int x = 0; x < rgb.width(); ++x) {
       const float r = rgb.r.at(x, y);
       const float g = rgb.g.at(x, y);
@@ -21,13 +25,15 @@ YccImage rgb_to_ycc(const RgbImage& rgb) {
       out.cb.at(x, y) = -0.168736f * r - 0.331264f * g + 0.5f * b + 128.f;
       out.cr.at(x, y) = 0.5f * r - 0.418688f * g - 0.081312f * b + 128.f;
     }
-  }
+  });
   return out;
 }
 
 RgbImage ycc_to_rgb(const YccImage& ycc) {
   RgbImage out(ycc.width(), ycc.height());
-  for (int y = 0; y < ycc.height(); ++y) {
+  exec::parallel_for(static_cast<std::size_t>(ycc.height()),
+                     [&](std::size_t row) {
+    const int y = static_cast<int>(row);
     for (int x = 0; x < ycc.width(); ++x) {
       const float Y = ycc.y.at(x, y);
       const float cb = ycc.cb.at(x, y) - 128.f;
@@ -36,7 +42,7 @@ RgbImage ycc_to_rgb(const YccImage& ycc) {
       out.g.at(x, y) = clamp_u8(Y - 0.344136f * cb - 0.714136f * cr);
       out.b.at(x, y) = clamp_u8(Y + 1.772f * cb);
     }
-  }
+  });
   return out;
 }
 

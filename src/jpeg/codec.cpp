@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "puppies/exec/parallel_for.h"
 #include "puppies/jpeg/bitio.h"
 #include "puppies/jpeg/dct.h"
 #include "puppies/jpeg/huffman.h"
@@ -45,12 +46,12 @@ void deposit_block(Plane<float>& plane, int bx, int by,
 Plane<float> downsample2x(const Plane<float>& in) {
   const int nw = (in.width() + 1) / 2, nh = (in.height() + 1) / 2;
   Plane<float> out(nw, nh, 0.f);
-  for (int y = 0; y < nh; ++y)
-    for (int x = 0; x < nw; ++x)
-      out.at(x, y) = 0.25f * (in.clamped_at(2 * x, 2 * y) +
-                              in.clamped_at(2 * x + 1, 2 * y) +
-                              in.clamped_at(2 * x, 2 * y + 1) +
-                              in.clamped_at(2 * x + 1, 2 * y + 1));
+  exec::parallel_for_2d(nh, nw, [&](int y, int x) {
+    out.at(x, y) = 0.25f * (in.clamped_at(2 * x, 2 * y) +
+                            in.clamped_at(2 * x + 1, 2 * y) +
+                            in.clamped_at(2 * x, 2 * y + 1) +
+                            in.clamped_at(2 * x + 1, 2 * y + 1));
+  });
   return out;
 }
 
@@ -59,7 +60,8 @@ Plane<float> upsample_to(const Plane<float>& in, int w, int h) {
   Plane<float> out(w, h, 0.f);
   const float sx = static_cast<float>(in.width()) / w;
   const float sy = static_cast<float>(in.height()) / h;
-  for (int y = 0; y < h; ++y) {
+  exec::parallel_for(static_cast<std::size_t>(h), [&](std::size_t row) {
+    const int y = static_cast<int>(row);
     const float fy = (y + 0.5f) * sy - 0.5f;
     const int y0 = static_cast<int>(std::floor(fy));
     const float wy = fy - y0;
@@ -72,24 +74,38 @@ Plane<float> upsample_to(const Plane<float>& in, int w, int h) {
                      in.clamped_at(x0, y0 + 1) * (1 - wx) * wy +
                      in.clamped_at(x0 + 1, y0 + 1) * wx * wy;
     }
-  }
+  });
   return out;
 }
 
 void encode_component_plane(const Plane<float>& plane, Component& comp,
                             const QuantTable& qt) {
-  for (int by = 0; by < comp.blocks_h; ++by)
-    for (int bx = 0; bx < comp.blocks_w; ++bx)
-      comp.block(bx, by) = quantize(fdct8x8(extract_block(plane, bx, by)), qt);
+  // Block rows are independent; every (bx, by) writes its own preallocated
+  // block, so the result is bit-identical at any thread count.
+  exec::parallel_for(static_cast<std::size_t>(comp.blocks_h),
+                     [&](std::size_t by) {
+                       for (int bx = 0; bx < comp.blocks_w; ++bx)
+                         comp.block(bx, static_cast<int>(by)) = quantize(
+                             fdct8x8(extract_block(plane, bx,
+                                                   static_cast<int>(by))),
+                             qt);
+                     });
 }
 
 Plane<float> decode_component_plane(const Component& comp,
                                     const QuantTable& qt, int pixel_w,
                                     int pixel_h) {
   Plane<float> plane(pixel_w, pixel_h, 0.f);
-  for (int by = 0; by < comp.blocks_h; ++by)
-    for (int bx = 0; bx < comp.blocks_w; ++bx)
-      deposit_block(plane, bx, by, idct8x8(dequantize(comp.block(bx, by), qt)));
+  // deposit_block writes only rows [8*by, 8*by+8), so block rows touch
+  // disjoint pixel rows.
+  exec::parallel_for(static_cast<std::size_t>(comp.blocks_h),
+                     [&](std::size_t by) {
+                       for (int bx = 0; bx < comp.blocks_w; ++bx)
+                         deposit_block(
+                             plane, bx, static_cast<int>(by),
+                             idct8x8(dequantize(
+                                 comp.block(bx, static_cast<int>(by)), qt)));
+                     });
   return plane;
 }
 
@@ -610,7 +626,8 @@ CoefficientImage requantize(const CoefficientImage& coeffs, int new_quality) {
     dst.quant_index = src.quant_index;
     const QuantTable& old_qt = coeffs.qtable(src.quant_index);
     const QuantTable& new_qt = out.qtable(dst.quant_index);
-    for (int by = 0; by < src.blocks_h; ++by)
+    exec::parallel_for(static_cast<std::size_t>(src.blocks_h), [&](std::size_t row) {
+      const int by = static_cast<int>(row);
       for (int bx = 0; bx < src.blocks_w; ++bx) {
         const CoefBlock& in_b = src.block(bx, by);
         CoefBlock& out_b = dst.block(bx, by);
@@ -629,6 +646,7 @@ CoefficientImage requantize(const CoefficientImage& coeffs, int new_quality) {
           out_b[static_cast<std::size_t>(z)] = static_cast<std::int16_t>(q);
         }
       }
+    });
   }
   return out;
 }

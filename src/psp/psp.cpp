@@ -1,7 +1,9 @@
 #include "puppies/psp/psp.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "puppies/exec/parallel_for.h"
 #include "puppies/jpeg/codec.h"
 
 namespace puppies::psp {
@@ -29,8 +31,24 @@ void PspService::apply_transform(const std::string& id,
                                  DeliveryMode mode, int reencode_quality) {
   auto it = entries_.find(id);
   require(it != entries_.end(), "unknown image id");
-  Entry& e = it->second;
+  transform_entry(it->second, chain, mode, reencode_quality);
+}
 
+void PspService::apply_transform_all(const transform::Chain& chain,
+                                     DeliveryMode mode,
+                                     int reencode_quality) {
+  std::vector<Entry*> batch;
+  batch.reserve(entries_.size());
+  for (auto& [id, e] : entries_) batch.push_back(&e);
+  // Entries are independent; the per-entry codec/transform loops nest on
+  // the same pool and run inline on worker lanes.
+  exec::parallel_for(batch.size(), [&](std::size_t i) {
+    transform_entry(*batch[i], chain, mode, reencode_quality);
+  });
+}
+
+void PspService::transform_entry(Entry& e, const transform::Chain& chain,
+                                 DeliveryMode mode, int reencode_quality) {
   const bool all_lossless =
       std::all_of(chain.begin(), chain.end(),
                   [](const transform::Step& s) { return s.lossless(); });

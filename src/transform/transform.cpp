@@ -3,6 +3,7 @@
 #include <cmath>
 #include <tuple>
 
+#include "puppies/exec/parallel_for.h"
 #include "puppies/jpeg/codec.h"
 #include "puppies/jpeg/lossless.h"
 
@@ -135,7 +136,9 @@ Plane<float> scale_plane(const Plane<float>& in, int nw, int nh) {
   Plane<float> out(nw, nh, 0.f);
   const float sx = static_cast<float>(in.width()) / nw;
   const float sy = static_cast<float>(in.height()) / nh;
-  for (int y = 0; y < nh; ++y) {
+  // Output rows are independent; each writes only its own row.
+  exec::parallel_for(static_cast<std::size_t>(nh), [&](std::size_t row) {
+    const int y = static_cast<int>(row);
     const float fy = (y + 0.5f) * sy - 0.5f;
     const int y0 = static_cast<int>(std::floor(fy));
     const float wy = fy - y0;
@@ -151,7 +154,7 @@ Plane<float> scale_plane(const Plane<float>& in, int nw, int nh) {
           a * (1 - wx) * (1 - wy) + b * wx * (1 - wy) + c * (1 - wx) * wy +
           d * wx * wy;
     }
-  }
+  });
   return out;
 }
 
@@ -203,15 +206,15 @@ Plane<float> rot_plane(const Plane<float>& in, Kind kind) {
 Plane<float> convolve_plane(const Plane<float>& in,
                             const std::array<float, 9>& k) {
   Plane<float> out(in.width(), in.height(), 0.f);
-  for (int y = 0; y < in.height(); ++y)
-    for (int x = 0; x < in.width(); ++x) {
-      float acc = 0;
-      for (int dy = -1; dy <= 1; ++dy)
-        for (int dx = -1; dx <= 1; ++dx)
-          acc += k[static_cast<std::size_t>((dy + 1) * 3 + (dx + 1))] *
-                 in.clamped_at(x + dx, y + dy);
-      out.at(x, y) = acc;
-    }
+  // Reads overlap rows but writes don't: out-of-place convolution.
+  exec::parallel_for_2d(in.height(), in.width(), [&](int y, int x) {
+    float acc = 0;
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx)
+        acc += k[static_cast<std::size_t>((dy + 1) * 3 + (dx + 1))] *
+               in.clamped_at(x + dx, y + dy);
+    out.at(x, y) = acc;
+  });
   return out;
 }
 

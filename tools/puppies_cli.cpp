@@ -12,6 +12,7 @@
 // Images are PPM on the pixel side and baseline JPEG (this codec) on the
 // shared side; keys are 64-hex-char files produced by `keygen`.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <random>
@@ -20,6 +21,7 @@
 
 #include "puppies/attacks/correlation.h"
 #include "puppies/core/pipeline.h"
+#include "puppies/exec/pool.h"
 #include "puppies/image/ppm.h"
 #include "puppies/jpeg/codec.h"
 #include "puppies/jpeg/inspect.h"
@@ -42,7 +44,11 @@ namespace {
                "  puppies recover <in.jpg> <in.pub> <out.ppm> --key <file> [--key ...]\n"
                "  puppies inspect <in.jpg> [<in.pub>]\n"
                "  puppies attack <in.jpg> <in.pub> <out.ppm> --method "
-               "inference|inpaint|pca\n");
+               "inference|inpaint|pca\n"
+               "\n"
+               "global options:\n"
+               "  --threads N   worker threads for parallel stages (default:\n"
+               "                PUPPIES_THREADS env var, else all cores)\n");
   std::exit(2);
 }
 
@@ -274,9 +280,21 @@ int cmd_attack(std::vector<std::string> args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) usage();
-  const std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  std::string command;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (i + 1 >= argc) usage("missing value after --threads");
+      const int n = std::atoi(argv[++i]);
+      if (n <= 0) usage("bad --threads, expected a positive integer");
+      exec::configure(exec::Config{n});
+    } else if (command.empty()) {
+      command = argv[i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (command.empty()) usage();
   try {
     if (command == "generate") return cmd_generate(args);
     if (command == "keygen") return cmd_keygen(args);
