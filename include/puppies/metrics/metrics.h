@@ -1,0 +1,100 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace puppies::metrics {
+
+/// Monotonic process-wide event counter. add()/value() are lock-free;
+/// relaxed ordering is enough because counters never synchronize data.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Latency histogram over fixed exponential millisecond buckets
+/// (0.01 ms .. 10 s, last bucket is +inf). observe() is lock-free; the sum
+/// is accumulated in integer nanoseconds so concurrent adds stay exact.
+class Histogram {
+ public:
+  static constexpr std::array<double, 15> kBucketUpperMs = {
+      0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 1000,
+      10000};
+  static constexpr std::size_t kBuckets = kBucketUpperMs.size() + 1;
+
+  void observe(double ms);
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum_ms() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e6;
+  }
+  double mean_ms() const { return count() ? sum_ms() / count() : 0.0; }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Process-wide registry. Lookup takes a mutex; the returned references stay
+/// valid for the life of the process, so hot paths look up once and then
+/// operate lock-free.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// All counters and histograms as one JSON object, names sorted.
+  std::string to_json() const;
+
+  /// Zeroes every metric (registrations and references stay valid).
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Shorthands for the hot paths: metrics::counter("store.put").add().
+inline Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+inline Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+inline std::string dump_json() { return Registry::instance().to_json(); }
+inline void reset_all() { Registry::instance().reset(); }
+
+/// Records elapsed wall time into a histogram on scope exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& h)
+      : hist_(h), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    const auto dt = std::chrono::steady_clock::now() - start_;
+    hist_.observe(std::chrono::duration<double, std::milli>(dt).count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace puppies::metrics

@@ -1,9 +1,13 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 
 #include "puppies/core/params.h"
+#include "puppies/jpeg/coeffs.h"
+#include "puppies/store/blob_store.h"
+#include "puppies/store/transform_cache.h"
 #include "puppies/transform/transform.h"
 
 namespace puppies::psp {
@@ -30,11 +34,36 @@ struct Download {
   Bytes public_params;
 };
 
+/// Which BlobStore backend a PspService persists perturbed images in.
+enum class StoreBackend : std::uint8_t {
+  kMemory,  ///< default: nothing persists past the service
+  kDisk,    ///< content-addressed files under `data_dir`
+};
+
+/// Serving-side configuration. The defaults reproduce the historical
+/// in-memory behaviour; `cache_bytes = 0` disables the transform cache
+/// (downloads are byte-identical either way — the cache only saves work).
+struct PspConfig {
+  StoreBackend backend = StoreBackend::kMemory;
+  /// Transform-result cache budget; 0 disables caching.
+  std::size_t cache_bytes = 64ull << 20;
+  /// Root for kDisk. Empty resolves PUPPIES_DATA_DIR, then "puppies_data".
+  std::string data_dir;
+};
+
 /// The semi-honest Photo Sharing Platform: stores perturbed images and
 /// public parameters, applies transformations on request, serves downloads.
 /// It never sees key material.
+///
+/// Serving architecture (DESIGN.md §7): perturbed JPEGs live in a
+/// content-addressed BlobStore; each upload is parsed once and the
+/// coefficient image retained; transform results are memoized in a
+/// single-flight LRU TransformCache; every step feeds metrics::Registry.
 class PspService {
  public:
+  PspService();
+  explicit PspService(const PspConfig& config);
+
   /// Stores an uploaded perturbed image; returns its id.
   std::string upload(const Bytes& jfif, const Bytes& public_params);
 
@@ -60,20 +89,37 @@ class PspService {
 
   std::size_t image_count() const { return entries_.size(); }
 
+  /// Content address of a stored image's perturbed JPEG.
+  const Digest& digest_of(const std::string& id) const;
+
+  /// The underlying content-addressed store / transform cache (stats,
+  /// CLI plumbing, tests).
+  const store::BlobStore& blobs() const { return *blobs_; }
+  store::TransformCache& cache() { return cache_; }
+
  private:
   struct Entry {
-    Bytes jfif;
+    Digest digest;              ///< address of the perturbed JPEG in blobs_
+    std::size_t jfif_bytes = 0;
     Bytes public_params;
+    /// Parsed once at upload; transforms start here instead of re-parsing
+    /// the byte stream on every apply_transform call.
+    jpeg::CoefficientImage parsed;
     transform::Chain chain;
     DeliveryMode mode = DeliveryMode::kCoefficients;
-    Bytes transformed_jfif;
-    YccImage transformed_pixels;
-    bool transformed = false;
+    store::TransformCache::ResultPtr transformed;  ///< null until transformed
   };
   const Entry& entry(const std::string& id) const;
-  static void transform_entry(Entry& e, const transform::Chain& chain,
-                              DeliveryMode mode, int reencode_quality);
+  void transform_entry(Entry& e, const transform::Chain& chain,
+                       DeliveryMode mode, int reencode_quality);
+  store::TransformResult compute_transform(const Entry& e,
+                                           const transform::Chain& chain,
+                                           DeliveryMode mode,
+                                           int reencode_quality) const;
 
+  PspConfig config_;
+  std::unique_ptr<store::BlobStore> blobs_;
+  store::TransformCache cache_;
   std::map<std::string, Entry> entries_;
   int next_id_ = 0;
 };

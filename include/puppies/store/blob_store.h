@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "puppies/common/bytes.h"
+#include "puppies/common/digest.h"
+
+namespace puppies::store {
+
+/// Content-addressed blob storage: a blob's address IS its SHA-256 digest,
+/// so puts are idempotent, identical uploads deduplicate for free, and a
+/// fetched blob can always be verified against its address. The PSP's
+/// perturbed JPEGs live here; future backends (sharded, remote) implement
+/// the same interface.
+///
+/// All methods are safe to call concurrently.
+class BlobStore {
+ public:
+  virtual ~BlobStore() = default;
+
+  /// Stores `data` and returns its digest. Re-putting existing content is a
+  /// cheap no-op returning the same digest.
+  virtual Digest put(std::span<const std::uint8_t> data) = 0;
+
+  /// Fetches a blob; throws InvalidArgument for an unknown digest.
+  virtual Bytes get(const Digest& digest) const = 0;
+
+  virtual bool contains(const Digest& digest) const = 0;
+
+  /// Size in bytes of one blob; throws InvalidArgument if absent.
+  virtual std::size_t blob_size(const Digest& digest) const = 0;
+
+  /// Number of distinct blobs stored.
+  virtual std::size_t count() const = 0;
+
+  /// Sum of all blob sizes.
+  virtual std::size_t total_bytes() const = 0;
+
+  /// All stored digests, sorted.
+  virtual std::vector<Digest> list() const = 0;
+};
+
+/// In-memory backend (the default; nothing persists).
+std::unique_ptr<BlobStore> open_memory_store();
+
+/// On-disk backend rooted at `dir` (created if missing). Blobs live at
+/// `<dir>/<hex[0:2]>/<hex>.blob`; writes go to a temp file in `<dir>/tmp/`
+/// and are published with an atomic rename, so a crash never leaves a
+/// half-written blob at a final path. Opening scans the directory and
+/// rebuilds the index from file names (stale temp files are ignored).
+std::unique_ptr<BlobStore> open_disk_store(const std::string& dir);
+
+}  // namespace puppies::store

@@ -77,4 +77,15 @@ std::pair<int, int> map_size(const Chain& chain, int w, int h);
 void write_chain(ByteWriter& out, const Chain& chain);
 Chain read_chain(ByteReader& in);
 
+/// Canonical form of a chain for cache keying: two chains with equal
+/// canonical forms produce byte-identical results in every delivery mode.
+/// Three rewrites, each exactness-preserving (see DESIGN.md §7):
+///   1. identity steps are dropped;
+///   2. fields a step kind does not read are zeroed (e.g. a rotate's rect);
+///   3. consecutive runs of rotations/flips — the dihedral group D4, whose
+///      elements compose exactly as pixel/coefficient permutations — fold
+///      into at most two steps ([flip_h] then [rotate]).
+/// Scales, crops, filters, and recompressions are never merged.
+Chain canonicalize(const Chain& chain);
+
 }  // namespace puppies::transform

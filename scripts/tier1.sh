@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md): the standard build + full ctest run,
+# then the store/cache suite again under ThreadSanitizer. The transform
+# cache's single-flight path is exercised concurrently from
+# apply_transform_all, so a plain pass alone is weak evidence — TSan turns
+# latent races in the blob store / cache / metrics registry into failures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+cmake -B build-tsan -S . -DPUPPIES_SANITIZE=thread
+cmake --build build-tsan -j"$(nproc)" --target tests_store
+./build-tsan/tests/tests_store
+
+echo "tier-1: OK (full suite + tests_store under TSan)"

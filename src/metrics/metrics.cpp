@@ -1,0 +1,111 @@
+#include "puppies/metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace puppies::metrics {
+
+void Histogram::observe(double ms) {
+  if (!(ms >= 0)) ms = 0;  // NaN / negative clock skew folds into bucket 0
+  std::size_t i = 0;
+  while (i < kBucketUpperMs.size() && ms > kBucketUpperMs[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(static_cast<std::uint64_t>(std::llround(ms * 1e6)),
+                    std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Node-based maps: inserting never moves existing Counter/Histogram
+  // objects, so references handed out stay valid forever.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.counters.find(name);
+  if (it == im.counters.end())
+    it = im.counters.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.histograms.find(name);
+  if (it == im.histograms.end())
+    it = im.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, h] : im.histograms) h->reset();
+}
+
+std::string Registry::to_json() const {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : im.counters) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %llu",
+                  first ? "" : ",", name.c_str(),
+                  static_cast<unsigned long long>(c->value()));
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : im.histograms) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n    \"%s\": {\"count\": %llu, \"sum_ms\": %.3f, "
+                  "\"mean_ms\": %.4f, \"buckets\": [",
+                  first ? "" : ",", name.c_str(),
+                  static_cast<unsigned long long>(h->count()), h->sum_ms(),
+                  h->mean_ms());
+    out += buf;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%llu", i ? ", " : "",
+                    static_cast<unsigned long long>(h->bucket(i)));
+      out += buf;
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace puppies::metrics

@@ -1,22 +1,50 @@
 #include "puppies/psp/psp.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
 
 #include "puppies/exec/parallel_for.h"
 #include "puppies/jpeg/codec.h"
+#include "puppies/metrics/metrics.h"
 
 namespace puppies::psp {
+namespace {
+
+std::unique_ptr<store::BlobStore> open_backend(const PspConfig& config) {
+  if (config.backend == StoreBackend::kMemory) return store::open_memory_store();
+  std::string dir = config.data_dir;
+  if (dir.empty()) {
+    const char* env = std::getenv("PUPPIES_DATA_DIR");
+    dir = env && *env ? env : "puppies_data";
+  }
+  return store::open_disk_store(dir);
+}
+
+}  // namespace
+
+PspService::PspService() : PspService(PspConfig{}) {}
+
+PspService::PspService(const PspConfig& config)
+    : config_(config),
+      blobs_(open_backend(config)),
+      cache_(config.cache_bytes) {}
 
 std::string PspService::upload(const Bytes& jfif, const Bytes& public_params) {
+  metrics::ScopedTimer timer(metrics::histogram("psp.upload_ms"));
   // The PSP validates uploads parse as JPEG (it must be able to process
-  // them — the compatibility property PUPPIES is designed around).
-  (void)jpeg::parse(jfif);
+  // them — the compatibility property PUPPIES is designed around). The
+  // parse result is retained so transforms never re-decode the stream.
+  metrics::counter("psp.codec.parse").add();
+  jpeg::CoefficientImage parsed = jpeg::parse(jfif);
   const std::string id = "img-" + std::to_string(next_id_++);
   Entry e;
-  e.jfif = jfif;
+  e.digest = blobs_->put(jfif);
+  e.jfif_bytes = jfif.size();
   e.public_params = public_params;
+  e.parsed = std::move(parsed);
   entries_[id] = std::move(e);
+  metrics::counter("psp.upload").add();
   return id;
 }
 
@@ -24,6 +52,10 @@ const PspService::Entry& PspService::entry(const std::string& id) const {
   auto it = entries_.find(id);
   require(it != entries_.end(), "unknown image id");
   return it->second;
+}
+
+const Digest& PspService::digest_of(const std::string& id) const {
+  return entry(id).digest;
 }
 
 void PspService::apply_transform(const std::string& id,
@@ -47,62 +79,94 @@ void PspService::apply_transform_all(const transform::Chain& chain,
   });
 }
 
-void PspService::transform_entry(Entry& e, const transform::Chain& chain,
-                                 DeliveryMode mode, int reencode_quality) {
+store::TransformResult PspService::compute_transform(
+    const Entry& e, const transform::Chain& chain, DeliveryMode mode,
+    int reencode_quality) const {
   const bool all_lossless =
       std::all_of(chain.begin(), chain.end(),
                   [](const transform::Step& s) { return s.lossless(); });
 
-  const jpeg::CoefficientImage original = jpeg::parse(e.jfif);
+  store::TransformResult r;
   if (all_lossless && mode == DeliveryMode::kCoefficients) {
-    jpeg::CoefficientImage img = original;
-    for (const transform::Step& s : chain)
+    metrics::ScopedTimer timer(metrics::histogram("psp.transform.lossless_ms"));
+    jpeg::CoefficientImage img = e.parsed;
+    for (const transform::Step& s : chain) {
+      metrics::counter("psp.codec.lossless_op").add();
       img = transform::apply_lossless(s, img);
-    e.transformed_jfif = jpeg::serialize(img);
+    }
+    metrics::counter("psp.codec.serialize").add();
+    r.jfif = jpeg::serialize(img);
   } else {
     require(mode != DeliveryMode::kCoefficients,
             "coefficient delivery requires an all-lossless chain");
+    metrics::ScopedTimer timer(metrics::histogram("psp.transform.pixel_ms"));
+    metrics::counter("psp.codec.inverse").add();
     const YccImage transformed =
-        transform::apply(chain, jpeg::inverse_transform(original));
+        transform::apply(chain, jpeg::inverse_transform(e.parsed));
     if (mode == DeliveryMode::kLinearFloat) {
-      e.transformed_pixels = transformed;
+      r.pixels = transformed;
     } else {
       // Realistic path: clamp and re-encode.
+      metrics::ScopedTimer reencode(
+          metrics::histogram("psp.transform.reencode_ms"));
+      metrics::counter("psp.codec.forward").add();
       const RgbImage clamped = ycc_to_rgb(transformed);
-      e.transformed_jfif = jpeg::compress(clamped, reencode_quality);
+      r.jfif = jpeg::compress(clamped, reencode_quality);
     }
   }
-  e.chain = chain;
+  return r;
+}
+
+void PspService::transform_entry(Entry& e, const transform::Chain& chain,
+                                 DeliveryMode mode, int reencode_quality) {
+  metrics::counter("psp.transform").add();
+  // The reencode quality only reaches the output on the clamped-reencode
+  // path; masking it elsewhere lets e.g. kCoefficients requests at
+  // different qualities share one cache entry.
+  const bool quality_relevant = mode == DeliveryMode::kClampedReencode;
+  const Digest key = store::transform_cache_key(
+      e.digest, chain, static_cast<std::uint8_t>(mode), reencode_quality,
+      quality_relevant);
+  e.transformed = cache_.get_or_compute(
+      key, [&] { return compute_transform(e, chain, mode, reencode_quality); });
+  // Record the canonical chain: canonically equal requests share one cache
+  // entry, so the reported chain must be the one the served bytes correspond
+  // to (receivers replay it during recovery; the fold is exact, so replaying
+  // the canonical form recovers identically).
+  e.chain = transform::canonicalize(chain);
   e.mode = mode;
-  e.transformed = true;
 }
 
 Download PspService::download(const std::string& id) const {
+  metrics::ScopedTimer timer(metrics::histogram("psp.download_ms"));
   const Entry& e = entry(id);
+  metrics::counter("psp.download").add();
   Download d;
   d.public_params = e.public_params;
   if (!e.transformed) {
     d.chain = {};
     d.mode = DeliveryMode::kCoefficients;
-    d.jfif = e.jfif;
+    d.jfif = blobs_->get(e.digest);
     return d;
   }
   d.chain = e.chain;
   d.mode = e.mode;
   if (e.mode == DeliveryMode::kLinearFloat)
-    d.pixels = e.transformed_pixels;
+    d.pixels = e.transformed->pixels;
   else
-    d.jfif = e.transformed_jfif;
+    d.jfif = e.transformed->jfif;
   return d;
 }
 
 std::size_t PspService::stored_bytes(const std::string& id) const {
   const Entry& e = entry(id);
-  std::size_t total = e.jfif.size() + e.public_params.size();
-  total += e.transformed_jfif.size();
-  if (e.transformed && e.mode == DeliveryMode::kLinearFloat)
-    total += static_cast<std::size_t>(e.transformed_pixels.width()) *
-             e.transformed_pixels.height() * 3 * sizeof(float);
+  std::size_t total = e.jfif_bytes + e.public_params.size();
+  if (e.transformed) {
+    total += e.transformed->jfif.size();
+    if (e.mode == DeliveryMode::kLinearFloat)
+      total += static_cast<std::size_t>(e.transformed->pixels.width()) *
+               e.transformed->pixels.height() * 3 * sizeof(float);
+  }
   return total;
 }
 

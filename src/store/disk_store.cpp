@@ -1,0 +1,155 @@
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "puppies/common/error.h"
+#include "puppies/metrics/metrics.h"
+#include "puppies/store/blob_store.h"
+
+namespace puppies::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DiskBlobStore final : public BlobStore {
+ public:
+  explicit DiskBlobStore(const std::string& dir) : root_(dir) {
+    fs::create_directories(root_ / "tmp");
+    rebuild_index();
+  }
+
+  Digest put(std::span<const std::uint8_t> data) override {
+    metrics::ScopedTimer timer(metrics::histogram("store.put_ms"));
+    const Digest d = sha256(data);
+    {
+      std::shared_lock lock(mu_);
+      if (index_.find(d) != index_.end()) {
+        metrics::counter("store.put_dedup").add();
+        return d;
+      }
+    }
+    // Write outside the lock: the temp name is unique per call, and a
+    // racing put of the same content renames an identical file over ours.
+    const std::string hex = d.to_hex();
+    const fs::path tmp =
+        root_ / "tmp" /
+        (hex + "." + std::to_string(next_tmp_.fetch_add(1)) + ".tmp");
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) throw Error("store: cannot open " + tmp.string());
+      out.write(reinterpret_cast<const char*>(data.data()),
+                static_cast<std::streamsize>(data.size()));
+      if (!out) throw Error("store: write failed: " + tmp.string());
+    }
+    const fs::path final_path = blob_path(hex);
+    fs::create_directories(final_path.parent_path());
+    // rename(2) within one filesystem is atomic: readers see either no file
+    // or the complete blob, never a torn write.
+    fs::rename(tmp, final_path);
+
+    std::unique_lock lock(mu_);
+    if (index_.emplace(d, data.size()).second) {
+      total_ += data.size();
+      metrics::counter("store.put").add();
+      metrics::counter("store.put_bytes").add(data.size());
+    } else {
+      metrics::counter("store.put_dedup").add();
+    }
+    return d;
+  }
+
+  Bytes get(const Digest& digest) const override {
+    metrics::ScopedTimer timer(metrics::histogram("store.get_ms"));
+    {
+      std::shared_lock lock(mu_);
+      require(index_.find(digest) != index_.end(), "unknown blob digest");
+    }
+    std::ifstream in(blob_path(digest.to_hex()), std::ios::binary);
+    if (!in) throw Error("store: blob file vanished: " + digest.to_hex());
+    Bytes data((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+    metrics::counter("store.get").add();
+    return data;
+  }
+
+  bool contains(const Digest& digest) const override {
+    std::shared_lock lock(mu_);
+    return index_.find(digest) != index_.end();
+  }
+
+  std::size_t blob_size(const Digest& digest) const override {
+    std::shared_lock lock(mu_);
+    auto it = index_.find(digest);
+    require(it != index_.end(), "unknown blob digest");
+    return it->second;
+  }
+
+  std::size_t count() const override {
+    std::shared_lock lock(mu_);
+    return index_.size();
+  }
+
+  std::size_t total_bytes() const override {
+    std::shared_lock lock(mu_);
+    return total_;
+  }
+
+  std::vector<Digest> list() const override {
+    std::shared_lock lock(mu_);
+    std::vector<Digest> out;
+    out.reserve(index_.size());
+    for (const auto& [d, size] : index_) out.push_back(d);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  fs::path blob_path(const std::string& hex) const {
+    return root_ / hex.substr(0, 2) / (hex + ".blob");
+  }
+
+  /// The on-disk layout IS the index: scan `<root>/xx/<hex>.blob`, parse
+  /// digests out of file names, skip everything else (tmp/, strays).
+  void rebuild_index() {
+    std::error_code ec;
+    for (const fs::directory_entry& shard : fs::directory_iterator(root_, ec)) {
+      if (!shard.is_directory() || shard.path().filename() == "tmp") continue;
+      for (const fs::directory_entry& f :
+           fs::directory_iterator(shard.path(), ec)) {
+        const std::string name = f.path().filename().string();
+        if (!f.is_regular_file() || name.size() != 64 + 5 ||
+            name.substr(64) != ".blob")
+          continue;
+        Digest d;
+        try {
+          d = Digest::from_hex(name.substr(0, 64));
+        } catch (const ParseError&) {
+          continue;
+        }
+        const std::size_t size = static_cast<std::size_t>(f.file_size());
+        if (index_.emplace(d, size).second) total_ += size;
+      }
+    }
+    metrics::counter("store.open").add();
+  }
+
+  fs::path root_;
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Digest, std::size_t, DigestHash> index_;
+  std::size_t total_ = 0;
+  std::atomic<std::uint64_t> next_tmp_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<BlobStore> open_disk_store(const std::string& dir) {
+  return std::make_unique<DiskBlobStore>(dir);
+}
+
+}  // namespace puppies::store

@@ -1,0 +1,82 @@
+#include <algorithm>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "puppies/common/error.h"
+#include "puppies/metrics/metrics.h"
+#include "puppies/store/blob_store.h"
+
+namespace puppies::store {
+namespace {
+
+class MemoryBlobStore final : public BlobStore {
+ public:
+  Digest put(std::span<const std::uint8_t> data) override {
+    metrics::ScopedTimer timer(metrics::histogram("store.put_ms"));
+    const Digest d = sha256(data);
+    std::unique_lock lock(mu_);
+    if (blobs_.find(d) == blobs_.end()) {
+      blobs_.emplace(d, Bytes(data.begin(), data.end()));
+      total_ += data.size();
+      metrics::counter("store.put").add();
+      metrics::counter("store.put_bytes").add(data.size());
+    } else {
+      metrics::counter("store.put_dedup").add();
+    }
+    return d;
+  }
+
+  Bytes get(const Digest& digest) const override {
+    metrics::ScopedTimer timer(metrics::histogram("store.get_ms"));
+    std::shared_lock lock(mu_);
+    auto it = blobs_.find(digest);
+    require(it != blobs_.end(), "unknown blob digest");
+    metrics::counter("store.get").add();
+    return it->second;
+  }
+
+  bool contains(const Digest& digest) const override {
+    std::shared_lock lock(mu_);
+    return blobs_.find(digest) != blobs_.end();
+  }
+
+  std::size_t blob_size(const Digest& digest) const override {
+    std::shared_lock lock(mu_);
+    auto it = blobs_.find(digest);
+    require(it != blobs_.end(), "unknown blob digest");
+    return it->second.size();
+  }
+
+  std::size_t count() const override {
+    std::shared_lock lock(mu_);
+    return blobs_.size();
+  }
+
+  std::size_t total_bytes() const override {
+    std::shared_lock lock(mu_);
+    return total_;
+  }
+
+  std::vector<Digest> list() const override {
+    std::shared_lock lock(mu_);
+    std::vector<Digest> out;
+    out.reserve(blobs_.size());
+    for (const auto& [d, bytes] : blobs_) out.push_back(d);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Digest, Bytes, DigestHash> blobs_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<BlobStore> open_memory_store() {
+  return std::make_unique<MemoryBlobStore>();
+}
+
+}  // namespace puppies::store

@@ -1,0 +1,127 @@
+#include "puppies/store/transform_cache.h"
+
+#include "puppies/metrics/metrics.h"
+
+namespace puppies::store {
+
+std::size_t TransformResult::cost_bytes() const {
+  // Entry overhead (key, LRU node, map slot) charged as a flat 128 bytes.
+  return 128 + jfif.size() +
+         static_cast<std::size_t>(pixels.width()) * pixels.height() * 3 *
+             sizeof(float);
+}
+
+Digest transform_cache_key(const Digest& source,
+                           const transform::Chain& chain,
+                           std::uint8_t delivery_mode, int reencode_quality,
+                           bool quality_relevant) {
+  ByteWriter w;
+  w.raw(source.bytes);
+  w.u8(delivery_mode);
+  w.i32(quality_relevant ? reencode_quality : 0);
+  transform::write_chain(w, transform::canonicalize(chain));
+  return sha256(w.bytes());
+}
+
+TransformCache::TransformCache(std::size_t budget_bytes)
+    : budget_(budget_bytes) {}
+
+std::size_t TransformCache::size_bytes() const {
+  std::lock_guard lock(mu_);
+  return bytes_;
+}
+
+std::size_t TransformCache::count() const {
+  std::lock_guard lock(mu_);
+  return map_.size();
+}
+
+void TransformCache::clear() {
+  std::lock_guard lock(mu_);
+  map_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+void TransformCache::evict_over_budget_locked() {
+  while (bytes_ > budget_ && !lru_.empty()) {
+    const Digest victim = lru_.back();
+    lru_.pop_back();
+    auto it = map_.find(victim);
+    bytes_ -= it->second.result->cost_bytes();
+    map_.erase(it);
+    metrics::counter("cache.eviction").add();
+  }
+}
+
+TransformCache::ResultPtr TransformCache::get_or_compute(
+    const Digest& key, const std::function<TransformResult()>& compute) {
+  if (!enabled()) {
+    metrics::counter("cache.miss").add();
+    metrics::ScopedTimer timer(metrics::histogram("cache.compute_ms"));
+    return std::make_shared<const TransformResult>(compute());
+  }
+
+  std::shared_ptr<Flight> flight;
+  {
+    std::lock_guard lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      metrics::counter("cache.hit").add();
+      return it->second.result;
+    }
+    auto fit = flights_.find(key);
+    if (fit != flights_.end()) {
+      flight = fit->second;  // someone else is computing this key
+    } else {
+      flights_.emplace(key, std::make_shared<Flight>());
+      metrics::counter("cache.miss").add();
+    }
+  }
+
+  if (flight) {
+    // Single-flight follower: block until the leader publishes. Safe on an
+    // exec-pool worker — the leader runs its (possibly nested-parallel)
+    // compute inline and never needs this blocked lane to finish.
+    metrics::counter("cache.wait").add();
+    std::unique_lock fl(flight->mu);
+    flight->cv.wait(fl, [&] { return flight->done; });
+    if (flight->error) std::rethrow_exception(flight->error);
+    return flight->result;
+  }
+
+  // Leader: compute outside the cache lock.
+  ResultPtr result;
+  std::exception_ptr error;
+  try {
+    metrics::ScopedTimer timer(metrics::histogram("cache.compute_ms"));
+    result = std::make_shared<const TransformResult>(compute());
+  } catch (...) {
+    error = std::current_exception();
+  }
+
+  std::shared_ptr<Flight> own;
+  {
+    std::lock_guard lock(mu_);
+    own = flights_.at(key);
+    flights_.erase(key);
+    if (!error) {
+      lru_.push_front(key);
+      map_.emplace(key, Slot{result, lru_.begin()});
+      bytes_ += result->cost_bytes();
+      evict_over_budget_locked();
+    }
+  }
+  {
+    std::lock_guard fl(own->mu);
+    own->result = result;
+    own->error = error;
+    own->done = true;
+  }
+  own->cv.notify_all();
+  if (error) std::rethrow_exception(error);
+  return result;
+}
+
+}  // namespace puppies::store

@@ -388,4 +388,102 @@ Chain read_chain(ByteReader& in) {
   return chain;
 }
 
+namespace {
+
+/// Zeroes the fields `kind` does not read, so hand-built steps with stray
+/// values in unused fields key the cache identically to factory-built ones.
+Step normalized(const Step& s) {
+  Step out;
+  out.kind = s.kind;
+  switch (s.kind) {
+    case Kind::kScale:
+      out.arg0 = s.arg0;
+      out.arg1 = s.arg1;
+      break;
+    case Kind::kCropAligned:
+      out.rect = s.rect;
+      break;
+    case Kind::kFilter3x3:
+      out.kernel = s.kernel;
+      break;
+    case Kind::kRecompress:
+      out.arg0 = s.arg0;
+      break;
+    default:  // identity / rotations / flips carry no parameters
+      break;
+  }
+  return out;
+}
+
+bool is_rot_or_flip(Kind k) {
+  return k == Kind::kRotate90 || k == Kind::kRotate180 ||
+         k == Kind::kRotate270 || k == Kind::kFlipH || k == Kind::kFlipV;
+}
+
+/// Accumulated dihedral element: flip_h first (if `flipped`), then rotate
+/// `quarter_turns` * 90 degrees clockwise. Every composition of rotations
+/// and flips reduces to this form; both reductions below are exact because
+/// each operation is a pure permutation of pixels (and, in the coefficient
+/// domain, of blocks with fixed sign patterns that obey the same group law).
+struct Dihedral {
+  int quarter_turns = 0;
+  bool flipped = false;
+
+  void compose(Kind k) {
+    switch (k) {
+      case Kind::kRotate90:
+        quarter_turns = (quarter_turns + 1) % 4;
+        break;
+      case Kind::kRotate180:
+        quarter_turns = (quarter_turns + 2) % 4;
+        break;
+      case Kind::kRotate270:
+        quarter_turns = (quarter_turns + 3) % 4;
+        break;
+      case Kind::kFlipH:
+        // flipH . rot(k) == rot(-k) . flipH, so pulling the new flip
+        // through the accumulated rotation negates it.
+        quarter_turns = (4 - quarter_turns) % 4;
+        flipped = !flipped;
+        break;
+      case Kind::kFlipV:
+        // flipV == rot180 . flipH.
+        compose(Kind::kFlipH);
+        quarter_turns = (quarter_turns + 2) % 4;
+        break;
+      default:
+        throw InvalidArgument("not a rotation/flip");
+    }
+  }
+
+  void emit(Chain& out) const {
+    if (flipped) out.push_back(flip_h());
+    if (quarter_turns != 0) out.push_back(rotate(quarter_turns * 90));
+  }
+};
+
+}  // namespace
+
+Chain canonicalize(const Chain& chain) {
+  Chain out;
+  Dihedral run;
+  bool in_run = false;
+  for (const Step& s : chain) {
+    if (s.kind == Kind::kIdentity) continue;
+    if (is_rot_or_flip(s.kind)) {
+      run.compose(s.kind);
+      in_run = true;
+      continue;
+    }
+    if (in_run) {
+      run.emit(out);
+      run = Dihedral{};
+      in_run = false;
+    }
+    out.push_back(normalized(s));
+  }
+  if (in_run) run.emit(out);
+  return out;
+}
+
 }  // namespace puppies::transform

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "puppies/common/digest.h"
+#include "puppies/common/error.h"
+
+namespace puppies {
+namespace {
+
+// FIPS 180-4 / NIST CAVP known answers.
+TEST(Sha256, EmptyInput) {
+  EXPECT_EQ(sha256(std::string_view{}).to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(sha256("abc").to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+                .to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, OneMebibytePattern) {
+  Bytes data(1 << 20);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i % 251);
+  EXPECT_EQ(sha256(data).to_hex(),
+            "631b84027d6b9e52b539c4e8373622d23032dfadc64d60af87339c9037e4f769");
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // 63/64/65 bytes straddle the block+length padding cases.
+  Bytes data(65);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(sha256(std::span(data).first(63)).to_hex(),
+            "29af2686fd53374a36b0846694cc342177e428d1647515f078784d69cdb9e488");
+  EXPECT_EQ(sha256(std::span(data).first(64)).to_hex(),
+            "fdeab9acf3710362bd2658cdc9a29e8f9c757fcf9811603a8c447cd1d9151108");
+  EXPECT_EQ(sha256(data).to_hex(),
+            "4bfd2c8b6f1eec7a2afeb48b934ee4b2694182027e6d0fc075074f2fabb31781");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Bytes data(100000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>((i * 31 + 7) % 256);
+  const Digest oneshot = sha256(data);
+  // Feed in awkward chunk sizes that repeatedly straddle block boundaries.
+  Sha256 h;
+  std::size_t pos = 0, chunk = 1;
+  while (pos < data.size()) {
+    const std::size_t n = std::min(chunk, data.size() - pos);
+    h.update(std::span(data).subspan(pos, n));
+    pos += n;
+    chunk = chunk * 2 + 3;
+  }
+  EXPECT_EQ(h.finalize(), oneshot);
+}
+
+TEST(Sha256, UseAfterFinalizeThrows) {
+  Sha256 h;
+  h.update("abc");
+  (void)h.finalize();
+  EXPECT_THROW(h.update("more"), InvalidArgument);
+  EXPECT_THROW(h.finalize(), InvalidArgument);
+}
+
+TEST(Digest, HexRoundTrip) {
+  const Digest d = sha256("round trip");
+  EXPECT_EQ(Digest::from_hex(d.to_hex()), d);
+  EXPECT_EQ(d.to_hex().size(), 64u);
+  EXPECT_THROW(Digest::from_hex("abcd"), ParseError);
+  EXPECT_THROW(Digest::from_hex(std::string(64, 'z')), ParseError);
+}
+
+TEST(Digest, OrderingAndHash) {
+  const Digest a = sha256("a"), b = sha256("b");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_NE(DigestHash{}(a), DigestHash{}(b));
+}
+
+}  // namespace
+}  // namespace puppies

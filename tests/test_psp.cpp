@@ -43,6 +43,43 @@ TEST(Psp, RejectsGarbageUploads) {
 TEST(Psp, UnknownIdThrows) {
   PspService psp;
   EXPECT_THROW(psp.download("img-404"), InvalidArgument);
+  EXPECT_THROW(psp.stored_bytes("img-404"), InvalidArgument);
+}
+
+TEST(Psp, UnknownIdOnApplyTransformThrows) {
+  Scenario s;
+  PspService psp;
+  EXPECT_THROW(psp.apply_transform("img-404", {transform::rotate(180)}),
+               InvalidArgument);
+  // A real upload does not make foreign ids resolvable.
+  const std::string id = psp.upload(jpeg::serialize(s.shared.perturbed),
+                                    s.shared.params.serialize());
+  EXPECT_THROW(psp.apply_transform(id + "x", {transform::rotate(180)}),
+               InvalidArgument);
+}
+
+TEST(Psp, CoefficientsModeRejectsEveryLossyStepKind) {
+  Scenario s;
+  PspService psp;
+  const std::string id = psp.upload(jpeg::serialize(s.shared.perturbed),
+                                    s.shared.params.serialize());
+  const std::vector<transform::Chain> lossy_chains = {
+      {transform::box_blur()},
+      {transform::recompress(50)},
+      // A lossless prefix does not rescue a lossy tail.
+      {transform::rotate(180), transform::scale(64, 48)},
+  };
+  for (const transform::Chain& chain : lossy_chains) {
+    EXPECT_THROW(
+        psp.apply_transform(id, chain, DeliveryMode::kCoefficients),
+        InvalidArgument)
+        << chain[chain.size() - 1].to_string();
+    // The failed request must not corrupt serving state: the original
+    // untransformed image still downloads byte-identically.
+    const Download d = psp.download(id);
+    EXPECT_TRUE(d.chain.empty());
+    EXPECT_EQ(jpeg::parse(d.jfif), s.shared.perturbed);
+  }
 }
 
 TEST(Psp, LosslessTransformEndToEnd) {

@@ -8,9 +8,14 @@
 //   puppies recover <in.jpg> <in.pub> <out.ppm> --key <file> [--key <file>...]
 //   puppies inspect <in.jpg> [<in.pub>]
 //   puppies attack <in.jpg> <in.pub> <out.ppm> --method inference|inpaint|pca
+//   puppies store put <file>... [--dir DIR]
+//   puppies store get <digest> <out> [--dir DIR]
+//   puppies store stats [--json] [--dir DIR]
 //
 // Images are PPM on the pixel side and baseline JPEG (this codec) on the
-// shared side; keys are 64-hex-char files produced by `keygen`.
+// shared side; keys are 64-hex-char files produced by `keygen`. The store
+// subcommands address blobs by SHA-256 content digest; the blob directory
+// is --dir, else $PUPPIES_DATA_DIR, else ./puppies_data.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,12 +25,15 @@
 #include <vector>
 
 #include "puppies/attacks/correlation.h"
+#include "puppies/common/digest.h"
 #include "puppies/core/pipeline.h"
 #include "puppies/exec/pool.h"
 #include "puppies/image/ppm.h"
 #include "puppies/jpeg/codec.h"
 #include "puppies/jpeg/inspect.h"
+#include "puppies/metrics/metrics.h"
 #include "puppies/roi/detect.h"
+#include "puppies/store/blob_store.h"
 #include "puppies/synth/synth.h"
 
 using namespace puppies;
@@ -45,10 +53,18 @@ namespace {
                "  puppies inspect <in.jpg> [<in.pub>]\n"
                "  puppies attack <in.jpg> <in.pub> <out.ppm> --method "
                "inference|inpaint|pca\n"
+               "  puppies store put <file>... [--dir DIR]\n"
+               "  puppies store get <digest> <out> [--dir DIR]\n"
+               "  puppies store stats [--json] [--dir DIR]\n"
                "\n"
                "global options:\n"
                "  --threads N   worker threads for parallel stages (default:\n"
-               "                PUPPIES_THREADS env var, else all cores)\n");
+               "                PUPPIES_THREADS env var, else all cores)\n"
+               "\n"
+               "store options:\n"
+               "  --dir DIR     blob directory (default: PUPPIES_DATA_DIR env\n"
+               "                var, else ./puppies_data)\n"
+               "  --json        stats as JSON, including the metrics registry\n");
   std::exit(2);
 }
 
@@ -277,6 +293,69 @@ int cmd_attack(std::vector<std::string> args) {
   return 0;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+int cmd_store(std::vector<std::string> args) {
+  std::string dir;
+  bool json = false;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--dir") {
+      if (i + 1 >= args.size()) usage("missing value after --dir");
+      dir = args[++i];
+    } else if (args[i] == "--json") {
+      json = true;
+    } else {
+      positional.push_back(args[i]);
+    }
+  }
+  if (dir.empty()) {
+    const char* env = std::getenv("PUPPIES_DATA_DIR");
+    dir = env && *env ? env : "puppies_data";
+  }
+  if (positional.empty()) usage("store needs put|get|stats");
+  const std::string sub = positional[0];
+  positional.erase(positional.begin());
+  const auto blobs = store::open_disk_store(dir);
+
+  if (sub == "put") {
+    if (positional.empty()) usage("store put needs <file>...");
+    for (const std::string& path : positional) {
+      const Digest d = blobs->put(read_file(path));
+      std::printf("%s  %s\n", d.to_hex().c_str(), path.c_str());
+    }
+    return 0;
+  }
+  if (sub == "get") {
+    if (positional.size() != 2) usage("store get needs <digest> <out>");
+    const Bytes data = blobs->get(Digest::from_hex(positional[0]));
+    write_file(positional[1], data);
+    std::printf("wrote %s (%zu bytes)\n", positional[1].c_str(), data.size());
+    return 0;
+  }
+  if (sub == "stats") {
+    if (!positional.empty()) usage("store stats takes no extra arguments");
+    if (json) {
+      std::printf("{\"dir\": \"%s\", \"blobs\": %zu, \"bytes\": %zu,\n"
+                  "\"metrics\": %s}\n",
+                  json_escape(dir).c_str(), blobs->count(),
+                  blobs->total_bytes(), metrics::dump_json().c_str());
+    } else {
+      std::printf("%s: %zu blobs, %zu bytes\n", dir.c_str(), blobs->count(),
+                  blobs->total_bytes());
+    }
+    return 0;
+  }
+  usage(("unknown store subcommand: " + sub).c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -302,6 +381,7 @@ int main(int argc, char** argv) {
     if (command == "recover") return cmd_recover(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "attack") return cmd_attack(args);
+    if (command == "store") return cmd_store(args);
     usage(("unknown command: " + command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
