@@ -91,11 +91,14 @@ struct StageRecord {
 
 /// Writes the machine-readable perf record next to the bench's stdout
 /// report. One JSON object per file, stages as a flat array, so the perf
-/// trajectory is trivially diffable across PRs.
+/// trajectory is trivially diffable across PRs. `extras` is pre-rendered
+/// JSON inserted verbatim between the stages array and the trailing fields;
+/// each line must end with ",\n".
 inline void write_bench_json(const char* path, const char* bench, int width,
                              int height, int hardware_threads,
                              const std::vector<StageRecord>& stages,
-                             bool byte_identical, double speedup) {
+                             bool byte_identical, double speedup,
+                             const std::string& extras = "") {
   std::FILE* f = std::fopen(path, "w");
   if (!f) {
     std::fprintf(stderr, "warning: cannot write %s\n", path);
@@ -116,6 +119,7 @@ inline void write_bench_json(const char* path, const char* bench, int width,
     std::fprintf(f, "}%s\n", i + 1 < stages.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  if (!extras.empty()) std::fprintf(f, "%s", extras.c_str());
   std::fprintf(f, "  \"output_byte_identical\": %s,\n",
                byte_identical ? "true" : "false");
   std::fprintf(f, "  \"speedup_vs_1_thread\": %.3f\n}\n", speedup);

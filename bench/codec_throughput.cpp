@@ -8,6 +8,8 @@
 #include "puppies/core/perturb.h"
 #include "puppies/exec/pool.h"
 #include "puppies/jpeg/dct.h"
+#include "puppies/jpeg/quant.h"
+#include "puppies/kernels/kernels.h"
 
 using namespace puppies;
 
@@ -19,13 +21,151 @@ const synth::SceneImage& scene() {
   return s;
 }
 
-void BM_Fdct8x8(benchmark::State& state) {
+std::vector<kernels::SimdTier> supported_tiers() {
+  std::vector<kernels::SimdTier> out;
+  for (kernels::SimdTier t :
+       {kernels::SimdTier::kScalar, kernels::SimdTier::kSse2,
+        kernels::SimdTier::kAvx2})
+    if (kernels::tier_supported(t)) out.push_back(t);
+  return out;
+}
+
+jpeg::FloatBlock bench_block() {
   jpeg::FloatBlock block;
   Rng rng("bench-dct");
   for (float& v : block) v = static_cast<float>(rng.range(-128, 127));
-  for (auto _ : state) benchmark::DoNotOptimize(jpeg::fdct8x8(block));
+  return block;
 }
-BENCHMARK(BM_Fdct8x8);
+
+/// Registers one benchmark per kernel per tier this host supports, e.g.
+/// BM_Fdct8x8<avx2>, so the tiers can be compared in one run.
+void register_kernel_benchmarks() {
+  constexpr int kRowW = 1184;
+  for (kernels::SimdTier tier : supported_tiers()) {
+    const kernels::KernelTable& k = kernels::table_for(tier);
+    const std::string sfx =
+        "<" + std::string(kernels::to_string(tier)) + ">";
+    benchmark::RegisterBenchmark(
+        ("BM_Fdct8x8" + sfx).c_str(), [&k](benchmark::State& state) {
+          const jpeg::FloatBlock in = bench_block();
+          jpeg::FloatBlock out;
+          for (auto _ : state) {
+            k.fdct8x8(in.data(), out.data());
+            benchmark::DoNotOptimize(out);
+          }
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_Idct8x8" + sfx).c_str(), [&k](benchmark::State& state) {
+          const jpeg::FloatBlock in = bench_block();
+          jpeg::FloatBlock out;
+          for (auto _ : state) {
+            k.idct8x8(in.data(), out.data());
+            benchmark::DoNotOptimize(out);
+          }
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_Quantize" + sfx).c_str(), [&k](benchmark::State& state) {
+          const kernels::QuantConstants qc =
+              jpeg::quant_constants(jpeg::luma_quant_table(75));
+          jpeg::FloatBlock raw = bench_block();
+          for (float& v : raw) v *= 8.f;
+          std::array<std::int16_t, 64> out{};
+          for (auto _ : state) {
+            k.quantize(raw.data(), qc, out.data());
+            benchmark::DoNotOptimize(out);
+          }
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_Dequantize" + sfx).c_str(), [&k](benchmark::State& state) {
+          const kernels::QuantConstants qc =
+              jpeg::quant_constants(jpeg::luma_quant_table(75));
+          std::array<std::int16_t, 64> block{};
+          Rng rng("bench-deq");
+          for (std::int16_t& v : block)
+            v = static_cast<std::int16_t>(rng.range(-64, 64));
+          jpeg::FloatBlock out;
+          for (auto _ : state) {
+            k.dequantize(block.data(), qc, out.data());
+            benchmark::DoNotOptimize(out);
+          }
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_RgbToYccRow" + sfx).c_str(), [&k](benchmark::State& state) {
+          Rng rng("bench-rgb");
+          std::vector<std::uint8_t> r(kRowW), g(kRowW), b(kRowW);
+          for (int i = 0; i < kRowW; ++i) {
+            r[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(rng.range(0, 255));
+            g[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(rng.range(0, 255));
+            b[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(rng.range(0, 255));
+          }
+          std::vector<float> y(kRowW), cb(kRowW), cr(kRowW);
+          for (auto _ : state) {
+            k.rgb_to_ycc_row(r.data(), g.data(), b.data(), kRowW, y.data(),
+                             cb.data(), cr.data());
+            benchmark::DoNotOptimize(y.data());
+          }
+          state.SetItemsProcessed(state.iterations() * kRowW);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_YccToRgbRow" + sfx).c_str(), [&k](benchmark::State& state) {
+          Rng rng("bench-ycc");
+          std::vector<float> y(kRowW), cb(kRowW), cr(kRowW);
+          for (int i = 0; i < kRowW; ++i) {
+            y[static_cast<std::size_t>(i)] =
+                static_cast<float>(rng.range(0, 255));
+            cb[static_cast<std::size_t>(i)] =
+                static_cast<float>(rng.range(0, 255));
+            cr[static_cast<std::size_t>(i)] =
+                static_cast<float>(rng.range(0, 255));
+          }
+          std::vector<std::uint8_t> r(kRowW), g(kRowW), b(kRowW);
+          for (auto _ : state) {
+            k.ycc_to_rgb_row(y.data(), cb.data(), cr.data(), kRowW, r.data(),
+                             g.data(), b.data());
+            benchmark::DoNotOptimize(r.data());
+          }
+          state.SetItemsProcessed(state.iterations() * kRowW);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_Downsample2xRow" + sfx).c_str(), [&k](benchmark::State& state) {
+          Rng rng("bench-down");
+          std::vector<float> r0(kRowW), r1(kRowW), out(kRowW / 2);
+          for (int i = 0; i < kRowW; ++i) {
+            r0[static_cast<std::size_t>(i)] =
+                static_cast<float>(rng.range(0, 255));
+            r1[static_cast<std::size_t>(i)] =
+                static_cast<float>(rng.range(0, 255));
+          }
+          for (auto _ : state) {
+            k.downsample2x_row(r0.data(), r1.data(), kRowW, kRowW / 2,
+                               out.data());
+            benchmark::DoNotOptimize(out.data());
+          }
+          state.SetItemsProcessed(state.iterations() * (kRowW / 2));
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_UpsampleRow" + sfx).c_str(), [&k](benchmark::State& state) {
+          Rng rng("bench-up");
+          std::vector<float> r0(kRowW / 2), r1(kRowW / 2), out(kRowW);
+          for (int i = 0; i < kRowW / 2; ++i) {
+            r0[static_cast<std::size_t>(i)] =
+                static_cast<float>(rng.range(0, 255));
+            r1[static_cast<std::size_t>(i)] =
+                static_cast<float>(rng.range(0, 255));
+          }
+          const float sx = static_cast<float>(kRowW / 2) / kRowW;
+          for (auto _ : state) {
+            k.upsample_row(r0.data(), r1.data(), kRowW / 2, sx, 0.25f, kRowW,
+                           out.data());
+            benchmark::DoNotOptimize(out.data());
+          }
+          state.SetItemsProcessed(state.iterations() * kRowW);
+        });
+  }
+}
 
 void BM_ForwardTransform444(benchmark::State& state) {
   const YccImage ycc = rgb_to_ycc(scene().image);
@@ -76,6 +216,16 @@ void BM_InverseTransform(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(jpeg::inverse_transform(img));
 }
 BENCHMARK(BM_InverseTransform)->Unit(benchmark::kMillisecond);
+
+/// Full decode on the active tier: entropy decode (buffered BitReader +
+/// Huffman LUT), dequantize + IDCT, color convert, clamp to 8-bit RGB.
+void BM_Decompress(benchmark::State& state) {
+  const Bytes data = jpeg::compress(scene().image, 75);
+  for (auto _ : state) benchmark::DoNotOptimize(jpeg::decompress(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          scene().image.width() * scene().image.height() * 3);
+}
+BENCHMARK(BM_Decompress)->Unit(benchmark::kMillisecond);
 
 void BM_PerturbRoiQuarterImage(benchmark::State& state) {
   const jpeg::CoefficientImage img =
@@ -145,14 +295,111 @@ void emit_codec_json() {
       "threads (%.2fx, hardware_concurrency=%u), serialize %s\n",
       fwd_inv_ms_1, fwd_inv_ms_n, n_threads, speedup, hw,
       identical ? "byte-identical" : "DIVERGED");
+
+  // SIMD tier comparison, single-threaded so only the kernels differ:
+  // per-kernel ns/block plus end-to-end encode (pixels -> coefficients) and
+  // decode (JFIF bytes -> RGB) throughput on every tier this host supports.
+  const kernels::SimdTier initial_tier = kernels::active_tier();
+  exec::configure(exec::Config{1});
+  const Bytes jpg = jpeg::compress(big.image, 75);
+  char line[512];
+  std::string extras = "  \"simd_tier\": \"" +
+                       std::string(kernels::to_string(initial_tier)) +
+                       "\",\n  \"tiers\": [\n";
+  const std::vector<kernels::SimdTier> tiers = supported_tiers();
+  double scalar_fdct_ns = 0, scalar_enc = 0, scalar_dec = 0;
+  double best_fdct_ns = 0, best_enc = 0, best_dec = 0;
+  for (std::size_t ti = 0; ti < tiers.size(); ++ti) {
+    const kernels::SimdTier tier = tiers[ti];
+    kernels::configure(tier);
+    const kernels::KernelTable& k = kernels::table_for(tier);
+
+    const jpeg::FloatBlock in = bench_block();
+    const kernels::QuantConstants qc =
+        jpeg::quant_constants(jpeg::luma_quant_table(75));
+    jpeg::FloatBlock fout;
+    std::array<std::int16_t, 64> qout{};
+    constexpr int kIters = 200000;
+    auto ns_per_block = [&](auto&& fn) {
+      return bench::min_ms(3,
+                           [&] {
+                             for (int i = 0; i < kIters; ++i) fn();
+                           }) *
+             1e6 / kIters;
+    };
+    const double fdct_ns = ns_per_block([&] {
+      k.fdct8x8(in.data(), fout.data());
+      benchmark::DoNotOptimize(fout);
+    });
+    const double idct_ns = ns_per_block([&] {
+      k.idct8x8(in.data(), fout.data());
+      benchmark::DoNotOptimize(fout);
+    });
+    const double quant_ns = ns_per_block([&] {
+      k.quantize(in.data(), qc, qout.data());
+      benchmark::DoNotOptimize(qout);
+    });
+    const double dequant_ns = ns_per_block([&] {
+      k.dequantize(qout.data(), qc, fout.data());
+      benchmark::DoNotOptimize(fout);
+    });
+
+    jpeg::CoefficientImage coeffs;
+    const double enc_ms =
+        bench::min_ms(3, [&] { coeffs = jpeg::forward_transform(ycc, 75); });
+    RgbImage rgb;
+    const double dec_ms =
+        bench::min_ms(3, [&] { rgb = jpeg::decompress(jpg); });
+    const double enc_mp_s = mp / (enc_ms / 1e3);
+    const double dec_mp_s = mp / (dec_ms / 1e3);
+
+    if (tier == kernels::SimdTier::kScalar) {
+      scalar_fdct_ns = fdct_ns;
+      scalar_enc = enc_mp_s;
+      scalar_dec = dec_mp_s;
+    }
+    best_fdct_ns = fdct_ns;
+    best_enc = enc_mp_s;
+    best_dec = dec_mp_s;
+
+    std::snprintf(line, sizeof(line),
+                  "    {\"tier\": \"%.*s\", \"fdct8x8_ns_per_block\": %.1f, "
+                  "\"idct8x8_ns_per_block\": %.1f, "
+                  "\"quantize_ns_per_block\": %.1f, "
+                  "\"dequantize_ns_per_block\": %.1f, "
+                  "\"encode_mp_per_s\": %.3f, \"decode_mp_per_s\": %.3f}%s\n",
+                  static_cast<int>(kernels::to_string(tier).size()),
+                  kernels::to_string(tier).data(), fdct_ns, idct_ns, quant_ns,
+                  dequant_ns, enc_mp_s, dec_mp_s,
+                  ti + 1 < tiers.size() ? "," : "");
+    extras += line;
+    std::printf(
+        "tier %-6s: fdct %6.1f ns/blk, idct %6.1f, quant %5.1f, dequant "
+        "%5.1f; encode %6.2f MP/s, decode %6.2f MP/s (1 thread)\n",
+        std::string(kernels::to_string(tier)).c_str(), fdct_ns, idct_ns,
+        quant_ns, dequant_ns, enc_mp_s, dec_mp_s);
+  }
+  extras += "  ],\n";
+  kernels::configure(initial_tier);
+  exec::configure(exec::Config{});
+  if (scalar_fdct_ns > 0 && tiers.size() > 1)
+    std::printf(
+        "tier speedup (%s vs scalar): fdct %.2fx, encode %.2fx, decode "
+        "%.2fx\n",
+        std::string(kernels::to_string(tiers.back())).c_str(),
+        scalar_fdct_ns / best_fdct_ns, best_enc / scalar_enc,
+        best_dec / scalar_dec);
+
   bench::write_bench_json("BENCH_codec.json", "codec_throughput", w, h,
-                          static_cast<int>(hw), stages, identical, speedup);
+                          static_cast<int>(hw), stages, identical, speedup,
+                          extras);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   emit_codec_json();
+  register_kernel_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -30,6 +30,12 @@ class BitWriter {
 };
 
 /// MSB-first bit reader that un-stuffs 0xFF00 and stops at any other marker.
+///
+/// Internally buffers up to 64 bits: refill() consumes whole bytes until the
+/// accumulator is full or it reaches the end of the data, a dangling 0xFF, or
+/// a marker. Those three conditions are recorded, not thrown — the matching
+/// ParseError fires only if the caller actually requests bits past them, so
+/// the error behavior is identical to a byte-at-a-time reader.
 class BitReader {
  public:
   explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
@@ -38,22 +44,31 @@ class BitReader {
   /// the entropy-coded segment.
   std::uint32_t get(int count);
   /// Reads a single bit.
-  int bit();
+  int bit() { return static_cast<int>(get(1)); }
 
-  /// Byte offset of the first unconsumed byte (after discarding bit
-  /// remainder); used to locate the trailing marker.
-  std::size_t byte_position() const { return pos_; }
+  /// Non-consuming read of `count` bits (count in [1,24]) into `bits`.
+  /// Returns false if fewer than `count` bits remain before the end of the
+  /// segment (never throws). On success a following skip(count) consumes.
+  bool peek(int count, std::uint32_t& bits);
+
+  /// Consumes `count` bits previously seen via peek (count <= peeked count).
+  void skip(int count) { avail_ -= count; }
 
   /// Consumes a restart marker RSTn (discarding any partial byte first).
   /// Throws ParseError if the next marker is not RST(expected_n).
   void expect_restart_marker(int expected_n);
 
  private:
-  int next_bit();
+  enum class Stop : std::uint8_t { kNone, kEnd, kDangling, kMarker };
+
+  void refill();
+  [[noreturn]] void throw_stopped() const;
+
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
-  std::uint32_t cur_ = 0;
+  std::uint64_t acc_ = 0;  // low avail_ bits are unconsumed, MSB-first
   int avail_ = 0;
+  Stop stop_ = Stop::kNone;
 };
 
 }  // namespace puppies::jpeg

@@ -49,7 +49,10 @@ class HuffmanEncoder {
   std::array<std::uint8_t, 256> size_{};
 };
 
-/// Decoder-side derived table (MAXCODE/MINCODE/VALPTR method from T.81 F.2).
+/// Decoder-side derived table. The fast path resolves codes of up to 8 bits
+/// with a single 256-entry lookup on the next 8 bits; longer codes (and the
+/// tail of the segment, where 8 bits cannot be peeked) fall back to the
+/// MAXCODE/MINCODE/VALPTR method from T.81 F.2.
 class HuffmanDecoder {
  public:
   explicit HuffmanDecoder(const HuffmanSpec& spec);
@@ -62,6 +65,10 @@ class HuffmanDecoder {
   std::array<std::int32_t, 17> maxcode_{};  // -1 = no codes of this length
   std::array<std::int32_t, 17> valptr_{};
   std::vector<std::uint8_t> values_;
+  // First-level LUT indexed by the next 8 bits: code length (0 = no code of
+  // length <= 8 has this prefix) and decoded symbol.
+  std::array<std::uint8_t, 256> lut_len_{};
+  std::array<std::uint8_t, 256> lut_sym_{};
 };
 
 /// JPEG magnitude category of v (number of bits needed): 0 for 0, etc.

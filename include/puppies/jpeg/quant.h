@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "puppies/jpeg/dct.h"
+#include "puppies/kernels/kernels.h"
 
 namespace puppies::jpeg {
 
@@ -31,6 +32,11 @@ QuantTable chroma_quant_table(int quality);
 /// A flat table of constant step `step` (used by tests and by lossless-domain
 /// experiments that want unquantized-like coefficients).
 QuantTable flat_quant_table(std::uint16_t step);
+
+/// Precomputes the kernel-side constants (reciprocals, clamp bounds, scan
+/// permutation) for `table`. Build once per plane/scan and reuse for every
+/// block; quantize/dequantize below build one per call.
+kernels::QuantConstants quant_constants(const QuantTable& table);
 
 /// Quantizes raw natural-order DCT output into a zig-zag-ordered block,
 /// clamping to the DC/AC ranges above.

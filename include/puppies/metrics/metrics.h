@@ -21,6 +21,18 @@ class Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Last-write-wins instantaneous value (thread count, SIMD tier, queue
+/// depth). set()/value() are lock-free like Counter.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
 /// Latency histogram over fixed exponential millisecond buckets
 /// (0.01 ms .. 10 s, last bucket is +inf). observe() is lock-free; the sum
 /// is accumulated in integer nanoseconds so concurrent adds stay exact.
@@ -56,6 +68,7 @@ class Registry {
   static Registry& instance();
 
   Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
   /// All counters and histograms as one JSON object, names sorted.
@@ -73,6 +86,9 @@ class Registry {
 /// Shorthands for the hot paths: metrics::counter("store.put").add().
 inline Counter& counter(std::string_view name) {
   return Registry::instance().counter(name);
+}
+inline Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
 }
 inline Histogram& histogram(std::string_view name) {
   return Registry::instance().histogram(name);

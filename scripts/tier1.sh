@@ -11,8 +11,13 @@ cmake -B build -S .
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+# The kernel equivalence suite again on the forced-scalar tier: ctest above
+# already ran it on the native tier, so this pins the scalar/SIMD bit-exact
+# contract (and the PUPPIES_SIMD override path) on every machine.
+PUPPIES_SIMD=scalar ./build/tests/tests_kernels
+
 cmake -B build-tsan -S . -DPUPPIES_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target tests_store
 ./build-tsan/tests/tests_store
 
-echo "tier-1: OK (full suite + tests_store under TSan)"
+echo "tier-1: OK (full suite + scalar-tier tests_kernels + tests_store under TSan)"

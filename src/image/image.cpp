@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "puppies/exec/parallel_for.h"
+#include "puppies/kernels/kernels.h"
 
 namespace puppies {
 
@@ -14,34 +15,26 @@ std::uint8_t clamp_u8(float v) {
 
 YccImage rgb_to_ycc(const RgbImage& rgb) {
   YccImage out(rgb.width(), rgb.height());
+  const kernels::KernelTable& k = kernels::active();
   exec::parallel_for(static_cast<std::size_t>(rgb.height()),
                      [&](std::size_t row) {
     const int y = static_cast<int>(row);
-    for (int x = 0; x < rgb.width(); ++x) {
-      const float r = rgb.r.at(x, y);
-      const float g = rgb.g.at(x, y);
-      const float b = rgb.b.at(x, y);
-      out.y.at(x, y) = 0.299f * r + 0.587f * g + 0.114f * b;
-      out.cb.at(x, y) = -0.168736f * r - 0.331264f * g + 0.5f * b + 128.f;
-      out.cr.at(x, y) = 0.5f * r - 0.418688f * g - 0.081312f * b + 128.f;
-    }
+    k.rgb_to_ycc_row(rgb.r.row(y).data(), rgb.g.row(y).data(),
+                     rgb.b.row(y).data(), rgb.width(), out.y.row(y).data(),
+                     out.cb.row(y).data(), out.cr.row(y).data());
   });
   return out;
 }
 
 RgbImage ycc_to_rgb(const YccImage& ycc) {
   RgbImage out(ycc.width(), ycc.height());
+  const kernels::KernelTable& k = kernels::active();
   exec::parallel_for(static_cast<std::size_t>(ycc.height()),
                      [&](std::size_t row) {
     const int y = static_cast<int>(row);
-    for (int x = 0; x < ycc.width(); ++x) {
-      const float Y = ycc.y.at(x, y);
-      const float cb = ycc.cb.at(x, y) - 128.f;
-      const float cr = ycc.cr.at(x, y) - 128.f;
-      out.r.at(x, y) = clamp_u8(Y + 1.402f * cr);
-      out.g.at(x, y) = clamp_u8(Y - 0.344136f * cb - 0.714136f * cr);
-      out.b.at(x, y) = clamp_u8(Y + 1.772f * cb);
-    }
+    k.ycc_to_rgb_row(ycc.y.row(y).data(), ycc.cb.row(y).data(),
+                     ycc.cr.row(y).data(), ycc.width(), out.r.row(y).data(),
+                     out.g.row(y).data(), out.b.row(y).data());
   });
   return out;
 }

@@ -35,44 +35,88 @@ void BitWriter::restart_marker(int n) {
   out_.push_back(static_cast<std::uint8_t>(0xd0 + n));
 }
 
-int BitReader::next_bit() {
-  if (avail_ == 0) {
-    if (pos_ >= data_.size()) throw ParseError("entropy segment underrun");
-    std::uint8_t b = data_[pos_++];
-    if (b == 0xff) {
-      if (pos_ >= data_.size()) throw ParseError("dangling 0xFF in scan");
-      const std::uint8_t next = data_[pos_];
-      if (next == 0x00) {
-        ++pos_;  // stuffed byte
-      } else {
-        throw ParseError("unexpected marker inside entropy-coded segment");
-      }
+void BitReader::refill() {
+  // Top up to > 56 bits so any get/peek of up to 24 bits is served from the
+  // accumulator. Stops (without consuming) at end-of-data, a dangling 0xFF,
+  // or a marker; the condition is recorded and only thrown if bits past it
+  // are actually requested.
+  while (avail_ <= 56 && stop_ == Stop::kNone) {
+    if (pos_ >= data_.size()) {
+      stop_ = Stop::kEnd;
+      break;
     }
-    cur_ = b;
-    avail_ = 8;
+    const std::uint8_t b = data_[pos_];
+    if (b == 0xff) {
+      if (pos_ + 1 >= data_.size()) {
+        stop_ = Stop::kDangling;
+        break;
+      }
+      if (data_[pos_ + 1] != 0x00) {
+        stop_ = Stop::kMarker;
+        break;
+      }
+      pos_ += 2;  // stuffed byte
+    } else {
+      ++pos_;
+    }
+    acc_ = (acc_ << 8) | b;
+    avail_ += 8;
   }
-  --avail_;
-  return static_cast<int>((cur_ >> avail_) & 1);
+}
+
+void BitReader::throw_stopped() const {
+  switch (stop_) {
+    case Stop::kDangling:
+      throw ParseError("dangling 0xFF in scan");
+    case Stop::kMarker:
+      throw ParseError("unexpected marker inside entropy-coded segment");
+    default:
+      throw ParseError("entropy segment underrun");
+  }
+}
+
+std::uint32_t BitReader::get(int count) {
+  require(count >= 0 && count <= 24, "BitReader::get count");
+  if (count == 0) return 0;
+  if (avail_ < count) {
+    refill();
+    if (avail_ < count) throw_stopped();
+  }
+  avail_ -= count;
+  return static_cast<std::uint32_t>(acc_ >> avail_) & ((1u << count) - 1);
+}
+
+bool BitReader::peek(int count, std::uint32_t& bits) {
+  if (avail_ < count) {
+    refill();
+    if (avail_ < count) return false;
+  }
+  bits = static_cast<std::uint32_t>(acc_ >> (avail_ - count)) &
+         ((1u << count) - 1);
+  return true;
 }
 
 void BitReader::expect_restart_marker(int expected_n) {
   // Discard the bit remainder of the current byte.
-  avail_ = 0;
+  avail_ -= avail_ % 8;
+  if (avail_ >= 8) {
+    // Whole entropy bytes are still buffered, so the marker cannot be next.
+    // Report what a byte-at-a-time reader would have seen at this position:
+    // a buffered 0xFF means the raw stream had a stuffed FF 00 pair here.
+    const std::uint8_t next =
+        static_cast<std::uint8_t>(acc_ >> (avail_ - 8));
+    if (next != 0xff) throw ParseError("expected restart marker");
+    throw ParseError("restart marker out of sequence");
+  }
   if (pos_ + 2 > data_.size()) throw ParseError("missing restart marker");
   if (data_[pos_] != 0xff) throw ParseError("expected restart marker");
   const std::uint8_t marker = data_[pos_ + 1];
   if (marker != static_cast<std::uint8_t>(0xd0 + expected_n))
     throw ParseError("restart marker out of sequence");
   pos_ += 2;
+  acc_ = 0;
+  avail_ = 0;
+  stop_ = Stop::kNone;
 }
-
-std::uint32_t BitReader::get(int count) {
-  require(count >= 0 && count <= 24, "BitReader::get count");
-  std::uint32_t v = 0;
-  for (int i = 0; i < count; ++i) v = (v << 1) | static_cast<std::uint32_t>(next_bit());
-  return v;
-}
-
-int BitReader::bit() { return next_bit(); }
 
 }  // namespace puppies::jpeg

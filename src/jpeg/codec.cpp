@@ -9,6 +9,7 @@
 #include "puppies/jpeg/dct.h"
 #include "puppies/jpeg/huffman.h"
 #include "puppies/jpeg/zigzag.h"
+#include "puppies/kernels/kernels.h"
 
 namespace puppies::jpeg {
 
@@ -23,57 +24,73 @@ constexpr std::uint8_t kSOF0 = 0xc0;
 constexpr std::uint8_t kDHT = 0xc4;
 constexpr std::uint8_t kSOS = 0xda;
 
-FloatBlock extract_block(const Plane<float>& plane, int bx, int by) {
-  FloatBlock out{};
+void extract_block(const Plane<float>& plane, int bx, int by, float* out) {
+  const int x0 = bx * 8, y0 = by * 8;
+  if (x0 + 8 <= plane.width() && y0 + 8 <= plane.height()) {
+    // Interior block: straight row reads, no per-tap clamping.
+    for (int y = 0; y < 8; ++y) {
+      const float* src = plane.row(y0 + y).data() + x0;
+      for (int x = 0; x < 8; ++x) out[y * 8 + x] = src[x] - 128.f;
+    }
+    return;
+  }
   for (int y = 0; y < 8; ++y)
     for (int x = 0; x < 8; ++x)
-      out[static_cast<std::size_t>(y * 8 + x)] =
-          plane.clamped_at(bx * 8 + x, by * 8 + y) - 128.f;
-  return out;
+      out[y * 8 + x] = plane.clamped_at(x0 + x, y0 + y) - 128.f;
 }
 
-void deposit_block(Plane<float>& plane, int bx, int by,
-                   const FloatBlock& samples) {
+void deposit_block(Plane<float>& plane, int bx, int by, const float* samples) {
+  const int x0 = bx * 8, y0 = by * 8;
+  if (x0 + 8 <= plane.width() && y0 + 8 <= plane.height()) {
+    for (int y = 0; y < 8; ++y) {
+      float* dst = plane.row(y0 + y).data() + x0;
+      for (int x = 0; x < 8; ++x) dst[x] = samples[y * 8 + x] + 128.f;
+    }
+    return;
+  }
   for (int y = 0; y < 8; ++y)
     for (int x = 0; x < 8; ++x) {
-      const int px = bx * 8 + x, py = by * 8 + y;
+      const int px = x0 + x, py = y0 + y;
       if (px < plane.width() && py < plane.height())
-        plane.at(px, py) = samples[static_cast<std::size_t>(y * 8 + x)] + 128.f;
+        plane.at(px, py) = samples[y * 8 + x] + 128.f;
     }
 }
 
-/// 2x box downsampling (the standard chroma decimation for 4:2:0).
+/// 2x box downsampling (the standard chroma decimation for 4:2:0). The
+/// kernel clamps the odd-width x tail; the odd-height y tail is handled here
+/// by passing the same (clamped) row pointer twice, which reproduces
+/// clamped_at's independent x/y clamping exactly.
 Plane<float> downsample2x(const Plane<float>& in) {
   const int nw = (in.width() + 1) / 2, nh = (in.height() + 1) / 2;
   Plane<float> out(nw, nh, 0.f);
-  exec::parallel_for_2d(nh, nw, [&](int y, int x) {
-    out.at(x, y) = 0.25f * (in.clamped_at(2 * x, 2 * y) +
-                            in.clamped_at(2 * x + 1, 2 * y) +
-                            in.clamped_at(2 * x, 2 * y + 1) +
-                            in.clamped_at(2 * x + 1, 2 * y + 1));
+  const kernels::KernelTable& k = kernels::active();
+  exec::parallel_for(static_cast<std::size_t>(nh), [&](std::size_t row) {
+    const int y = static_cast<int>(row);
+    const int y1 = 2 * y + 1 < in.height() ? 2 * y + 1 : in.height() - 1;
+    k.downsample2x_row(in.row(2 * y).data(), in.row(y1).data(), in.width(),
+                       nw, out.row(y).data());
   });
   return out;
 }
 
-/// Bilinear chroma upsampling back to full resolution.
+/// Bilinear chroma upsampling back to full resolution. The vertical tap
+/// selection (and its clamping) happens here per row; the kernel resamples
+/// horizontally with clamped borders and an unchecked interior.
 Plane<float> upsample_to(const Plane<float>& in, int w, int h) {
   Plane<float> out(w, h, 0.f);
   const float sx = static_cast<float>(in.width()) / w;
   const float sy = static_cast<float>(in.height()) / h;
+  const kernels::KernelTable& k = kernels::active();
   exec::parallel_for(static_cast<std::size_t>(h), [&](std::size_t row) {
     const int y = static_cast<int>(row);
     const float fy = (y + 0.5f) * sy - 0.5f;
     const int y0 = static_cast<int>(std::floor(fy));
     const float wy = fy - y0;
-    for (int x = 0; x < w; ++x) {
-      const float fx = (x + 0.5f) * sx - 0.5f;
-      const int x0 = static_cast<int>(std::floor(fx));
-      const float wx = fx - x0;
-      out.at(x, y) = in.clamped_at(x0, y0) * (1 - wx) * (1 - wy) +
-                     in.clamped_at(x0 + 1, y0) * wx * (1 - wy) +
-                     in.clamped_at(x0, y0 + 1) * (1 - wx) * wy +
-                     in.clamped_at(x0 + 1, y0 + 1) * wx * wy;
-    }
+    const int last = in.height() - 1;
+    const int ya = y0 < 0 ? 0 : (y0 > last ? last : y0);
+    const int yb = y0 + 1 < 0 ? 0 : (y0 + 1 > last ? last : y0 + 1);
+    k.upsample_row(in.row(ya).data(), in.row(yb).data(), in.width(), sx, wy,
+                   w, out.row(y).data());
   });
   return out;
 }
@@ -81,14 +98,21 @@ Plane<float> upsample_to(const Plane<float>& in, int w, int h) {
 void encode_component_plane(const Plane<float>& plane, Component& comp,
                             const QuantTable& qt) {
   // Block rows are independent; every (bx, by) writes its own preallocated
-  // block, so the result is bit-identical at any thread count.
+  // block, so the result is bit-identical at any thread count. The quant
+  // constants (reciprocals, clamp bounds) are built once per plane.
+  const kernels::QuantConstants qc = quant_constants(qt);
+  const kernels::KernelTable& k = kernels::active();
   exec::parallel_for(static_cast<std::size_t>(comp.blocks_h),
                      [&](std::size_t by) {
-                       for (int bx = 0; bx < comp.blocks_w; ++bx)
-                         comp.block(bx, static_cast<int>(by)) = quantize(
-                             fdct8x8(extract_block(plane, bx,
-                                                   static_cast<int>(by))),
-                             qt);
+                       FloatBlock samples, coeffs;
+                       for (int bx = 0; bx < comp.blocks_w; ++bx) {
+                         extract_block(plane, bx, static_cast<int>(by),
+                                       samples.data());
+                         k.fdct8x8(samples.data(), coeffs.data());
+                         k.quantize(coeffs.data(), qc,
+                                    comp.block(bx, static_cast<int>(by))
+                                        .data());
+                       }
                      });
 }
 
@@ -96,15 +120,21 @@ Plane<float> decode_component_plane(const Component& comp,
                                     const QuantTable& qt, int pixel_w,
                                     int pixel_h) {
   Plane<float> plane(pixel_w, pixel_h, 0.f);
+  const kernels::QuantConstants qc = quant_constants(qt);
+  const kernels::KernelTable& k = kernels::active();
   // deposit_block writes only rows [8*by, 8*by+8), so block rows touch
   // disjoint pixel rows.
   exec::parallel_for(static_cast<std::size_t>(comp.blocks_h),
                      [&](std::size_t by) {
-                       for (int bx = 0; bx < comp.blocks_w; ++bx)
-                         deposit_block(
-                             plane, bx, static_cast<int>(by),
-                             idct8x8(dequantize(
-                                 comp.block(bx, static_cast<int>(by)), qt)));
+                       FloatBlock raw, samples;
+                       for (int bx = 0; bx < comp.blocks_w; ++bx) {
+                         k.dequantize(
+                             comp.block(bx, static_cast<int>(by)).data(), qc,
+                             raw.data());
+                         k.idct8x8(raw.data(), samples.data());
+                         deposit_block(plane, bx, static_cast<int>(by),
+                                       samples.data());
+                       }
                      });
   return plane;
 }

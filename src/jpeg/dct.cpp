@@ -1,71 +1,18 @@
 #include "puppies/jpeg/dct.h"
 
-#include <cmath>
-#include <numbers>
+#include "puppies/kernels/kernels.h"
 
 namespace puppies::jpeg {
 
-namespace {
-
-// cos_table[u][x] = C(u) * cos((2x+1) * u * pi / 16) * 0.5, so that the 2-D
-// transform is two passes of an orthonormal-ish 1-D transform and the overall
-// scaling matches JPEG's convention (DC of constant block v equals 8v).
-struct CosTable {
-  float t[8][8];
-  CosTable() {
-    for (int u = 0; u < 8; ++u) {
-      const double cu = u == 0 ? 1.0 / std::numbers::sqrt2 : 1.0;
-      for (int x = 0; x < 8; ++x)
-        t[u][x] = static_cast<float>(
-            0.5 * cu * std::cos((2 * x + 1) * u * std::numbers::pi / 16.0));
-    }
-  }
-};
-
-const CosTable& cosines() {
-  static const CosTable table;
-  return table;
-}
-
-}  // namespace
-
 FloatBlock fdct8x8(const FloatBlock& samples) {
-  const auto& c = cosines();
-  // Rows first.
-  FloatBlock tmp{};
-  for (int y = 0; y < 8; ++y)
-    for (int u = 0; u < 8; ++u) {
-      float acc = 0;
-      for (int x = 0; x < 8; ++x) acc += samples[y * 8 + x] * c.t[u][x];
-      tmp[y * 8 + u] = acc;
-    }
-  // Then columns.
-  FloatBlock out{};
-  for (int u = 0; u < 8; ++u)
-    for (int v = 0; v < 8; ++v) {
-      float acc = 0;
-      for (int y = 0; y < 8; ++y) acc += tmp[y * 8 + u] * c.t[v][y];
-      out[v * 8 + u] = acc;
-    }
+  FloatBlock out;
+  kernels::active().fdct8x8(samples.data(), out.data());
   return out;
 }
 
 FloatBlock idct8x8(const FloatBlock& coefficients) {
-  const auto& c = cosines();
-  FloatBlock tmp{};
-  for (int u = 0; u < 8; ++u)
-    for (int y = 0; y < 8; ++y) {
-      float acc = 0;
-      for (int v = 0; v < 8; ++v) acc += coefficients[v * 8 + u] * c.t[v][y];
-      tmp[y * 8 + u] = acc;
-    }
-  FloatBlock out{};
-  for (int y = 0; y < 8; ++y)
-    for (int x = 0; x < 8; ++x) {
-      float acc = 0;
-      for (int u = 0; u < 8; ++u) acc += tmp[y * 8 + u] * c.t[u][x];
-      out[y * 8 + x] = acc;
-    }
+  FloatBlock out;
+  kernels::active().idct8x8(coefficients.data(), out.data());
   return out;
 }
 

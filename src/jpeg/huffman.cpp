@@ -191,9 +191,52 @@ HuffmanDecoder::HuffmanDecoder(const HuffmanSpec& spec)
     }
     code <<= 1;
   }
+
+  // First-level LUT: every code of length <= 8 prefix-fills the 2^(8-len)
+  // window entries it owns (canonical code enumeration, same as the encoder).
+  std::uint32_t lut_code = 0;
+  std::size_t k = 0;
+  for (int len = 1; len <= 8; ++len) {
+    for (int i = 0; i < spec.bits[static_cast<std::size_t>(len)]; ++i) {
+      if (k >= spec.values.size()) return;  // corrupt spec: LUT stays partial
+      const std::uint8_t sym = spec.values[k++];
+      const int shift = 8 - len;
+      const std::uint32_t base = lut_code << shift;
+      if (base + (1u << shift) > 256) return;  // corrupt spec overflow
+      for (std::uint32_t j = 0; j < (1u << shift); ++j) {
+        lut_len_[base + j] = static_cast<std::uint8_t>(len);
+        lut_sym_[base + j] = sym;
+      }
+      ++lut_code;
+    }
+    lut_code <<= 1;
+  }
 }
 
 std::uint8_t HuffmanDecoder::decode(BitReader& in) const {
+  std::uint32_t window = 0;
+  if (in.peek(8, window)) {
+    const int len = lut_len_[window];
+    if (len != 0) {
+      in.skip(len);
+      return lut_sym_[window];
+    }
+    // Longer than 8 bits: the 8 peeked bits are consumed and extended a bit
+    // at a time through the MAXCODE tables.
+    in.skip(8);
+    std::int32_t code = static_cast<std::int32_t>(window);
+    for (int len2 = 9; len2 <= 16; ++len2) {
+      code = (code << 1) | in.bit();
+      const auto l = static_cast<std::size_t>(len2);
+      if (maxcode_[l] >= 0 && code <= maxcode_[l] && code >= mincode_[l]) {
+        const std::int32_t idx = valptr_[l] + (code - mincode_[l]);
+        return values_[static_cast<std::size_t>(idx)];
+      }
+    }
+    in.bit();  // a bit-serial reader consumes a 17th bit before giving up
+    throw ParseError("invalid Huffman code");
+  }
+  // Fewer than 8 bits left before the end of the segment: bit-serial.
   std::int32_t code = in.bit();
   for (int len = 1; len <= 16; ++len) {
     const auto l = static_cast<std::size_t>(len);

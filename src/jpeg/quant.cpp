@@ -1,7 +1,5 @@
 #include "puppies/jpeg/quant.h"
 
-#include <cmath>
-
 #include "puppies/common/error.h"
 #include "puppies/jpeg/zigzag.h"
 
@@ -43,10 +41,6 @@ QuantTable scaled(const std::array<int, 64>& base, int quality) {
   return t;
 }
 
-int clamp_coef(long v, int lo, int hi) {
-  return v < lo ? lo : (v > hi ? hi : static_cast<int>(v));
-}
-
 }  // namespace
 
 QuantTable luma_quant_table(int quality) { return scaled(kLumaBase, quality); }
@@ -61,24 +55,32 @@ QuantTable flat_quant_table(std::uint16_t step) {
   return t;
 }
 
+kernels::QuantConstants quant_constants(const QuantTable& table) {
+  kernels::QuantConstants qc;
+  for (int z = 0; z < 64; ++z) {
+    const int n = kZigzagToNatural[z];
+    qc.recip[n] = 1.0 / static_cast<double>(table.q[z]);
+    qc.step[n] = static_cast<float>(table.q[z]);
+    qc.lo[n] = static_cast<float>(z == 0 ? kDcMin : kAcMin);
+    qc.hi[n] = static_cast<float>(z == 0 ? kDcMax : kAcMax);
+    qc.natural_of_zigzag[z] = static_cast<std::uint8_t>(n);
+  }
+  return qc;
+}
+
 std::array<std::int16_t, 64> quantize(const FloatBlock& raw,
                                       const QuantTable& table) {
+  const kernels::QuantConstants qc = quant_constants(table);
   std::array<std::int16_t, 64> out{};
-  for (int z = 0; z < 64; ++z) {
-    const float v = raw[kZigzagToNatural[z]];
-    const long q = std::lround(v / table.q[z]);
-    out[z] = static_cast<std::int16_t>(
-        z == 0 ? clamp_coef(q, kDcMin, kDcMax) : clamp_coef(q, kAcMin, kAcMax));
-  }
+  kernels::active().quantize(raw.data(), qc, out.data());
   return out;
 }
 
 FloatBlock dequantize(const std::array<std::int16_t, 64>& block,
                       const QuantTable& table) {
+  const kernels::QuantConstants qc = quant_constants(table);
   FloatBlock raw{};
-  for (int z = 0; z < 64; ++z)
-    raw[kZigzagToNatural[z]] =
-        static_cast<float>(block[z]) * static_cast<float>(table.q[z]);
+  kernels::active().dequantize(block.data(), qc, raw.data());
   return raw;
 }
 

@@ -1,0 +1,266 @@
+// AVX2 kernel tier: one full 8-column block row per 256-bit lane, so the
+// DCT passes are a straight-line broadcast/mul/add sequence per row. The
+// intrinsics use separate mul/add (never FMA) and this TU is built with
+// -ffp-contract=off, so every lane reproduces the scalar float sequence
+// bit-for-bit.
+#include "kernels_internal.h"
+
+#if defined(PUPPIES_KERNELS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace puppies::kernels::detail {
+
+namespace {
+
+inline __m256 mul(__m256 a, __m256 b) { return _mm256_mul_ps(a, b); }
+inline __m256 add(__m256 a, __m256 b) { return _mm256_add_ps(a, b); }
+inline __m256 bcast(float v) { return _mm256_set1_ps(v); }
+
+void fdct8x8_avx2(const float* in, float* out) {
+  const float* ct = cos_table_t();  // ct[x * 8 + u]
+  const float* c = cos_table();     // c[u * 8 + x]
+  float tmp[64];
+  // Rows: tmp[y][u] = sum_x in[y][x] * c[u][x], all 8 u in one vector.
+  for (int y = 0; y < 8; ++y) {
+    __m256 acc = mul(bcast(in[y * 8]), _mm256_loadu_ps(ct));
+    for (int x = 1; x < 8; ++x)
+      acc = add(acc, mul(bcast(in[y * 8 + x]), _mm256_loadu_ps(ct + x * 8)));
+    _mm256_storeu_ps(tmp + y * 8, acc);
+  }
+  // Columns: out[v][u] = sum_y tmp[y][u] * c[v][y].
+  for (int v = 0; v < 8; ++v) {
+    __m256 acc = mul(_mm256_loadu_ps(tmp), bcast(c[v * 8]));
+    for (int y = 1; y < 8; ++y)
+      acc = add(acc, mul(_mm256_loadu_ps(tmp + y * 8), bcast(c[v * 8 + y])));
+    _mm256_storeu_ps(out + v * 8, acc);
+  }
+}
+
+void idct8x8_avx2(const float* in, float* out) {
+  const float* c = cos_table();
+  float tmp[64];
+  // tmp[y][u] = sum_v in[v][u] * c[v][y], lanes over u.
+  for (int y = 0; y < 8; ++y) {
+    __m256 acc = mul(_mm256_loadu_ps(in), bcast(c[y]));
+    for (int v = 1; v < 8; ++v)
+      acc = add(acc, mul(_mm256_loadu_ps(in + v * 8), bcast(c[v * 8 + y])));
+    _mm256_storeu_ps(tmp + y * 8, acc);
+  }
+  // out[y][x] = sum_u tmp[y][u] * c[u][x], lanes over x.
+  for (int y = 0; y < 8; ++y) {
+    __m256 acc = mul(bcast(tmp[y * 8]), _mm256_loadu_ps(c));
+    for (int u = 1; u < 8; ++u)
+      acc = add(acc, mul(bcast(tmp[y * 8 + u]), _mm256_loadu_ps(c + u * 8)));
+    _mm256_storeu_ps(out + y * 8, acc);
+  }
+}
+
+/// round-half-away-from-zero of pre-clamped lanes (|v| small enough that
+/// adding the signed 0.5 is exact, so truncation equals std::lround).
+inline __m256i round_half_away(__m256 v) {
+  const __m256 sign_mask = _mm256_set1_ps(-0.f);
+  const __m256 half =
+      _mm256_or_ps(_mm256_and_ps(v, sign_mask), _mm256_set1_ps(0.5f));
+  return _mm256_cvttps_epi32(_mm256_add_ps(v, half));
+}
+
+void quantize_avx2(const float* raw, const QuantConstants& qc,
+                   std::int16_t* out) {
+  std::int16_t nat[64];
+  for (int n = 0; n < 64; n += 8) {
+    // Divide via the double reciprocal, 4 doubles per half.
+    const __m256 v = _mm256_loadu_ps(raw + n);
+    const __m256d v03 = _mm256_cvtps_pd(_mm256_castps256_ps128(v));
+    const __m256d v47 = _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1));
+    const __m128 r03 = _mm256_cvtpd_ps(
+        _mm256_mul_pd(v03, _mm256_loadu_pd(qc.recip.data() + n)));
+    const __m128 r47 = _mm256_cvtpd_ps(
+        _mm256_mul_pd(v47, _mm256_loadu_pd(qc.recip.data() + n + 4)));
+    __m256 q = _mm256_set_m128(r47, r03);
+    q = _mm256_max_ps(q, _mm256_loadu_ps(qc.lo.data() + n));
+    q = _mm256_min_ps(q, _mm256_loadu_ps(qc.hi.data() + n));
+    const __m256i i32 = round_half_away(q);
+    const __m128i p = _mm_packs_epi32(_mm256_castsi256_si128(i32),
+                                      _mm256_extracti128_si256(i32, 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(nat + n), p);
+  }
+  for (int z = 0; z < 64; ++z) out[z] = nat[qc.natural_of_zigzag[z]];
+}
+
+void dequantize_avx2(const std::int16_t* in, const QuantConstants& qc,
+                     float* out) {
+  std::int16_t nat[64];
+  for (int z = 0; z < 64; ++z) nat[qc.natural_of_zigzag[z]] = in[z];
+  for (int n = 0; n < 64; n += 8) {
+    const __m128i v16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(nat + n));
+    const __m256 f = _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(v16));
+    _mm256_storeu_ps(out + n, mul(f, _mm256_loadu_ps(qc.step.data() + n)));
+  }
+}
+
+/// Loads 8 u8 values as floats (exact conversion).
+inline __m256 load8_u8(const std::uint8_t* p) {
+  __m128i v = _mm_setzero_si128();
+  std::memcpy(&v, p, 8);
+  return _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(v));
+}
+
+void rgb_to_ycc_row_avx2(const std::uint8_t* r, const std::uint8_t* g,
+                         const std::uint8_t* b, int n, float* y, float* cb,
+                         float* cr) {
+  int x = 0;
+  const __m256 k128 = bcast(128.f);
+  for (; x + 8 <= n; x += 8) {
+    const __m256 fr = load8_u8(r + x);
+    const __m256 fg = load8_u8(g + x);
+    const __m256 fb = load8_u8(b + x);
+    const __m256 Y = add(add(mul(bcast(0.299f), fr), mul(bcast(0.587f), fg)),
+                         mul(bcast(0.114f), fb));
+    const __m256 Cb =
+        add(add(_mm256_sub_ps(mul(bcast(-0.168736f), fr),
+                              mul(bcast(0.331264f), fg)),
+                mul(bcast(0.5f), fb)),
+            k128);
+    const __m256 Cr =
+        add(_mm256_sub_ps(_mm256_sub_ps(mul(bcast(0.5f), fr),
+                                        mul(bcast(0.418688f), fg)),
+                          mul(bcast(0.081312f), fb)),
+            k128);
+    _mm256_storeu_ps(y + x, Y);
+    _mm256_storeu_ps(cb + x, Cb);
+    _mm256_storeu_ps(cr + x, Cr);
+  }
+  rgb_to_ycc_px(r, g, b, x, n, y, cb, cr);
+}
+
+/// clamp_u8 on 8 lanes: clamp to [0,255], then half-up round (equals
+/// clamp(lround(v)) — see the SSE2 tier note).
+inline __m256i clamp_round8(__m256 v) {
+  v = _mm256_max_ps(v, _mm256_setzero_ps());
+  v = _mm256_min_ps(v, bcast(255.f));
+  return _mm256_cvttps_epi32(_mm256_add_ps(v, bcast(0.5f)));
+}
+
+inline void store8_u8(std::uint8_t* p, __m256i v32) {
+  const __m128i v16 = _mm_packs_epi32(_mm256_castsi256_si128(v32),
+                                      _mm256_extracti128_si256(v32, 1));
+  const __m128i v8 = _mm_packus_epi16(v16, v16);
+  std::memcpy(p, &v8, 8);
+}
+
+void ycc_to_rgb_row_avx2(const float* y, const float* cb, const float* cr,
+                         int n, std::uint8_t* r, std::uint8_t* g,
+                         std::uint8_t* b) {
+  int x = 0;
+  const __m256 k128 = bcast(128.f);
+  for (; x + 8 <= n; x += 8) {
+    const __m256 Y = _mm256_loadu_ps(y + x);
+    const __m256 Cb = _mm256_sub_ps(_mm256_loadu_ps(cb + x), k128);
+    const __m256 Cr = _mm256_sub_ps(_mm256_loadu_ps(cr + x), k128);
+    const __m256 R = add(Y, mul(bcast(1.402f), Cr));
+    const __m256 G =
+        _mm256_sub_ps(_mm256_sub_ps(Y, mul(bcast(0.344136f), Cb)),
+                      mul(bcast(0.714136f), Cr));
+    const __m256 B = add(Y, mul(bcast(1.772f), Cb));
+    store8_u8(r + x, clamp_round8(R));
+    store8_u8(g + x, clamp_round8(G));
+    store8_u8(b + x, clamp_round8(B));
+  }
+  ycc_to_rgb_px(y, cb, cr, x, n, r, g, b);
+}
+
+void downsample2x_row_avx2(const float* row0, const float* row1, int in_w,
+                           int out_w, float* out) {
+  const int interior = in_w / 2 < out_w ? in_w / 2 : out_w;
+  // shuffle_ps(2,0,2,0) deinterleaves within each 128-bit half, leaving the
+  // outputs in crossed order [0,1,4,5,2,3,6,7]; sums and scaling are
+  // elementwise so one permute before the store restores order.
+  const __m256i fix = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+  int x = 0;
+  for (; x + 8 <= interior; x += 8) {
+    const __m256 a0 = _mm256_loadu_ps(row0 + 2 * x);
+    const __m256 a1 = _mm256_loadu_ps(row0 + 2 * x + 8);
+    const __m256 b0 = _mm256_loadu_ps(row1 + 2 * x);
+    const __m256 b1 = _mm256_loadu_ps(row1 + 2 * x + 8);
+    const __m256 even0 = _mm256_shuffle_ps(a0, a1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m256 odd0 = _mm256_shuffle_ps(a0, a1, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m256 even1 = _mm256_shuffle_ps(b0, b1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m256 odd1 = _mm256_shuffle_ps(b0, b1, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m256 sum = add(add(add(even0, odd0), even1), odd1);
+    _mm256_storeu_ps(out + x,
+                     _mm256_permutevar8x32_ps(mul(bcast(0.25f), sum), fix));
+  }
+  for (; x < interior; ++x) {
+    const int x0 = 2 * x;
+    out[x] = 0.25f * (row0[x0] + row0[x0 + 1] + row1[x0] + row1[x0 + 1]);
+  }
+  downsample2x_px(row0, row1, in_w, x, out_w, out);
+}
+
+void upsample_row_avx2(const float* row0, const float* row1, int in_w,
+                       float sx, float wy, int out_w, float* out) {
+  // Same border/interior split as upsample_row_scalar; the interior gathers
+  // its four taps with unchecked indices.
+  int lo = 0;
+  while (lo < out_w &&
+         static_cast<int>(std::floor((lo + 0.5f) * sx - 0.5f)) < 0)
+    ++lo;
+  int hi = out_w;
+  while (hi > lo &&
+         static_cast<int>(std::floor((hi - 1 + 0.5f) * sx - 0.5f)) + 1 >
+             in_w - 1)
+    --hi;
+  upsample_px(row0, row1, in_w, sx, wy, 0, lo, out);
+  const __m256 vone = bcast(1.f);
+  const __m256 vwy = bcast(wy);
+  const __m256 vomwy = _mm256_sub_ps(vone, vwy);
+  int x = lo;
+  for (; x + 8 <= hi; x += 8) {
+    const __m256 xf = _mm256_cvtepi32_ps(_mm256_setr_epi32(
+        x, x + 1, x + 2, x + 3, x + 4, x + 5, x + 6, x + 7));
+    const __m256 fx = _mm256_sub_ps(
+        mul(_mm256_add_ps(xf, bcast(0.5f)), bcast(sx)), bcast(0.5f));
+    const __m256 fl = _mm256_floor_ps(fx);
+    const __m256i x0 = _mm256_cvttps_epi32(fl);
+    const __m256i x1 = _mm256_add_epi32(x0, _mm256_set1_epi32(1));
+    const __m256 wx = _mm256_sub_ps(fx, fl);
+    const __m256 omwx = _mm256_sub_ps(vone, wx);
+    const __m256 r00 = _mm256_i32gather_ps(row0, x0, 4);
+    const __m256 r10 = _mm256_i32gather_ps(row0, x1, 4);
+    const __m256 r01 = _mm256_i32gather_ps(row1, x0, 4);
+    const __m256 r11 = _mm256_i32gather_ps(row1, x1, 4);
+    const __m256 v = add(add(add(mul(mul(r00, omwx), vomwy),
+                                 mul(mul(r10, wx), vomwy)),
+                             mul(mul(r01, omwx), vwy)),
+                         mul(mul(r11, wx), vwy));
+    _mm256_storeu_ps(out + x, v);
+  }
+  for (; x < hi; ++x) {
+    const float fx = (x + 0.5f) * sx - 0.5f;
+    const int x0 = static_cast<int>(std::floor(fx));
+    const float wx = fx - x0;
+    out[x] = row0[x0] * (1 - wx) * (1 - wy) + row0[x0 + 1] * wx * (1 - wy) +
+             row1[x0] * (1 - wx) * wy + row1[x0 + 1] * wx * wy;
+  }
+  upsample_px(row0, row1, in_w, sx, wy, hi, out_w, out);
+}
+
+}  // namespace
+
+const KernelTable& table_avx2() {
+  static const KernelTable t = {
+      fdct8x8_avx2,         idct8x8_avx2,
+      quantize_avx2,        dequantize_avx2,
+      rgb_to_ycc_row_avx2,  ycc_to_rgb_row_avx2,
+      downsample2x_row_avx2, upsample_row_avx2,
+  };
+  return t;
+}
+
+}  // namespace puppies::kernels::detail
+
+#endif  // PUPPIES_KERNELS_HAVE_AVX2

@@ -1,0 +1,239 @@
+// SSE2 kernel tier: 4 output columns per 128-bit lane, two halves per block
+// row. Accumulation order, first-term initialization, and the absence of
+// FMA (no such instruction in SSE2, and this TU is built with
+// -ffp-contract=off) make every lane execute exactly the scalar sequence.
+#include "kernels_internal.h"
+
+#if defined(PUPPIES_KERNELS_HAVE_SSE2)
+
+#include <emmintrin.h>
+
+#include <cstring>
+
+namespace puppies::kernels::detail {
+
+namespace {
+
+inline __m128 mul(__m128 a, __m128 b) { return _mm_mul_ps(a, b); }
+inline __m128 add(__m128 a, __m128 b) { return _mm_add_ps(a, b); }
+inline __m128 bcast(float v) { return _mm_set1_ps(v); }
+
+void fdct8x8_sse2(const float* in, float* out) {
+  const float* ct = cos_table_t();  // ct[x * 8 + u]
+  const float* c = cos_table();     // c[u * 8 + x]
+  float tmp[64];
+  // Rows: tmp[y][u] = sum_x in[y][x] * c[u][x], lanes over u.
+  for (int y = 0; y < 8; ++y) {
+    __m128 lo = mul(bcast(in[y * 8]), _mm_loadu_ps(ct));
+    __m128 hi = mul(bcast(in[y * 8]), _mm_loadu_ps(ct + 4));
+    for (int x = 1; x < 8; ++x) {
+      const __m128 s = bcast(in[y * 8 + x]);
+      lo = add(lo, mul(s, _mm_loadu_ps(ct + x * 8)));
+      hi = add(hi, mul(s, _mm_loadu_ps(ct + x * 8 + 4)));
+    }
+    _mm_storeu_ps(tmp + y * 8, lo);
+    _mm_storeu_ps(tmp + y * 8 + 4, hi);
+  }
+  // Columns: out[v][u] = sum_y tmp[y][u] * c[v][y], lanes over u.
+  for (int v = 0; v < 8; ++v) {
+    __m128 lo = mul(_mm_loadu_ps(tmp), bcast(c[v * 8]));
+    __m128 hi = mul(_mm_loadu_ps(tmp + 4), bcast(c[v * 8]));
+    for (int y = 1; y < 8; ++y) {
+      const __m128 w = bcast(c[v * 8 + y]);
+      lo = add(lo, mul(_mm_loadu_ps(tmp + y * 8), w));
+      hi = add(hi, mul(_mm_loadu_ps(tmp + y * 8 + 4), w));
+    }
+    _mm_storeu_ps(out + v * 8, lo);
+    _mm_storeu_ps(out + v * 8 + 4, hi);
+  }
+}
+
+void idct8x8_sse2(const float* in, float* out) {
+  const float* c = cos_table();
+  float tmp[64];
+  // tmp[y][u] = sum_v in[v][u] * c[v][y], lanes over u.
+  for (int y = 0; y < 8; ++y) {
+    __m128 lo = mul(_mm_loadu_ps(in), bcast(c[y]));
+    __m128 hi = mul(_mm_loadu_ps(in + 4), bcast(c[y]));
+    for (int v = 1; v < 8; ++v) {
+      const __m128 w = bcast(c[v * 8 + y]);
+      lo = add(lo, mul(_mm_loadu_ps(in + v * 8), w));
+      hi = add(hi, mul(_mm_loadu_ps(in + v * 8 + 4), w));
+    }
+    _mm_storeu_ps(tmp + y * 8, lo);
+    _mm_storeu_ps(tmp + y * 8 + 4, hi);
+  }
+  // out[y][x] = sum_u tmp[y][u] * c[u][x], lanes over x.
+  for (int y = 0; y < 8; ++y) {
+    __m128 lo = mul(bcast(tmp[y * 8]), _mm_loadu_ps(c));
+    __m128 hi = mul(bcast(tmp[y * 8]), _mm_loadu_ps(c + 4));
+    for (int u = 1; u < 8; ++u) {
+      const __m128 s = bcast(tmp[y * 8 + u]);
+      lo = add(lo, mul(s, _mm_loadu_ps(c + u * 8)));
+      hi = add(hi, mul(s, _mm_loadu_ps(c + u * 8 + 4)));
+    }
+    _mm_storeu_ps(out + y * 8, lo);
+    _mm_storeu_ps(out + y * 8 + 4, hi);
+  }
+}
+
+/// round-half-away-from-zero of pre-clamped lanes: |v| <= 2048, so adding
+/// the signed 0.5 is exact and truncation equals std::lround.
+inline __m128i round_half_away(__m128 v) {
+  const __m128 sign_mask = _mm_set1_ps(-0.f);
+  const __m128 half =
+      _mm_or_ps(_mm_and_ps(v, sign_mask), _mm_set1_ps(0.5f));
+  return _mm_cvttps_epi32(_mm_add_ps(v, half));
+}
+
+void quantize_sse2(const float* raw, const QuantConstants& qc,
+                   std::int16_t* out) {
+  std::int16_t nat[64];
+  for (int n = 0; n < 64; n += 4) {
+    // Divide via the double reciprocal: two 2-double halves per 4 floats.
+    const __m128 v = _mm_loadu_ps(raw + n);
+    const __m128d v01 = _mm_cvtps_pd(v);
+    const __m128d v23 = _mm_cvtps_pd(_mm_movehl_ps(v, v));
+    const __m128d r01 = _mm_mul_pd(v01, _mm_loadu_pd(qc.recip.data() + n));
+    const __m128d r23 =
+        _mm_mul_pd(v23, _mm_loadu_pd(qc.recip.data() + n + 2));
+    __m128 q = _mm_movelh_ps(_mm_cvtpd_ps(r01), _mm_cvtpd_ps(r23));
+    q = _mm_max_ps(q, _mm_loadu_ps(qc.lo.data() + n));
+    q = _mm_min_ps(q, _mm_loadu_ps(qc.hi.data() + n));
+    const __m128i i = round_half_away(q);
+    // 4 int32 -> 4 int16 (values already clamped well inside int16).
+    const __m128i p = _mm_packs_epi32(i, i);
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(nat + n), p);
+  }
+  for (int z = 0; z < 64; ++z) out[z] = nat[qc.natural_of_zigzag[z]];
+}
+
+void dequantize_sse2(const std::int16_t* in, const QuantConstants& qc,
+                     float* out) {
+  std::int16_t nat[64];
+  for (int z = 0; z < 64; ++z) nat[qc.natural_of_zigzag[z]] = in[z];
+  for (int n = 0; n < 64; n += 8) {
+    const __m128i v16 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(nat + n));
+    const __m128i sign = _mm_srai_epi16(v16, 15);
+    const __m128i lo32 = _mm_unpacklo_epi16(v16, sign);
+    const __m128i hi32 = _mm_unpackhi_epi16(v16, sign);
+    _mm_storeu_ps(out + n, mul(_mm_cvtepi32_ps(lo32),
+                               _mm_loadu_ps(qc.step.data() + n)));
+    _mm_storeu_ps(out + n + 4, mul(_mm_cvtepi32_ps(hi32),
+                                   _mm_loadu_ps(qc.step.data() + n + 4)));
+  }
+}
+
+/// Loads 4 u8 values as floats (exact conversion).
+inline __m128 load4_u8(const std::uint8_t* p) {
+  int packed;
+  std::memcpy(&packed, p, sizeof(packed));
+  const __m128i v = _mm_cvtsi32_si128(packed);
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i w16 = _mm_unpacklo_epi8(v, zero);
+  return _mm_cvtepi32_ps(_mm_unpacklo_epi16(w16, zero));
+}
+
+void rgb_to_ycc_row_sse2(const std::uint8_t* r, const std::uint8_t* g,
+                         const std::uint8_t* b, int n, float* y, float* cb,
+                         float* cr) {
+  int x = 0;
+  for (; x + 4 <= n; x += 4) {
+    const __m128 fr = load4_u8(r + x);
+    const __m128 fg = load4_u8(g + x);
+    const __m128 fb = load4_u8(b + x);
+    const __m128 k128 = bcast(128.f);
+    __m128 Y = add(add(mul(bcast(0.299f), fr), mul(bcast(0.587f), fg)),
+                   mul(bcast(0.114f), fb));
+    __m128 Cb = add(add(_mm_sub_ps(mul(bcast(-0.168736f), fr),
+                                   mul(bcast(0.331264f), fg)),
+                        mul(bcast(0.5f), fb)),
+                    k128);
+    __m128 Cr = add(_mm_sub_ps(_mm_sub_ps(mul(bcast(0.5f), fr),
+                                          mul(bcast(0.418688f), fg)),
+                               mul(bcast(0.081312f), fb)),
+                    k128);
+    _mm_storeu_ps(y + x, Y);
+    _mm_storeu_ps(cb + x, Cb);
+    _mm_storeu_ps(cr + x, Cr);
+  }
+  rgb_to_ycc_px(r, g, b, x, n, y, cb, cr);
+}
+
+/// clamp_u8 on 4 lanes: clamp to [0,255] first, then half-away round; for
+/// in-range v both orders agree with clamp(lround(v)) (see scalar tier).
+inline __m128i clamp_round4(__m128 v) {
+  v = _mm_max_ps(v, _mm_setzero_ps());
+  v = _mm_min_ps(v, bcast(255.f));
+  return _mm_cvttps_epi32(_mm_add_ps(v, bcast(0.5f)));
+}
+
+inline void store4_u8(std::uint8_t* p, __m128i v32) {
+  const __m128i v16 = _mm_packs_epi32(v32, v32);
+  const __m128i v8 = _mm_packus_epi16(v16, v16);
+  const int packed = _mm_cvtsi128_si32(v8);
+  std::memcpy(p, &packed, sizeof(packed));
+}
+
+void ycc_to_rgb_row_sse2(const float* y, const float* cb, const float* cr,
+                         int n, std::uint8_t* r, std::uint8_t* g,
+                         std::uint8_t* b) {
+  int x = 0;
+  const __m128 k128 = bcast(128.f);
+  for (; x + 4 <= n; x += 4) {
+    const __m128 Y = _mm_loadu_ps(y + x);
+    const __m128 Cb = _mm_sub_ps(_mm_loadu_ps(cb + x), k128);
+    const __m128 Cr = _mm_sub_ps(_mm_loadu_ps(cr + x), k128);
+    const __m128 R = add(Y, mul(bcast(1.402f), Cr));
+    const __m128 G = _mm_sub_ps(_mm_sub_ps(Y, mul(bcast(0.344136f), Cb)),
+                                mul(bcast(0.714136f), Cr));
+    const __m128 B = add(Y, mul(bcast(1.772f), Cb));
+    store4_u8(r + x, clamp_round4(R));
+    store4_u8(g + x, clamp_round4(G));
+    store4_u8(b + x, clamp_round4(B));
+  }
+  ycc_to_rgb_px(y, cb, cr, x, n, r, g, b);
+}
+
+void downsample2x_row_sse2(const float* row0, const float* row1, int in_w,
+                           int out_w, float* out) {
+  const int interior = in_w / 2 < out_w ? in_w / 2 : out_w;
+  int x = 0;
+  for (; x + 4 <= interior; x += 4) {
+    const __m128 a0 = _mm_loadu_ps(row0 + 2 * x);
+    const __m128 a1 = _mm_loadu_ps(row0 + 2 * x + 4);
+    const __m128 b0 = _mm_loadu_ps(row1 + 2 * x);
+    const __m128 b1 = _mm_loadu_ps(row1 + 2 * x + 4);
+    const __m128 even0 = _mm_shuffle_ps(a0, a1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m128 odd0 = _mm_shuffle_ps(a0, a1, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m128 even1 = _mm_shuffle_ps(b0, b1, _MM_SHUFFLE(2, 0, 2, 0));
+    const __m128 odd1 = _mm_shuffle_ps(b0, b1, _MM_SHUFFLE(3, 1, 3, 1));
+    const __m128 sum = add(add(add(even0, odd0), even1), odd1);
+    _mm_storeu_ps(out + x, mul(bcast(0.25f), sum));
+  }
+  for (; x < interior; ++x) {
+    const int x0 = 2 * x;
+    out[x] = 0.25f * (row0[x0] + row0[x0 + 1] + row1[x0] + row1[x0 + 1]);
+  }
+  downsample2x_px(row0, row1, in_w, x, out_w, out);
+}
+
+}  // namespace
+
+const KernelTable& table_sse2() {
+  static const KernelTable t = {
+      fdct8x8_sse2,         idct8x8_sse2,
+      quantize_sse2,        dequantize_sse2,
+      rgb_to_ycc_row_sse2,  ycc_to_rgb_row_sse2,
+      downsample2x_row_sse2,
+      // No gather / floor in SSE2: the bilinear resampler stays on the
+      // scalar interior-fast-path implementation.
+      upsample_row_scalar,
+  };
+  return t;
+}
+
+}  // namespace puppies::kernels::detail
+
+#endif  // PUPPIES_KERNELS_HAVE_SSE2

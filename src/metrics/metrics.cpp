@@ -30,6 +30,7 @@ struct Registry::Impl {
   // Node-based maps: inserting never moves existing Counter/Histogram
   // objects, so references handed out stay valid forever.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
 };
 
@@ -53,6 +54,15 @@ Counter& Registry::counter(std::string_view name) {
   return *it->second;
 }
 
+Gauge& Registry::gauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard lock(im.mu);
+  auto it = im.gauges.find(name);
+  if (it == im.gauges.end())
+    it = im.gauges.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
 Histogram& Registry::histogram(std::string_view name) {
   Impl& im = impl();
   std::lock_guard lock(im.mu);
@@ -68,6 +78,7 @@ void Registry::reset() {
   Impl& im = impl();
   std::lock_guard lock(im.mu);
   for (auto& [name, c] : im.counters) c->reset();
+  for (auto& [name, g] : im.gauges) g->reset();
   for (auto& [name, h] : im.histograms) h->reset();
 }
 
@@ -81,6 +92,17 @@ std::string Registry::to_json() const {
     std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %llu",
                   first ? "" : ",", name.c_str(),
                   static_cast<unsigned long long>(c->value()));
+    out += buf;
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : im.gauges) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%s\n    \"%s\": %lld",
+                  first ? "" : ",", name.c_str(),
+                  static_cast<long long>(g->value()));
     out += buf;
     first = false;
   }

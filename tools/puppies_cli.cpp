@@ -31,6 +31,7 @@
 #include "puppies/image/ppm.h"
 #include "puppies/jpeg/codec.h"
 #include "puppies/jpeg/inspect.h"
+#include "puppies/kernels/kernels.h"
 #include "puppies/metrics/metrics.h"
 #include "puppies/roi/detect.h"
 #include "puppies/store/blob_store.h"
@@ -60,6 +61,8 @@ namespace {
                "global options:\n"
                "  --threads N   worker threads for parallel stages (default:\n"
                "                PUPPIES_THREADS env var, else all cores)\n"
+               "  --simd TIER   SIMD kernel tier: scalar|sse2|avx2 (default:\n"
+               "                PUPPIES_SIMD env var, else CPU detection)\n"
                "\n"
                "store options:\n"
                "  --dir DIR     blob directory (default: PUPPIES_DATA_DIR env\n"
@@ -344,12 +347,20 @@ int cmd_store(std::vector<std::string> args) {
     if (!positional.empty()) usage("store stats takes no extra arguments");
     if (json) {
       std::printf("{\"dir\": \"%s\", \"blobs\": %zu, \"bytes\": %zu,\n"
+                  "\"simd_tier\": \"%.*s\",\n"
                   "\"metrics\": %s}\n",
                   json_escape(dir).c_str(), blobs->count(),
-                  blobs->total_bytes(), metrics::dump_json().c_str());
+                  blobs->total_bytes(),
+                  static_cast<int>(
+                      kernels::to_string(kernels::active_tier()).size()),
+                  kernels::to_string(kernels::active_tier()).data(),
+                  metrics::dump_json().c_str());
     } else {
-      std::printf("%s: %zu blobs, %zu bytes\n", dir.c_str(), blobs->count(),
-                  blobs->total_bytes());
+      std::printf("%s: %zu blobs, %zu bytes (simd: %.*s)\n", dir.c_str(),
+                  blobs->count(), blobs->total_bytes(),
+                  static_cast<int>(
+                      kernels::to_string(kernels::active_tier()).size()),
+                  kernels::to_string(kernels::active_tier()).data());
     }
     return 0;
   }
@@ -367,6 +378,13 @@ int main(int argc, char** argv) {
       const int n = std::atoi(argv[++i]);
       if (n <= 0) usage("bad --threads, expected a positive integer");
       exec::configure(exec::Config{n});
+    } else if (std::strcmp(argv[i], "--simd") == 0) {
+      if (i + 1 >= argc) usage("missing value after --simd");
+      try {
+        kernels::configure(kernels::parse_tier(argv[++i]));
+      } catch (const std::exception& e) {
+        usage(e.what());
+      }
     } else if (command.empty()) {
       command = argv[i];
     } else {
