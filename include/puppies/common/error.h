@@ -30,6 +30,27 @@ class KeyError : public Error {
   explicit KeyError(const std::string& what) : Error("key error: " + what) {}
 };
 
+/// A failure that may succeed if retried: an I/O hiccup (EINTR, transient
+/// open/write/read failure) or an injected fault. The disk store absorbs
+/// these with a bounded deterministic retry before letting one escape;
+/// callers seeing a TransientError know the operation was NOT acknowledged
+/// and left no partial state behind.
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what)
+      : Error("transient error: " + what) {}
+};
+
+/// Stored bytes failed integrity verification against their content
+/// address (bit-rot, tampering, torn write that survived a crash). Never
+/// retried — the data is wrong, not late. The disk store quarantines the
+/// offending blob before throwing, so the next request cannot serve it.
+class CorruptionError : public Error {
+ public:
+  explicit CorruptionError(const std::string& what)
+      : Error("corruption: " + what) {}
+};
+
 /// Throws InvalidArgument with `msg` unless `cond` holds.
 inline void require(bool cond, const char* msg) {
   if (!cond) throw InvalidArgument(msg);

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace puppies::fault {
+
+/// Deterministic fault injection (DESIGN.md §9).
+///
+/// Call sites name their hazards —
+///
+///   if (fault::point("store.put.write"))
+///     throw TransientError("injected: store.put.write");
+///
+/// — and tests/operators arm *plans* that decide when a named point fires:
+/// fail-once, every-Nth, always, or seeded-probabilistic. The call site owns
+/// the reaction (throw, corrupt a buffer, drop a message), so one framework
+/// composes with any hazard. With no plan armed, point() is a single relaxed
+/// atomic load and a predicted-not-taken branch: production hot paths pay
+/// nothing measurable.
+///
+/// Plans come from code (arm / arm_spec), the PUPPIES_FAULTS environment
+/// variable (read once at process start), or the CLI's global `--faults`
+/// flag. Spec grammar, comma/semicolon separated:
+///
+///   point=once | point=always | point=nth:N | point=p:P[:SEED]
+///
+/// e.g. PUPPIES_FAULTS="store.put.write=once,store.get.read=p:0.3:7".
+///
+/// Every trigger is deterministic: fail-once fires on the first hit only,
+/// every-Nth counts hits in arrival order (fires on hits N, 2N, ...), and
+/// probabilistic draws come from a per-point xoshiro stream seeded with
+/// SEED ^ fnv1a(point name) — a fixed seed replays the same fault schedule.
+/// Every fire bumps metrics counters `fault.fired` and `fault.fired.<name>`.
+
+struct Trigger {
+  enum class Mode : std::uint8_t { kAlways, kOnce, kEveryNth, kProbability };
+  Mode mode = Mode::kAlways;
+  std::uint64_t n = 1;     ///< kEveryNth period (fires on hits N, 2N, ...)
+  double p = 1.0;          ///< kProbability fire chance in [0, 1]
+  std::uint64_t seed = 0;  ///< kProbability stream seed
+};
+
+namespace detail {
+extern std::atomic<int> armed_points;  ///< count of points with a live plan
+bool point_slow(std::string_view name);
+}  // namespace detail
+
+/// True when the named fault fires now. Disarmed cost: one relaxed load.
+inline bool point(std::string_view name) {
+  if (detail::armed_points.load(std::memory_order_relaxed) == 0) return false;
+  return detail::point_slow(name);
+}
+
+/// Arms `trigger` on one point, replacing any existing plan (and resetting
+/// its hit/fired counts and probability stream).
+void arm(std::string_view name, const Trigger& trigger);
+
+/// Parses and arms a multi-point spec; throws InvalidArgument on bad syntax
+/// (nothing is armed on failure).
+void arm_spec(std::string_view spec);
+
+/// Parses one trigger ("once", "always", "nth:3", "p:0.5:42");
+/// throws InvalidArgument on bad syntax.
+Trigger parse_trigger(std::string_view text);
+
+void disarm(std::string_view name);
+void disarm_all();
+
+/// Times the named point was evaluated / actually fired since it was armed.
+/// Zero for unarmed points.
+std::uint64_t hits(std::string_view name);
+std::uint64_t fired(std::string_view name);
+
+/// Names of all currently armed points, sorted.
+std::vector<std::string> armed();
+
+/// RAII plan for tests: arms a spec, disarms exactly those points on
+/// destruction (plans armed by other code are left alone).
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(std::string_view spec);
+  ~ScopedPlan();
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+
+ private:
+  std::vector<std::string> points_;
+};
+
+}  // namespace puppies::fault

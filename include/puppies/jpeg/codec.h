@@ -45,7 +45,21 @@ RgbImage decode_to_rgb(const CoefficientImage& coeffs);
 Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts = {});
 
 /// Parses a JFIF stream produced by serialize() (baseline, 4:4:4 or gray).
+/// Malformed or hostile input throws ParseError — never anything else, and
+/// never an unbounded allocation: SOF dimensions whose pixel footprint
+/// exceeds max_decode_pixels() are rejected before any buffer is sized.
 CoefficientImage parse(std::span<const std::uint8_t> data);
+
+/// Decoder allocation guard: the largest width*height (in pixels) parse()
+/// will accept from an SOF header. Default 100'000'000 (100 MP), overridable
+/// with the PUPPIES_MAX_PIXELS environment variable; a crafted 65535x65535
+/// header would otherwise commit the decoder to multi-GB coefficient
+/// buffers before a single MCU is decoded.
+std::size_t max_decode_pixels();
+
+/// Overrides the guard at runtime (tests, embedders); 0 restores the
+/// env/default resolution.
+void set_max_decode_pixels(std::size_t pixels);
 
 /// End-to-end conveniences.
 Bytes compress(const RgbImage& img, int quality,

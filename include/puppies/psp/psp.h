@@ -59,6 +59,12 @@ struct PspConfig {
 /// content-addressed BlobStore; each upload is parsed once and the
 /// coefficient image retained; transform results are memoized in a
 /// single-flight LRU TransformCache; every step feeds metrics::Registry.
+///
+/// Robustness (DESIGN.md §9): the service never stops serving. A blob-store
+/// read failure or corruption during download falls back to the retained
+/// in-memory parse (metrics `psp.degraded.*`) and re-publishes the blob to
+/// heal the store; a transient cache/compute failure during apply_transform
+/// is retried directly, bypassing the cache, and never poisons a cache key.
 class PspService {
  public:
   PspService();
@@ -81,7 +87,12 @@ class PspService {
                            DeliveryMode mode = DeliveryMode::kLinearFloat,
                            int reencode_quality = 85);
 
-  Download download(const std::string& id) const;
+  /// Serves the (possibly transformed) image. Degraded mode: if the blob
+  /// store cannot produce verified bytes (transient failure or quarantined
+  /// corruption), the download is served from the retained parse instead
+  /// and the blob is re-published from it — self-healing, since re-putting
+  /// restores the content under the same address.
+  Download download(const std::string& id);
 
   /// Cloud-side storage in bytes for this image (perturbed image + public
   /// parameters + transformed variant).

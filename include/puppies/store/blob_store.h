@@ -10,11 +10,29 @@
 
 namespace puppies::store {
 
+/// What one scrub() sweep found and did.
+struct ScrubReport {
+  std::size_t checked = 0;  ///< blobs examined
+  std::size_t ok = 0;       ///< verified byte-identical to their address
+  /// Blobs that failed integrity verification (or could not be read at
+  /// all) and were quarantined — removed from the index, file moved to
+  /// `<dir>/quarantine/` on disk.
+  std::vector<Digest> quarantined;
+  std::size_t tmp_removed = 0;        ///< stale tmp files deleted (repair)
+  std::size_t quarantine_purged = 0;  ///< quarantined files deleted (repair)
+};
+
 /// Content-addressed blob storage: a blob's address IS its SHA-256 digest,
 /// so puts are idempotent, identical uploads deduplicate for free, and a
 /// fetched blob can always be verified against its address. The PSP's
 /// perturbed JPEGs live here; future backends (sharded, remote) implement
 /// the same interface.
+///
+/// Error taxonomy (common/error.h): InvalidArgument for unknown digests,
+/// TransientError for I/O failures that exhausted the retry budget (the
+/// operation was not acknowledged and left no partial state), and
+/// CorruptionError when stored bytes no longer match their address (the
+/// blob is quarantined first, never served).
 ///
 /// All methods are safe to call concurrently.
 class BlobStore {
@@ -22,10 +40,13 @@ class BlobStore {
   virtual ~BlobStore() = default;
 
   /// Stores `data` and returns its digest. Re-putting existing content is a
-  /// cheap no-op returning the same digest.
+  /// cheap no-op returning the same digest. A returned digest is an
+  /// acknowledgement: the blob is durable and retrievable byte-identical.
   virtual Digest put(std::span<const std::uint8_t> data) = 0;
 
-  /// Fetches a blob; throws InvalidArgument for an unknown digest.
+  /// Fetches a blob and verifies it against its content address; throws
+  /// InvalidArgument for an unknown digest, CorruptionError (after
+  /// quarantining) if the stored bytes fail verification.
   virtual Bytes get(const Digest& digest) const = 0;
 
   virtual bool contains(const Digest& digest) const = 0;
@@ -41,16 +62,28 @@ class BlobStore {
 
   /// All stored digests, sorted.
   virtual std::vector<Digest> list() const = 0;
+
+  /// Sweeps the whole store, verifying every blob against its address and
+  /// quarantining any that fail (a corrupt blob is never served again —
+  /// re-putting the same content heals it). With `repair`, additionally
+  /// purges the quarantine area and stale temp files, reclaiming space.
+  virtual ScrubReport scrub(bool repair = false) = 0;
 };
 
 /// In-memory backend (the default; nothing persists).
 std::unique_ptr<BlobStore> open_memory_store();
 
 /// On-disk backend rooted at `dir` (created if missing). Blobs live at
-/// `<dir>/<hex[0:2]>/<hex>.blob`; writes go to a temp file in `<dir>/tmp/`
-/// and are published with an atomic rename, so a crash never leaves a
-/// half-written blob at a final path. Opening scans the directory and
-/// rebuilds the index from file names (stale temp files are ignored).
+/// `<dir>/<hex[0:2]>/<hex>.blob`; writes go to a temp file in `<dir>/tmp/`,
+/// are fsync'd, and are published with an atomic rename, so an acknowledged
+/// put survives a crash and a reader sees either no file or the complete
+/// blob, never a torn write. Transient open/write/fsync/rename/read
+/// failures are retried on a bounded, deterministic, clock-free backoff
+/// (metrics `store.retry.*`). Every get re-hashes the bytes read and
+/// compares them to the blob's address; a mismatch moves the file to
+/// `<dir>/quarantine/` (metrics `store.quarantined`) and throws
+/// CorruptionError. Opening scans the directory, rebuilds the index from
+/// file names, and sweeps stale temp files left by crashed writers.
 std::unique_ptr<BlobStore> open_disk_store(const std::string& dir);
 
 }  // namespace puppies::store

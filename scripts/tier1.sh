@@ -4,6 +4,8 @@
 # cache's single-flight path is exercised concurrently from
 # apply_transform_all, so a plain pass alone is weak evidence — TSan turns
 # latent races in the blob store / cache / metrics registry into failures.
+# tests_store also carries the fault-schedule walk and the PSP degraded-mode
+# suite, so the injected-fault retry/quarantine paths get TSan coverage too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,4 +22,17 @@ cmake -B build-tsan -S . -DPUPPIES_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target tests_store
 ./build-tsan/tests/tests_store
 
-echo "tier-1: OK (full suite + scalar-tier tests_kernels + tests_store under TSan)"
+# Mutation fuzzing of the JPEG parser under the memory sanitizers: ten
+# thousand seeded mutants per run must produce clean ParseErrors, never a
+# heap error (ASan) or undefined behaviour (UBSan). The plain build above
+# already ran the suite once; these runs are what the crash-free claim
+# actually rests on.
+cmake -B build-asan -S . -DPUPPIES_SANITIZE=address
+cmake --build build-asan -j"$(nproc)" --target tests_fuzz
+./build-asan/tests/tests_fuzz
+
+cmake -B build-ubsan -S . -DPUPPIES_SANITIZE=undefined
+cmake --build build-ubsan -j"$(nproc)" --target tests_fuzz
+./build-ubsan/tests/tests_fuzz
+
+echo "tier-1: OK (full suite + scalar-tier tests_kernels + tests_store under TSan + tests_fuzz under ASan/UBSan)"

@@ -1,0 +1,218 @@
+#include "puppies/fault/fault.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "puppies/common/error.h"
+#include "puppies/common/rng.h"
+#include "puppies/metrics/metrics.h"
+
+namespace puppies::fault {
+
+std::atomic<int> detail::armed_points{0};
+
+namespace {
+
+struct PointState {
+  Trigger trigger;
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+  Rng rng{0};
+};
+
+struct Plans {
+  std::mutex mu;
+  std::map<std::string, PointState, std::less<>> points;
+};
+
+Plans& plans() {
+  // Leaked: fault points may be evaluated from static destructors.
+  static Plans* p = new Plans;
+  return *p;
+}
+
+std::uint64_t parse_u64(std::string_view text, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size())
+    throw InvalidArgument(std::string("fault spec: bad ") + what + " '" +
+                          std::string(text) + "'");
+  return v;
+}
+
+std::vector<std::pair<std::string, Trigger>> parse_spec(
+    std::string_view spec) {
+  std::vector<std::pair<std::string, Trigger>> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find_first_of(",;", start);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0)
+      throw InvalidArgument("fault spec: expected point=trigger, got '" +
+                            std::string(item) + "'");
+    out.emplace_back(std::string(item.substr(0, eq)),
+                     parse_trigger(item.substr(eq + 1)));
+  }
+  return out;
+}
+
+/// PUPPIES_FAULTS is honored by every binary that links the library (tests,
+/// CLI, benches) without per-tool plumbing. A malformed value is a hard
+/// startup error — silently running *without* the faults the user asked for
+/// would invalidate whatever they were measuring.
+const bool g_env_armed = [] {
+  const char* env = std::getenv("PUPPIES_FAULTS");
+  if (env && *env) {
+    try {
+      arm_spec(env);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "puppies: bad PUPPIES_FAULTS: %s\n", e.what());
+      std::exit(2);
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+bool detail::point_slow(std::string_view name) {
+  Plans& p = plans();
+  bool fire = false;
+  {
+    std::lock_guard lock(p.mu);
+    auto it = p.points.find(name);
+    if (it == p.points.end()) return false;
+    PointState& s = it->second;
+    ++s.hits;
+    switch (s.trigger.mode) {
+      case Trigger::Mode::kAlways:
+        fire = true;
+        break;
+      case Trigger::Mode::kOnce:
+        fire = s.hits == 1;
+        break;
+      case Trigger::Mode::kEveryNth:
+        fire = s.hits % s.trigger.n == 0;
+        break;
+      case Trigger::Mode::kProbability:
+        fire = s.rng.chance(s.trigger.p);
+        break;
+    }
+    if (fire) ++s.fired;
+  }
+  if (fire) {
+    metrics::counter("fault.fired").add();
+    metrics::counter("fault.fired." + std::string(name)).add();
+  }
+  return fire;
+}
+
+Trigger parse_trigger(std::string_view text) {
+  Trigger t;
+  if (text == "always") {
+    t.mode = Trigger::Mode::kAlways;
+    return t;
+  }
+  if (text == "once") {
+    t.mode = Trigger::Mode::kOnce;
+    return t;
+  }
+  if (text.starts_with("nth:")) {
+    t.mode = Trigger::Mode::kEveryNth;
+    t.n = parse_u64(text.substr(4), "nth period");
+    if (t.n == 0) throw InvalidArgument("fault spec: nth period must be > 0");
+    return t;
+  }
+  if (text.starts_with("p:")) {
+    t.mode = Trigger::Mode::kProbability;
+    std::string_view rest = text.substr(2);
+    const std::size_t colon = rest.find(':');
+    const std::string prob(rest.substr(0, colon));
+    char* end = nullptr;
+    t.p = std::strtod(prob.c_str(), &end);
+    if (end != prob.c_str() + prob.size() || !(t.p >= 0.0 && t.p <= 1.0))
+      throw InvalidArgument("fault spec: bad probability '" + prob + "'");
+    if (colon != std::string_view::npos)
+      t.seed = parse_u64(rest.substr(colon + 1), "seed");
+    return t;
+  }
+  throw InvalidArgument(
+      "fault trigger: expected once|always|nth:N|p:P[:SEED], got '" +
+      std::string(text) + "'");
+}
+
+void arm(std::string_view name, const Trigger& trigger) {
+  Plans& p = plans();
+  std::lock_guard lock(p.mu);
+  PointState state;
+  state.trigger = trigger;
+  state.rng = Rng(trigger.seed ^ fnv1a(name));
+  p.points.insert_or_assign(std::string(name), std::move(state));
+  detail::armed_points.store(static_cast<int>(p.points.size()),
+                             std::memory_order_relaxed);
+}
+
+void arm_spec(std::string_view spec) {
+  for (const auto& [name, trigger] : parse_spec(spec)) arm(name, trigger);
+}
+
+void disarm(std::string_view name) {
+  Plans& p = plans();
+  std::lock_guard lock(p.mu);
+  auto it = p.points.find(name);
+  if (it != p.points.end()) p.points.erase(it);
+  detail::armed_points.store(static_cast<int>(p.points.size()),
+                             std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Plans& p = plans();
+  std::lock_guard lock(p.mu);
+  p.points.clear();
+  detail::armed_points.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(std::string_view name) {
+  Plans& p = plans();
+  std::lock_guard lock(p.mu);
+  auto it = p.points.find(name);
+  return it == p.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fired(std::string_view name) {
+  Plans& p = plans();
+  std::lock_guard lock(p.mu);
+  auto it = p.points.find(name);
+  return it == p.points.end() ? 0 : it->second.fired;
+}
+
+std::vector<std::string> armed() {
+  Plans& p = plans();
+  std::lock_guard lock(p.mu);
+  std::vector<std::string> out;
+  out.reserve(p.points.size());
+  for (const auto& [name, state] : p.points) out.push_back(name);
+  return out;
+}
+
+ScopedPlan::ScopedPlan(std::string_view spec) {
+  for (auto& [name, trigger] : parse_spec(spec)) {
+    arm(name, trigger);
+    points_.push_back(std::move(name));
+  }
+}
+
+ScopedPlan::~ScopedPlan() {
+  for (const std::string& name : points_) disarm(name);
+}
+
+}  // namespace puppies::fault

@@ -1,7 +1,9 @@
 #include "puppies/jpeg/codec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 
 #include "puppies/exec/parallel_for.h"
@@ -453,7 +455,14 @@ Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts) {
   return out;
 }
 
-CoefficientImage parse(std::span<const std::uint8_t> data) {
+namespace {
+
+constexpr std::size_t kDefaultMaxDecodePixels = 100'000'000;  // 100 MP
+
+/// 0 = unset: resolve PUPPIES_MAX_PIXELS, else the default.
+std::atomic<std::size_t> g_max_decode_pixels{0};
+
+CoefficientImage parse_impl(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   if (r.u8() != kMarkerPrefix || r.u8() != kSOI)
     throw ParseError("missing SOI");
@@ -499,6 +508,17 @@ CoefficientImage parse(std::span<const std::uint8_t> data) {
         if (s.u8() != 8) throw ParseError("only 8-bit precision supported");
         height = s.u16();
         width = s.u16();
+        // Allocation guard: a crafted SOF (up to 65535x65535) would commit
+        // the decoder to multi-GB coefficient buffers before decoding one
+        // MCU. Reject by pixel footprint before any buffer is sized.
+        const std::uint64_t pixels =
+            static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height);
+        if (pixels > max_decode_pixels())
+          throw ParseError(
+              "SOF dimensions " + std::to_string(width) + "x" +
+              std::to_string(height) + " exceed the decode limit of " +
+              std::to_string(max_decode_pixels()) +
+              " pixels (PUPPIES_MAX_PIXELS)");
         const int ncomp = s.u8();
         if (ncomp != 1 && ncomp != 3)
           throw ParseError("only 1 or 3 components supported");
@@ -573,6 +593,10 @@ CoefficientImage parse(std::span<const std::uint8_t> data) {
     if (id != frame_comps[static_cast<std::size_t>(c)].id)
       throw ParseError("scan component order mismatch");
     const std::uint8_t td_ta = s.u8();
+    // Baseline allows table ids 0 and 1 only; anything else would index
+    // past the two-decoder tables below.
+    if ((td_ta >> 4) > 1 || (td_ta & 0xf) > 1)
+      throw ParseError("scan references an invalid Huffman table id");
     frame_comps[static_cast<std::size_t>(c)].dc_table = td_ta >> 4;
     frame_comps[static_cast<std::size_t>(c)].ac_table = td_ta & 0xf;
   }
@@ -635,6 +659,40 @@ CoefficientImage parse(std::span<const std::uint8_t> data) {
   });
 
   return img;
+}
+
+}  // namespace
+
+std::size_t max_decode_pixels() {
+  const std::size_t v = g_max_decode_pixels.load(std::memory_order_relaxed);
+  if (v) return v;
+  static const std::size_t resolved = [] {
+    const char* env = std::getenv("PUPPIES_MAX_PIXELS");
+    if (env && *env) {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(env, &end, 10);
+      if (end && *end == '\0' && n > 0) return static_cast<std::size_t>(n);
+    }
+    return kDefaultMaxDecodePixels;
+  }();
+  return resolved;
+}
+
+void set_max_decode_pixels(std::size_t pixels) {
+  g_max_decode_pixels.store(pixels, std::memory_order_relaxed);
+}
+
+CoefficientImage parse(std::span<const std::uint8_t> data) {
+  // Clean taxonomy for hostile input: anything a malformed stream trips —
+  // including deep precondition checks (Huffman spec sizes, image
+  // dimensions) that report InvalidArgument — surfaces as ParseError.
+  try {
+    return parse_impl(data);
+  } catch (const ParseError&) {
+    throw;
+  } catch (const InvalidArgument& e) {
+    throw ParseError(std::string("malformed stream: ") + e.what());
+  }
 }
 
 Bytes compress(const RgbImage& img, int quality, const EncodeOptions& opts) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "puppies/exec/parallel_for.h"
+#include "puppies/fault/fault.h"
 #include "puppies/jpeg/codec.h"
 #include "puppies/metrics/metrics.h"
 
@@ -82,6 +83,8 @@ void PspService::apply_transform_all(const transform::Chain& chain,
 store::TransformResult PspService::compute_transform(
     const Entry& e, const transform::Chain& chain, DeliveryMode mode,
     int reencode_quality) const {
+  if (fault::point("psp.transform.compute"))
+    throw TransientError("injected: psp.transform.compute");
   const bool all_lossless =
       std::all_of(chain.begin(), chain.end(),
                   [](const transform::Step& s) { return s.lossless(); });
@@ -127,8 +130,20 @@ void PspService::transform_entry(Entry& e, const transform::Chain& chain,
   const Digest key = store::transform_cache_key(
       e.digest, chain, static_cast<std::uint8_t>(mode), reencode_quality,
       quality_relevant);
-  e.transformed = cache_.get_or_compute(
-      key, [&] { return compute_transform(e, chain, mode, reencode_quality); });
+  try {
+    e.transformed = cache_.get_or_compute(key, [&] {
+      return compute_transform(e, chain, mode, reencode_quality);
+    });
+  } catch (const TransientError&) {
+    // Degraded mode: the compute hiccupped (or a single-flight leader's
+    // failure was rethrown to this follower). The failed flight does not
+    // poison the key — the cache drops it — so retry directly off the
+    // retained parse and keep serving; the next caller recomputes and
+    // caches as usual.
+    metrics::counter("psp.degraded.cache").add();
+    e.transformed = std::make_shared<const store::TransformResult>(
+        compute_transform(e, chain, mode, reencode_quality));
+  }
   // Record the canonical chain: canonically equal requests share one cache
   // entry, so the reported chain must be the one the served bytes correspond
   // to (receivers replay it during recovery; the fold is exact, so replaying
@@ -137,16 +152,42 @@ void PspService::transform_entry(Entry& e, const transform::Chain& chain,
   e.mode = mode;
 }
 
-Download PspService::download(const std::string& id) const {
+Download PspService::download(const std::string& id) {
   metrics::ScopedTimer timer(metrics::histogram("psp.download_ms"));
-  const Entry& e = entry(id);
+  auto it = entries_.find(id);
+  require(it != entries_.end(), "unknown image id");
+  Entry& e = it->second;
   metrics::counter("psp.download").add();
   Download d;
   d.public_params = e.public_params;
   if (!e.transformed) {
     d.chain = {};
     d.mode = DeliveryMode::kCoefficients;
-    d.jfif = blobs_->get(e.digest);
+    try {
+      d.jfif = blobs_->get(e.digest);
+    } catch (const Error& err) {
+      // Degraded mode: the store could not produce verified bytes (read
+      // failure past the retry budget, or the blob was quarantined as
+      // corrupt). The retained parse is the authoritative copy — serve
+      // from it, and re-publish it so the store heals itself.
+      metrics::counter("psp.degraded.store_read").add();
+      if (dynamic_cast<const CorruptionError*>(&err))
+        metrics::counter("psp.degraded.store_corrupt").add();
+      d.jfif = jpeg::serialize(e.parsed);
+      try {
+        const Digest healed = blobs_->put(d.jfif);
+        if (!(healed == e.digest)) {
+          // The upload was not a serialize() fixpoint, so the healed copy
+          // lives at its own address; repoint the entry (the content
+          // address is the name, and this is now the content).
+          e.digest = healed;
+          e.jfif_bytes = d.jfif.size();
+        }
+        metrics::counter("psp.healed.store").add();
+      } catch (const Error&) {
+        // Store still down; keep serving from memory.
+      }
+    }
     return d;
   }
   d.chain = e.chain;

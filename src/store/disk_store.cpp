@@ -1,14 +1,19 @@
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <mutex>
 #include <shared_mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "puppies/common/error.h"
+#include "puppies/fault/fault.h"
 #include "puppies/metrics/metrics.h"
 #include "puppies/store/blob_store.h"
 
@@ -17,10 +22,46 @@ namespace {
 
 namespace fs = std::filesystem;
 
+/// Transient failures get kMaxAttempts tries. The backoff between attempts
+/// is deterministic and clock-free — cooperative yields doubling per
+/// attempt — so fault-schedule tests replay identically and no test ever
+/// sleeps on a wall clock.
+constexpr int kMaxAttempts = 4;
+
+void backoff(int attempt) {
+  for (int i = 0; i < (1 << attempt); ++i) std::this_thread::yield();
+}
+
+template <typename Fn>
+auto retry_transient(const char* op, Fn&& fn) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const TransientError&) {
+      metrics::counter(std::string("store.retry.") + op).add();
+      if (attempt + 1 >= kMaxAttempts) {
+        metrics::counter("store.retry.exhausted").add();
+        throw;
+      }
+      backoff(attempt);
+    }
+  }
+}
+
+/// Best-effort directory fsync so the rename that published a blob is
+/// itself durable (fsync of the file alone does not persist the dir entry).
+void fsync_dir(const fs::path& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
 class DiskBlobStore final : public BlobStore {
  public:
   explicit DiskBlobStore(const std::string& dir) : root_(dir) {
     fs::create_directories(root_ / "tmp");
+    sweep_stale_tmp();
     rebuild_index();
   }
 
@@ -37,21 +78,11 @@ class DiskBlobStore final : public BlobStore {
     // Write outside the lock: the temp name is unique per call, and a
     // racing put of the same content renames an identical file over ours.
     const std::string hex = d.to_hex();
-    const fs::path tmp =
-        root_ / "tmp" /
-        (hex + "." + std::to_string(next_tmp_.fetch_add(1)) + ".tmp");
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) throw Error("store: cannot open " + tmp.string());
-      out.write(reinterpret_cast<const char*>(data.data()),
-                static_cast<std::streamsize>(data.size()));
-      if (!out) throw Error("store: write failed: " + tmp.string());
-    }
     const fs::path final_path = blob_path(hex);
     fs::create_directories(final_path.parent_path());
-    // rename(2) within one filesystem is atomic: readers see either no file
-    // or the complete blob, never a torn write.
-    fs::rename(tmp, final_path);
+    // Each attempt uses a fresh temp file and cleans up after itself, so a
+    // failed attempt leaves nothing behind and the retry starts clean.
+    retry_transient("put", [&] { write_blob_once(data, hex, final_path); });
 
     std::unique_lock lock(mu_);
     if (index_.emplace(d, data.size()).second) {
@@ -70,10 +101,19 @@ class DiskBlobStore final : public BlobStore {
       std::shared_lock lock(mu_);
       require(index_.find(digest) != index_.end(), "unknown blob digest");
     }
-    std::ifstream in(blob_path(digest.to_hex()), std::ios::binary);
-    if (!in) throw Error("store: blob file vanished: " + digest.to_hex());
-    Bytes data((std::istreambuf_iterator<char>(in)),
-               std::istreambuf_iterator<char>());
+    Bytes data =
+        retry_transient("get", [&] { return read_blob_once(digest.to_hex()); });
+    // Bit-rot simulation hook: flips one bit of the bytes just read, before
+    // verification — exactly what on-disk decay looks like to this code.
+    if (fault::point("store.get.corrupt") && !data.empty())
+      data[data.size() / 2] ^= 0x01;
+    // The untrusted-platform premise, enforced on every byte served: the
+    // address IS the hash, so a mismatch proves the stored bytes changed.
+    if (sha256(data) != digest) {
+      quarantine(digest);
+      throw CorruptionError("blob " + digest.to_hex() +
+                            " failed integrity verification; quarantined");
+    }
     metrics::counter("store.get").add();
     return data;
   }
@@ -109,17 +149,162 @@ class DiskBlobStore final : public BlobStore {
     return out;
   }
 
+  ScrubReport scrub(bool repair) override {
+    metrics::ScopedTimer timer(metrics::histogram("store.scrub_ms"));
+    ScrubReport report;
+    for (const Digest& d : list()) {
+      ++report.checked;
+      bool good = false;
+      try {
+        const Bytes data =
+            retry_transient("scrub", [&] { return read_blob_once(d.to_hex()); });
+        good = sha256(data) == d;
+      } catch (const Error&) {
+        // Unreadable after retries: can't verify means can't serve.
+      }
+      if (good) {
+        ++report.ok;
+      } else if (quarantine(d)) {
+        report.quarantined.push_back(d);
+      }
+    }
+    if (repair) {
+      report.quarantine_purged = remove_files_in(root_ / "quarantine");
+      report.tmp_removed = remove_files_in(root_ / "tmp");
+    }
+    metrics::counter("store.scrub").add();
+    return report;
+  }
+
  private:
   fs::path blob_path(const std::string& hex) const {
     return root_ / hex.substr(0, 2) / (hex + ".blob");
   }
 
+  /// One publish attempt: open-exclusive, write, fsync, atomic rename.
+  /// Throws TransientError on any failure, leaving no temp file behind.
+  void write_blob_once(std::span<const std::uint8_t> data,
+                       const std::string& hex, const fs::path& final_path) {
+    const fs::path tmp =
+        root_ / "tmp" /
+        (hex + "." + std::to_string(next_tmp_.fetch_add(1)) + ".tmp");
+    if (fault::point("store.put.open"))
+      throw TransientError("injected: store.put.open");
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) throw TransientError("store: cannot open " + tmp.string());
+
+    // From here on every exit path must close the fd and, on failure,
+    // unlink the temp file so crashed/failed attempts never accumulate.
+    try {
+      if (fault::point("store.put.write"))
+        throw TransientError("injected: store.put.write");
+      const std::uint8_t* p = data.data();
+      std::size_t left = data.size();
+      while (left > 0) {
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          throw TransientError("store: write failed: " + tmp.string());
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+      }
+      // fsync before rename: without it the rename can land while the data
+      // blocks are still dirty, and a crash acknowledges a blob that reads
+      // back as garbage (caught by get()'s verification, but lost all the
+      // same).
+      if (fault::point("store.put.fsync"))
+        throw TransientError("injected: store.put.fsync");
+      if (::fsync(fd) != 0)
+        throw TransientError("store: fsync failed: " + tmp.string());
+      ::close(fd);
+    } catch (...) {
+      ::close(fd);
+      std::error_code ignored;
+      fs::remove(tmp, ignored);
+      throw;
+    }
+
+    try {
+      if (fault::point("store.put.rename"))
+        throw TransientError("injected: store.put.rename");
+      // rename(2) within one filesystem is atomic: readers see either no
+      // file or the complete blob, never a torn write.
+      std::error_code ec;
+      fs::rename(tmp, final_path, ec);
+      if (ec)
+        throw TransientError("store: rename failed: " + tmp.string() + ": " +
+                             ec.message());
+    } catch (...) {
+      std::error_code ignored;
+      fs::remove(tmp, ignored);
+      throw;
+    }
+    fsync_dir(final_path.parent_path());
+  }
+
+  /// One read attempt; throws TransientError on any failure.
+  Bytes read_blob_once(const std::string& hex) const {
+    if (fault::point("store.get.open"))
+      throw TransientError("injected: store.get.open");
+    std::ifstream in(blob_path(hex), std::ios::binary);
+    if (!in) throw TransientError("store: cannot open blob " + hex);
+    Bytes data((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+    if (fault::point("store.get.read"))
+      throw TransientError("injected: store.get.read");
+    if (in.bad()) throw TransientError("store: read failed: " + hex);
+    return data;
+  }
+
+  /// Pulls a blob out of service: drops it from the index (first, so no new
+  /// reader starts on it) and moves the file to `<root>/quarantine/` for
+  /// offline inspection. Returns false if another thread got there first.
+  /// Re-putting the same content afterwards heals the store.
+  bool quarantine(const Digest& d) const {
+    {
+      std::unique_lock lock(mu_);
+      auto it = index_.find(d);
+      if (it == index_.end()) return false;
+      total_ -= it->second;
+      index_.erase(it);
+    }
+    const std::string hex = d.to_hex();
+    std::error_code ec;
+    fs::create_directories(root_ / "quarantine", ec);
+    fs::rename(blob_path(hex), root_ / "quarantine" / (hex + ".blob"), ec);
+    metrics::counter("store.quarantined").add();
+    return true;
+  }
+
+  std::size_t remove_files_in(const fs::path& dir) {
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const fs::directory_entry& f : fs::directory_iterator(dir, ec)) {
+      if (!f.is_regular_file()) continue;
+      std::error_code ignored;
+      if (fs::remove(f.path(), ignored)) ++removed;
+    }
+    return removed;
+  }
+
+  /// Crash recovery: any file in tmp/ is an abandoned write (live writers
+  /// hold their temp file only for the duration of one put call), so a
+  /// fresh open reclaims the space instead of leaking it forever.
+  void sweep_stale_tmp() {
+    const std::size_t removed = remove_files_in(root_ / "tmp");
+    if (removed) metrics::counter("store.tmp_swept").add(removed);
+  }
+
   /// The on-disk layout IS the index: scan `<root>/xx/<hex>.blob`, parse
-  /// digests out of file names, skip everything else (tmp/, strays).
+  /// digests out of file names, skip everything else (tmp/, quarantine/,
+  /// strays).
   void rebuild_index() {
     std::error_code ec;
     for (const fs::directory_entry& shard : fs::directory_iterator(root_, ec)) {
-      if (!shard.is_directory() || shard.path().filename() == "tmp") continue;
+      if (!shard.is_directory() || shard.path().filename() == "tmp" ||
+          shard.path().filename() == "quarantine")
+        continue;
       for (const fs::directory_entry& f :
            fs::directory_iterator(shard.path(), ec)) {
         const std::string name = f.path().filename().string();
@@ -141,8 +326,10 @@ class DiskBlobStore final : public BlobStore {
 
   fs::path root_;
   mutable std::shared_mutex mu_;
-  std::unordered_map<Digest, std::size_t, DigestHash> index_;
-  std::size_t total_ = 0;
+  // Mutable: get() is logically const but quarantining a corrupt blob must
+  // drop it from the index so it is never served again.
+  mutable std::unordered_map<Digest, std::size_t, DigestHash> index_;
+  mutable std::size_t total_ = 0;
   std::atomic<std::uint64_t> next_tmp_{0};
 };
 

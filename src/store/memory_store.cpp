@@ -67,6 +67,27 @@ class MemoryBlobStore final : public BlobStore {
     return out;
   }
 
+  ScrubReport scrub(bool) override {
+    // No disk to decay, but the contract is the same: re-verify every blob
+    // against its address and drop (never serve) anything that mismatches.
+    ScrubReport report;
+    std::unique_lock lock(mu_);
+    for (auto it = blobs_.begin(); it != blobs_.end();) {
+      ++report.checked;
+      if (sha256(it->second) == it->first) {
+        ++report.ok;
+        ++it;
+      } else {
+        report.quarantined.push_back(it->first);
+        total_ -= it->second.size();
+        it = blobs_.erase(it);
+        metrics::counter("store.quarantined").add();
+      }
+    }
+    metrics::counter("store.scrub").add();
+    return report;
+  }
+
  private:
   mutable std::shared_mutex mu_;
   std::unordered_map<Digest, Bytes, DigestHash> blobs_;

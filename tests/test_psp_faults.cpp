@@ -1,0 +1,194 @@
+// PSP graceful degradation: the service keeps serving correct bytes while
+// the blob store or the transform compute path is failing, and heals the
+// store when it can. Lives in tests_store for TSan coverage.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "puppies/core/pipeline.h"
+#include "puppies/fault/fault.h"
+#include "puppies/jpeg/codec.h"
+#include "puppies/metrics/metrics.h"
+#include "puppies/psp/psp.h"
+#include "puppies/synth/synth.h"
+
+namespace puppies::psp {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// One protected upload, produced the same way the pipeline tests do:
+/// synth scene -> forward transform -> ROI perturbation -> serialize.
+/// Serialized output is a parse/serialize fixpoint, so a degraded download
+/// re-serialized from the retained parse is byte-identical.
+struct Fixture {
+  Fixture() {
+    const synth::SceneImage scene =
+        synth::generate(synth::Dataset::kPascal, 33, 96, 64);
+    const jpeg::CoefficientImage original =
+        jpeg::forward_transform(rgb_to_ycc(scene.image), 75);
+    const SecretKey key = SecretKey::from_label("faults/img");
+    const core::ProtectResult shared = core::protect(
+        original, {core::RoiPolicy{Rect{8, 8, 32, 24}, key,
+                                   core::Scheme::kCompression,
+                                   core::PrivacyLevel::kMedium}});
+    jfif = jpeg::serialize(shared.perturbed);
+    params = shared.params.serialize();
+  }
+  Bytes jfif;
+  Bytes params;
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const char* tag)
+      : path_(fs::temp_directory_path() /
+              ("puppies_psp_fault_test_" + std::string(tag) + "_" +
+               std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+fs::path blob_file(const fs::path& root, const Digest& d) {
+  const std::string hex = d.to_hex();
+  return root / hex.substr(0, 2) / (hex + ".blob");
+}
+
+// --- Degraded download on real on-disk corruption: the store quarantines
+// the rotten blob, the download serves the retained parse byte-identically,
+// and the re-publish heals the store at the same address.
+
+TEST(PspFaults, DownloadSurvivesBlobCorruptionAndHealsStore) {
+  ScratchDir scratch("corrupt");
+  PspService psp(PspConfig{StoreBackend::kDisk, 0, scratch.str()});
+  const std::string id = psp.upload(fixture().jfif, fixture().params);
+  const Digest d = psp.digest_of(id);
+
+  // Rot the blob on disk behind the service's back.
+  std::ofstream(blob_file(scratch.path(), d),
+                std::ios::binary | std::ios::app)
+      << "bitrot";
+
+  const std::uint64_t degraded_before =
+      metrics::counter("psp.degraded.store_read").value();
+  const std::uint64_t corrupt_before =
+      metrics::counter("psp.degraded.store_corrupt").value();
+  const std::uint64_t healed_before =
+      metrics::counter("psp.healed.store").value();
+
+  const Download got = psp.download(id);
+  EXPECT_EQ(got.jfif, fixture().jfif);  // byte-identical despite the rot
+  EXPECT_EQ(metrics::counter("psp.degraded.store_read").value(),
+            degraded_before + 1);
+  EXPECT_EQ(metrics::counter("psp.degraded.store_corrupt").value(),
+            corrupt_before + 1);
+  EXPECT_EQ(metrics::counter("psp.healed.store").value(), healed_before + 1);
+
+  // Healed: the same address serves verified bytes again, quarantine keeps
+  // the rotten copy for inspection, and the next download is a normal one.
+  EXPECT_TRUE(psp.blobs().contains(d));
+  EXPECT_EQ(psp.blobs().get(d), fixture().jfif);
+  EXPECT_TRUE(
+      fs::exists(scratch.path() / "quarantine" / (d.to_hex() + ".blob")));
+  EXPECT_EQ(psp.download(id).jfif, fixture().jfif);
+}
+
+TEST(PspFaults, DownloadServesFromMemoryWhileStoreIsFullyDown) {
+  ScratchDir scratch("down");
+  PspService psp(PspConfig{StoreBackend::kDisk, 0, scratch.str()});
+  const std::string id = psp.upload(fixture().jfif, fixture().params);
+  const Digest d = psp.digest_of(id);
+
+  const std::uint64_t healed_before =
+      metrics::counter("psp.healed.store").value();
+  {
+    // The blob rots (quarantined on read) AND the healing re-put fails:
+    // the download must still produce the exact bytes.
+    fault::ScopedPlan plan("store.get.corrupt=once,store.put.open=always");
+    EXPECT_EQ(psp.download(id).jfif, fixture().jfif);
+    EXPECT_EQ(metrics::counter("psp.healed.store").value(), healed_before);
+    EXPECT_FALSE(psp.blobs().contains(d));  // quarantined, heal blocked
+  }
+  // Store back up: the next download still degrades (the blob is gone) but
+  // this time the re-publish lands, and the service is fully healed.
+  EXPECT_EQ(psp.download(id).jfif, fixture().jfif);
+  EXPECT_EQ(metrics::counter("psp.healed.store").value(), healed_before + 1);
+  EXPECT_TRUE(psp.blobs().contains(d));
+  EXPECT_EQ(psp.blobs().get(d), fixture().jfif);
+  EXPECT_EQ(psp.download(id).jfif, fixture().jfif);  // normal path again
+}
+
+// --- Satellite: a transform compute that throws mid-flight must not poison
+// its cache key. The degraded retry serves this request; the next request
+// computes and caches normally.
+
+TEST(PspFaults, TransformFailOnceDegradesAndDoesNotPoisonCacheKey) {
+  PspService psp;
+  const std::string id = psp.upload(fixture().jfif, fixture().params);
+  const transform::Chain chain{transform::rotate(180)};
+
+  const std::uint64_t degraded_before =
+      metrics::counter("psp.degraded.cache").value();
+  {
+    fault::ScopedPlan plan("psp.transform.compute=once");
+    // Leader's compute throws inside the cache; the degraded direct retry
+    // (fault already spent) serves the request.
+    psp.apply_transform(id, chain, DeliveryMode::kCoefficients);
+  }
+  EXPECT_EQ(metrics::counter("psp.degraded.cache").value(),
+            degraded_before + 1);
+  const Download degraded = psp.download(id);
+  EXPECT_FALSE(degraded.jfif.empty());
+  EXPECT_EQ(psp.cache().count(), 0u);  // failed flight was dropped, not cached
+
+  // Key not wedged: the same request now computes, caches, and serves the
+  // same bytes as the degraded pass.
+  psp.apply_transform(id, chain, DeliveryMode::kCoefficients);
+  EXPECT_EQ(psp.cache().count(), 1u);
+  const Download cached = psp.download(id);
+  EXPECT_EQ(cached.jfif, degraded.jfif);
+
+  // And a third pass is a pure cache hit.
+  const std::uint64_t hits_before = metrics::counter("cache.hit").value();
+  psp.apply_transform(id, chain, DeliveryMode::kCoefficients);
+  EXPECT_EQ(metrics::counter("cache.hit").value(), hits_before + 1);
+}
+
+TEST(PspFaults, TransformAlwaysFailingThrowsButUntransformedDownloadServes) {
+  PspService psp;
+  const std::string id = psp.upload(fixture().jfif, fixture().params);
+  {
+    fault::ScopedPlan plan("psp.transform.compute=always");
+    // Both the cached flight and the degraded direct retry fail: the error
+    // surfaces to the caller instead of being swallowed.
+    EXPECT_THROW(
+        psp.apply_transform(id, {transform::rotate(90)},
+                            DeliveryMode::kCoefficients),
+        TransientError);
+  }
+  // The entry is untouched: the untransformed download still serves.
+  EXPECT_EQ(psp.download(id).jfif, fixture().jfif);
+  EXPECT_EQ(psp.cache().count(), 0u);
+
+  // Fault cleared: the transform goes through.
+  psp.apply_transform(id, {transform::rotate(90)},
+                      DeliveryMode::kCoefficients);
+  EXPECT_FALSE(psp.download(id).jfif.empty());
+}
+
+}  // namespace
+}  // namespace puppies::psp

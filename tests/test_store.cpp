@@ -135,6 +135,10 @@ TEST(DiskStore, IgnoresStaleTempFilesAndStrays) {
   auto s = open_disk_store(scratch.str());
   EXPECT_EQ(s->count(), 1u);
   EXPECT_TRUE(s->contains(d));
+  // The abandoned write was reclaimed on open, not leaked forever; the
+  // stray non-blob files are left alone.
+  EXPECT_FALSE(fs::exists(scratch.path() / "tmp" / "deadbeef.0.tmp"));
+  EXPECT_TRUE(fs::exists(scratch.path() / "README"));
 }
 
 TEST(DiskStore, BlobFileNameIsTheDigest) {

@@ -11,11 +11,17 @@
 //   puppies store put <file>... [--dir DIR]
 //   puppies store get <digest> <out> [--dir DIR]
 //   puppies store stats [--json] [--dir DIR]
+//   puppies store scrub [--repair] [--json] [--dir DIR]
 //
 // Images are PPM on the pixel side and baseline JPEG (this codec) on the
 // shared side; keys are 64-hex-char files produced by `keygen`. The store
 // subcommands address blobs by SHA-256 content digest; the blob directory
-// is --dir, else $PUPPIES_DATA_DIR, else ./puppies_data.
+// is --dir, else $PUPPIES_DATA_DIR, else ./puppies_data. `store scrub`
+// re-verifies every blob against its address and quarantines mismatches;
+// --repair additionally purges the quarantine area and stale temp files.
+// The global --faults flag (equivalently PUPPIES_FAULTS) arms deterministic
+// fault injection for robustness testing, e.g.
+// --faults "store.put.write=once,store.get.read=p:0.3:7" (DESIGN.md §9).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +34,7 @@
 #include "puppies/common/digest.h"
 #include "puppies/core/pipeline.h"
 #include "puppies/exec/pool.h"
+#include "puppies/fault/fault.h"
 #include "puppies/image/ppm.h"
 #include "puppies/jpeg/codec.h"
 #include "puppies/jpeg/inspect.h"
@@ -57,17 +64,22 @@ namespace {
                "  puppies store put <file>... [--dir DIR]\n"
                "  puppies store get <digest> <out> [--dir DIR]\n"
                "  puppies store stats [--json] [--dir DIR]\n"
+               "  puppies store scrub [--repair] [--json] [--dir DIR]\n"
                "\n"
                "global options:\n"
                "  --threads N   worker threads for parallel stages (default:\n"
                "                PUPPIES_THREADS env var, else all cores)\n"
                "  --simd TIER   SIMD kernel tier: scalar|sse2|avx2 (default:\n"
                "                PUPPIES_SIMD env var, else CPU detection)\n"
+               "  --faults SPEC arm deterministic fault injection (default:\n"
+               "                PUPPIES_FAULTS env var); SPEC is a list of\n"
+               "                point=once|always|nth:N|p:P[:SEED] items\n"
                "\n"
                "store options:\n"
                "  --dir DIR     blob directory (default: PUPPIES_DATA_DIR env\n"
                "                var, else ./puppies_data)\n"
-               "  --json        stats as JSON, including the metrics registry\n");
+               "  --json        stats/scrub report as JSON\n"
+               "  --repair      scrub also purges quarantine/ and stale tmp files\n");
   std::exit(2);
 }
 
@@ -308,6 +320,7 @@ std::string json_escape(const std::string& s) {
 int cmd_store(std::vector<std::string> args) {
   std::string dir;
   bool json = false;
+  bool repair = false;
   std::vector<std::string> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--dir") {
@@ -315,6 +328,8 @@ int cmd_store(std::vector<std::string> args) {
       dir = args[++i];
     } else if (args[i] == "--json") {
       json = true;
+    } else if (args[i] == "--repair") {
+      repair = true;
     } else {
       positional.push_back(args[i]);
     }
@@ -364,6 +379,30 @@ int cmd_store(std::vector<std::string> args) {
     }
     return 0;
   }
+  if (sub == "scrub") {
+    if (!positional.empty()) usage("store scrub takes no extra arguments");
+    const store::ScrubReport r = blobs->scrub(repair);
+    if (json) {
+      std::printf("{\"dir\": \"%s\", \"checked\": %zu, \"ok\": %zu,\n"
+                  "\"quarantined\": [",
+                  json_escape(dir).c_str(), r.checked, r.ok);
+      for (std::size_t i = 0; i < r.quarantined.size(); ++i)
+        std::printf("%s\"%s\"", i ? ", " : "",
+                    r.quarantined[i].to_hex().c_str());
+      std::printf("],\n\"tmp_removed\": %zu, \"quarantine_purged\": %zu}\n",
+                  r.tmp_removed, r.quarantine_purged);
+    } else {
+      std::printf("%s: scrubbed %zu blobs, %zu ok, %zu quarantined\n",
+                  dir.c_str(), r.checked, r.ok, r.quarantined.size());
+      for (const Digest& d : r.quarantined)
+        std::printf("  quarantined %s\n", d.to_hex().c_str());
+      if (repair)
+        std::printf("  repair: removed %zu tmp files, purged %zu from "
+                    "quarantine\n",
+                    r.tmp_removed, r.quarantine_purged);
+    }
+    return r.quarantined.empty() ? 0 : 1;
+  }
   usage(("unknown store subcommand: " + sub).c_str());
 }
 
@@ -382,6 +421,13 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) usage("missing value after --simd");
       try {
         kernels::configure(kernels::parse_tier(argv[++i]));
+      } catch (const std::exception& e) {
+        usage(e.what());
+      }
+    } else if (std::strcmp(argv[i], "--faults") == 0) {
+      if (i + 1 >= argc) usage("missing value after --faults");
+      try {
+        fault::arm_spec(argv[++i]);
       } catch (const std::exception& e) {
         usage(e.what());
       }
