@@ -147,6 +147,43 @@ void register_kernel_benchmarks() {
           state.SetItemsProcessed(state.iterations() * (kRowW / 2));
         });
     benchmark::RegisterBenchmark(
+        ("BM_NonzeroMask" + sfx).c_str(), [&k](benchmark::State& state) {
+          std::array<std::int16_t, 64> block{};
+          Rng rng("bench-mask");
+          for (std::int16_t& v : block)
+            v = static_cast<std::int16_t>(
+                rng.range(0, 3) == 0 ? rng.range(-64, 64) : 0);
+          for (auto _ : state) {
+            std::uint64_t m = k.nonzero_mask(block.data());
+            benchmark::DoNotOptimize(m);
+          }
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_QuantizeScan" + sfx).c_str(), [&k](benchmark::State& state) {
+          const kernels::QuantConstants qc =
+              jpeg::quant_constants(jpeg::luma_quant_table(75));
+          jpeg::FloatBlock raw = bench_block();
+          for (float& v : raw) v *= 8.f;
+          std::array<std::int16_t, 64> out{};
+          for (auto _ : state) {
+            std::uint64_t m = k.quantize_scan(raw.data(), qc, out.data());
+            benchmark::DoNotOptimize(m);
+            benchmark::DoNotOptimize(out);
+          }
+        });
+    // Whole entropy-encode path (scan index + Huffman + bit I/O) pinned to
+    // one tier; the tier only affects speed, never the bytes.
+    benchmark::RegisterBenchmark(
+        ("BM_SerializeEntropy" + sfx).c_str(),
+        [tier](benchmark::State& state) {
+          const kernels::SimdTier prev = kernels::active_tier();
+          kernels::configure(tier);
+          const jpeg::CoefficientImage img =
+              jpeg::forward_transform(rgb_to_ycc(scene().image), 75);
+          for (auto _ : state) benchmark::DoNotOptimize(jpeg::serialize(img));
+          kernels::configure(prev);
+        });
+    benchmark::RegisterBenchmark(
         ("BM_UpsampleRow" + sfx).c_str(), [&k](benchmark::State& state) {
           Rng rng("bench-up");
           std::vector<float> r0(kRowW / 2), r1(kRowW / 2), out(kRowW);
@@ -307,7 +344,8 @@ void emit_codec_json() {
                        std::string(kernels::to_string(initial_tier)) +
                        "\",\n  \"tiers\": [\n";
   const std::vector<kernels::SimdTier> tiers = supported_tiers();
-  double scalar_fdct_ns = 0, scalar_enc = 0, scalar_dec = 0;
+  double scalar_fdct_ns = 0, scalar_enc = 0, scalar_entropy = 0,
+         scalar_dec = 0;
   double best_fdct_ns = 0, best_enc = 0, best_dec = 0;
   for (std::size_t ti = 0; ti < tiers.size(); ++ti) {
     const kernels::SimdTier tier = tiers[ti];
@@ -347,15 +385,20 @@ void emit_codec_json() {
     jpeg::CoefficientImage coeffs;
     const double enc_ms =
         bench::min_ms(3, [&] { coeffs = jpeg::forward_transform(ycc, 75); });
+    Bytes ser;
+    const double ser_ms =
+        bench::min_ms(3, [&] { ser = jpeg::serialize(coeffs); });
     RgbImage rgb;
     const double dec_ms =
         bench::min_ms(3, [&] { rgb = jpeg::decompress(jpg); });
     const double enc_mp_s = mp / (enc_ms / 1e3);
+    const double entropy_mp_s = mp / (ser_ms / 1e3);
     const double dec_mp_s = mp / (dec_ms / 1e3);
 
     if (tier == kernels::SimdTier::kScalar) {
       scalar_fdct_ns = fdct_ns;
       scalar_enc = enc_mp_s;
+      scalar_entropy = entropy_mp_s;
       scalar_dec = dec_mp_s;
     }
     best_fdct_ns = fdct_ns;
@@ -367,19 +410,52 @@ void emit_codec_json() {
                   "\"idct8x8_ns_per_block\": %.1f, "
                   "\"quantize_ns_per_block\": %.1f, "
                   "\"dequantize_ns_per_block\": %.1f, "
-                  "\"encode_mp_per_s\": %.3f, \"decode_mp_per_s\": %.3f}%s\n",
+                  "\"encode_mp_per_s\": %.3f, "
+                  "\"entropy_encode_mp_per_s\": %.3f, "
+                  "\"decode_mp_per_s\": %.3f}%s\n",
                   static_cast<int>(kernels::to_string(tier).size()),
                   kernels::to_string(tier).data(), fdct_ns, idct_ns, quant_ns,
-                  dequant_ns, enc_mp_s, dec_mp_s,
+                  dequant_ns, enc_mp_s, entropy_mp_s, dec_mp_s,
                   ti + 1 < tiers.size() ? "," : "");
     extras += line;
     std::printf(
         "tier %-6s: fdct %6.1f ns/blk, idct %6.1f, quant %5.1f, dequant "
-        "%5.1f; encode %6.2f MP/s, decode %6.2f MP/s (1 thread)\n",
+        "%5.1f; encode %6.2f MP/s, entropy-encode %6.2f MP/s, decode %6.2f "
+        "MP/s (1 thread)\n",
         std::string(kernels::to_string(tier)).c_str(), fdct_ns, idct_ns,
-        quant_ns, dequant_ns, enc_mp_s, dec_mp_s);
+        quant_ns, dequant_ns, enc_mp_s, entropy_mp_s, dec_mp_s);
   }
   extras += "  ],\n";
+
+  // Optimized-vs-standard Huffman table accounting on the bench image:
+  // entropy-segment sizes from EncodeStats plus a decode round-trip check
+  // of the optimized stream.
+  {
+    const jpeg::CoefficientImage coeffs = jpeg::forward_transform(ycc, 75);
+    jpeg::EncodeStats opt_stats, std_stats;
+    const Bytes opt_bytes =
+        jpeg::serialize(coeffs, {}, nullptr, &opt_stats);
+    const jpeg::EncodeOptions std_opts{jpeg::HuffmanMode::kStandard,
+                                       jpeg::ChromaMode::k444, 0};
+    jpeg::serialize(coeffs, std_opts, nullptr, &std_stats);
+    const double ratio =
+        std_stats.entropy_bytes > 0
+            ? static_cast<double>(opt_stats.entropy_bytes) /
+                  static_cast<double>(std_stats.entropy_bytes)
+            : 0;
+    const bool roundtrip = jpeg::parse(opt_bytes) == coeffs;
+    std::snprintf(line, sizeof(line),
+                  "  \"encode_entropy_mp_s\": %.3f,\n"
+                  "  \"optimized_table_bytes_ratio\": %.4f,\n"
+                  "  \"optimized_roundtrip_exact\": %s,\n",
+                  scalar_entropy, ratio, roundtrip ? "true" : "false");
+    extras += line;
+    std::printf(
+        "optimized tables: entropy %zu bytes vs %zu standard (ratio %.4f, "
+        "%.1f%% smaller), round-trip %s\n",
+        opt_stats.entropy_bytes, std_stats.entropy_bytes, ratio,
+        (1 - ratio) * 100, roundtrip ? "exact" : "MISMATCH");
+  }
   kernels::configure(initial_tier);
   exec::configure(exec::Config{});
   if (scalar_fdct_ns > 0 && tiers.size() > 1)

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 
@@ -9,12 +10,31 @@ namespace puppies::jpeg {
 
 /// MSB-first bit writer for JPEG entropy-coded segments. Emits a 0x00 stuff
 /// byte after every 0xFF, as the standard requires.
+///
+/// The accumulator is 64 bits wide so a Huffman code and its magnitude bits
+/// can be emitted in a single put() (up to 16 + 11 = 27 bits), and whole
+/// bytes drain in bulk: at most 7 bits stay buffered between calls, so each
+/// drain flushes 1..7 bytes at once, with a whole-word 0xFF scan deciding
+/// between a straight append and the per-byte stuffing path.
 class BitWriter {
  public:
+  /// Largest `count` a single put() accepts: 7 buffered bits + 57 new bits
+  /// still fit the 64-bit accumulator.
+  static constexpr int kMaxPutBits = 57;
+
   explicit BitWriter(Bytes& out) : out_(out) {}
 
-  /// Writes the low `count` bits of `bits` (count in [0,24]).
-  void put(std::uint32_t bits, int count);
+  /// Writes the low `count` bits of `bits` (count in [0, kMaxPutBits]).
+  /// The count contract is a debug assertion: callers in the codec emit at
+  /// most a 16-bit code fused with an 11-bit magnitude.
+  void put(std::uint64_t bits, int count) {
+    assert(count >= 0 && count <= kMaxPutBits);
+    assert(nbits_ >= 0 && nbits_ <= 7);
+    if (count == 0) return;
+    acc_ = (acc_ << count) | (bits & ((std::uint64_t{1} << count) - 1));
+    nbits_ += count;
+    if (nbits_ >= 8) drain();
+  }
 
   /// Pads the final partial byte with 1-bits and flushes it.
   void flush();
@@ -23,10 +43,11 @@ class BitWriter {
   void restart_marker(int n);
 
  private:
+  void drain();
   void emit_byte(std::uint8_t b);
   Bytes& out_;
-  std::uint32_t acc_ = 0;
-  int nbits_ = 0;
+  std::uint64_t acc_ = 0;
+  int nbits_ = 0;  ///< buffered bit count; < 8 between put() calls
 };
 
 /// MSB-first bit reader that un-stuffs 0xFF00 and stops at any other marker.

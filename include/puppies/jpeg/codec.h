@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "puppies/common/bytes.h"
 #include "puppies/image/image.h"
@@ -25,11 +27,39 @@ struct EncodeOptions {
   int restart_interval = 0;
 };
 
+/// Per-block nonzero-coefficient masks (bit z set iff the zig-zag position z
+/// of that block is nonzero), one vector per component in block row-major
+/// order. The fused quantize→zigzag→scan kernel fills this during
+/// forward_transform; serialize() then run-length codes by iterating set
+/// bits instead of rescanning 64 coefficients per block. Purely an
+/// accelerator: the encoded bytes never depend on whether an index is
+/// supplied.
+struct ScanIndex {
+  std::vector<std::vector<std::uint64_t>> masks;
+
+  /// True iff the index shape matches `img` (the validity precondition
+  /// serialize() enforces before trusting the masks).
+  bool matches(const CoefficientImage& img) const;
+};
+
+/// What serialize() spent and saved on the entropy-coded segment(s).
+struct EncodeStats {
+  /// Entropy-coded bytes emitted (scan data incl. stuffing and restart
+  /// markers, excluding headers and EOI).
+  std::size_t entropy_bytes = 0;
+  /// Exact bytes the optimized tables saved vs the Annex K standard tables
+  /// (priced from the symbol histograms; 0 in kStandard mode).
+  std::size_t saved_bytes = 0;
+};
+
 /// Pixel -> quantized-coefficient domain at the given JPEG quality.
 /// `mode` selects full-resolution (4:4:4) or subsampled (4:2:0) chroma.
+/// A non-null `scan` is filled with per-block nonzero masks for serialize().
 CoefficientImage forward_transform(const YccImage& img, int quality,
-                                   ChromaMode mode = ChromaMode::k444);
-CoefficientImage forward_transform(const GrayU8& img, int quality);
+                                   ChromaMode mode = ChromaMode::k444,
+                                   ScanIndex* scan = nullptr);
+CoefficientImage forward_transform(const GrayU8& img, int quality,
+                                   ScanIndex* scan = nullptr);
 
 /// Coefficient -> pixel domain. The YccImage result is float and UNCLAMPED:
 /// perturbed regions may exceed [0,255], and keeping them linear is what
@@ -42,7 +72,13 @@ RgbImage decode_to_rgb(const CoefficientImage& coeffs);
 
 /// Entropy-encodes a coefficient image into a JFIF byte stream. Lossless:
 /// parse(serialize(x)) == x.
-Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts = {});
+///
+/// `scan` (optional) supplies precomputed nonzero masks from
+/// forward_transform; a null or shape-mismatched index is recomputed on the
+/// fly via the active nonzero_mask kernel, so output bytes are identical
+/// either way. `stats` (optional) receives entropy-segment accounting.
+Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts = {},
+                const ScanIndex* scan = nullptr, EncodeStats* stats = nullptr);
 
 /// Parses a JFIF stream produced by serialize() (baseline, 4:4:4 or gray).
 /// Malformed or hostile input throws ParseError — never anything else, and

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -32,21 +33,42 @@ const HuffmanSpec& std_ac_chroma();
 /// Symbols with zero frequency get no code.
 HuffmanSpec build_optimal_spec(const std::array<long, 256>& freq);
 
-/// Encoder-side derived table: code + length per symbol.
+/// Encoder-side derived table: one 256-entry LUT of packed
+/// (code << 6) | length words, so the hot loop reads a single word per
+/// symbol and can fuse the code with the magnitude bits in one
+/// BitWriter::put.
 class HuffmanEncoder {
  public:
   explicit HuffmanEncoder(const HuffmanSpec& spec);
 
   /// True iff `symbol` has a code.
-  bool can_encode(std::uint8_t symbol) const {
-    return size_[symbol] != 0;
+  bool can_encode(std::uint8_t symbol) const { return packed_[symbol] != 0; }
+
+  /// Packed encode-LUT entry for `symbol`: (code << 6) | length; 0 when the
+  /// symbol has no code in this table.
+  std::uint32_t packed(std::uint8_t symbol) const { return packed_[symbol]; }
+
+  /// Code length in bits for `symbol` (0 = no code). Used to price a symbol
+  /// stream under a table without encoding it (EncodeStats).
+  int code_length(std::uint8_t symbol) const {
+    return static_cast<int>(packed_[symbol] & 63u);
   }
+
   /// Writes the code for `symbol`; throws InvalidArgument if it has none.
   void emit(BitWriter& out, std::uint8_t symbol) const;
 
+  /// Fused emission: the code for `symbol` immediately followed by the
+  /// `category`-bit magnitude value, in a single put().
+  void emit_with_magnitude(BitWriter& out, std::uint8_t symbol,
+                           std::uint32_t mag_bits, int category) const {
+    const std::uint32_t p = packed_[symbol];
+    assert(p != 0);
+    out.put((static_cast<std::uint64_t>(p >> 6) << category) | mag_bits,
+            static_cast<int>(p & 63u) + category);
+  }
+
  private:
-  std::array<std::uint16_t, 256> code_{};
-  std::array<std::uint8_t, 256> size_{};
+  std::array<std::uint32_t, 256> packed_{};
 };
 
 /// Decoder-side derived table. The fast path resolves codes of up to 8 bits
@@ -72,13 +94,24 @@ class HuffmanDecoder {
 };
 
 /// JPEG magnitude category of v (number of bits needed): 0 for 0, etc.
-int magnitude_category(int v);
+inline int magnitude_category(int v) {
+  return std::bit_width(static_cast<std::uint32_t>(v < 0 ? -v : v));
+}
 
 /// The `category`-bit raw representation JPEG appends after the Huffman
 /// symbol (negative values use one's-complement form).
-std::uint32_t magnitude_bits(int v, int category);
+inline std::uint32_t magnitude_bits(int v, int category) {
+  if (category == 0) return 0;
+  if (v < 0) v += (1 << category) - 1;  // one's-complement form
+  return static_cast<std::uint32_t>(v) & ((1u << category) - 1);
+}
 
 /// Inverse: expands `bits` (of width `category`) back to a signed value.
-int extend_magnitude(std::uint32_t bits, int category);
+inline int extend_magnitude(std::uint32_t bits, int category) {
+  if (category == 0) return 0;
+  const std::uint32_t half = 1u << (category - 1);
+  if (bits < half) return static_cast<int>(bits) - (1 << category) + 1;
+  return static_cast<int>(bits);
+}
 
 }  // namespace puppies::jpeg

@@ -67,6 +67,15 @@ struct KernelTable {
   /// wy. Border taps clamp to [0, in_w - 1]; the interior runs unchecked.
   void (*upsample_row)(const float* row0, const float* row1, int in_w,
                        float sx, float wy, int out_w, float* out);
+  /// Nonzero scan of a zig-zag int16 block: bit z set iff
+  /// block_zigzag[z] != 0. The entropy encoder iterates set bits instead of
+  /// testing all 63 AC positions per block.
+  std::uint64_t (*nonzero_mask)(const std::int16_t* block_zigzag);
+  /// quantize() fused with the nonzero scan: writes exactly quantize()'s
+  /// output and returns nonzero_mask(out_zigzag) from the same pass.
+  std::uint64_t (*quantize_scan)(const float* raw_natural,
+                                 const QuantConstants& qc,
+                                 std::int16_t* out_zigzag);
 };
 
 /// Best tier this CPU supports (CPUID probe, cached).

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "puppies/core/params.h"
+#include "puppies/jpeg/codec.h"
 #include "puppies/jpeg/coeffs.h"
 #include "puppies/store/blob_store.h"
 #include "puppies/store/transform_cache.h"
@@ -49,6 +50,12 @@ struct PspConfig {
   std::size_t cache_bytes = 64ull << 20;
   /// Root for kDisk. Empty resolves PUPPIES_DATA_DIR, then "puppies_data".
   std::string data_dir;
+  /// Huffman tables for every serving-side encode (transform results,
+  /// recompress, degraded-mode heals). kOptimized (the default, matching
+  /// jpeg::EncodeOptions) shrinks entropy segments by rebuilding tables
+  /// from each image's symbol histogram; the mode is part of the transform
+  /// cache key so the two modes never share cached bytes.
+  jpeg::HuffmanMode huffman = jpeg::HuffmanMode::kOptimized;
 };
 
 /// The semi-honest Photo Sharing Platform: stores perturbed images and

@@ -9,6 +9,7 @@
 
 #include "puppies/common/digest.h"
 #include "puppies/image/image.h"
+#include "puppies/jpeg/codec.h"
 #include "puppies/transform/transform.h"
 
 namespace puppies::store {
@@ -24,14 +25,22 @@ struct TransformResult {
 };
 
 /// Cache key for a transform result: a digest over (source blob digest,
-/// canonicalized chain, delivery mode, reencode quality). The chain is
-/// canonicalized (transform::canonicalize) so e.g. rotate90+rotate90 and
-/// rotate180 share an entry; `quality_relevant` masks the quality out of
-/// the key for delivery modes that never re-encode.
-Digest transform_cache_key(const Digest& source,
-                           const transform::Chain& chain,
-                           std::uint8_t delivery_mode, int reencode_quality,
-                           bool quality_relevant);
+/// canonicalized chain, delivery mode, reencode quality, encode mode). The
+/// chain is canonicalized (transform::canonicalize) so e.g.
+/// rotate90+rotate90 and rotate180 share an entry; `quality_relevant` masks
+/// the quality out of the key for delivery modes that never re-encode.
+/// `encode_mode` is the Huffman mode the serving path re-encodes with —
+/// results serialized with different table modes are different bytes, so
+/// they must not share an entry. The default matches PspConfig's default,
+/// keeping keys identical to pre-encode-mode builds' behavior for default
+/// configurations. The encode mode lives only in this key; the chain wire
+/// format (transform::write_chain) is unchanged, so previously serialized
+/// chains still parse.
+Digest transform_cache_key(
+    const Digest& source, const transform::Chain& chain,
+    std::uint8_t delivery_mode, int reencode_quality, bool quality_relevant,
+    std::uint8_t encode_mode =
+        static_cast<std::uint8_t>(jpeg::HuffmanMode::kOptimized));
 
 /// LRU transform-result cache with a byte budget and single-flight
 /// computation: concurrent get_or_compute() calls for the same key (e.g.

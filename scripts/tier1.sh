@@ -18,15 +18,22 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 # contract (and the PUPPIES_SIMD override path) on every machine.
 PUPPIES_SIMD=scalar ./build/tests/tests_kernels
 
+# The encode differential suite again on the forced-scalar tier: byte
+# identity of the fast encoder against the reference bit-at-a-time encoder
+# must hold on every tier, and ctest above only covered the native one.
+PUPPIES_SIMD=scalar ./build/tests/tests_encode
+
 cmake -B build-tsan -S . -DPUPPIES_SANITIZE=thread
 cmake --build build-tsan -j"$(nproc)" --target tests_store
 ./build-tsan/tests/tests_store
 
 # Mutation fuzzing of the JPEG parser under the memory sanitizers: ten
 # thousand seeded mutants per run must produce clean ParseErrors, never a
-# heap error (ASan) or undefined behaviour (UBSan). The plain build above
-# already ran the suite once; these runs are what the crash-free claim
-# actually rests on.
+# heap error (ASan) or undefined behaviour (UBSan). Mutants that survive
+# parsing are additionally re-encoded with optimized Huffman tables, so the
+# histogram/table-build path sees hostile coefficient distributions under
+# the sanitizers too. The plain build above already ran the suite once;
+# these runs are what the crash-free claim actually rests on.
 cmake -B build-asan -S . -DPUPPIES_SANITIZE=address
 cmake --build build-asan -j"$(nproc)" --target tests_fuzz
 ./build-asan/tests/tests_fuzz
@@ -35,4 +42,4 @@ cmake -B build-ubsan -S . -DPUPPIES_SANITIZE=undefined
 cmake --build build-ubsan -j"$(nproc)" --target tests_fuzz
 ./build-ubsan/tests/tests_fuzz
 
-echo "tier-1: OK (full suite + scalar-tier tests_kernels + tests_store under TSan + tests_fuzz under ASan/UBSan)"
+echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode + tests_store under TSan + tests_fuzz under ASan/UBSan)"

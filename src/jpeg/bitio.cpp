@@ -9,15 +9,29 @@ void BitWriter::emit_byte(std::uint8_t b) {
   if (b == 0xff) out_.push_back(0x00);  // byte stuffing
 }
 
-void BitWriter::put(std::uint32_t bits, int count) {
-  require(count >= 0 && count <= 24, "BitWriter::put count");
-  if (count == 0) return;
-  acc_ = (acc_ << count) | (bits & ((1u << count) - 1));
-  nbits_ += count;
-  while (nbits_ >= 8) {
-    nbits_ -= 8;
-    emit_byte(static_cast<std::uint8_t>((acc_ >> nbits_) & 0xff));
+void BitWriter::drain() {
+  // 1..8 whole buffered bytes; keep the partial-byte remainder buffered.
+  const int whole = nbits_ >> 3;
+  nbits_ &= 7;
+  const std::uint64_t lanes = ~std::uint64_t{0} >> ((8 - whole) * 8);
+  const std::uint64_t w = (acc_ >> nbits_) & lanes;
+  // Fast path: no byte is 0xFF, so no stuffing — append the word in one go.
+  // Zero-byte detection (bit-twiddling haszero) on w ^ lanes: a zero byte
+  // there is a 0xFF byte in w. Exact for "is any byte zero", which is all
+  // the branch needs.
+  const std::uint64_t inv = w ^ lanes;
+  const bool has_ff = ((inv - (0x0101010101010101ull & lanes)) & ~inv &
+                       (0x8080808080808080ull & lanes)) != 0;
+  if (!has_ff) {
+    const std::size_t n = out_.size();
+    out_.resize(n + static_cast<std::size_t>(whole));
+    for (int i = 0; i < whole; ++i)
+      out_[n + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(w >> (8 * (whole - 1 - i)));
+    return;
   }
+  for (int i = whole - 1; i >= 0; --i)
+    emit_byte(static_cast<std::uint8_t>(w >> (8 * i)));
 }
 
 void BitWriter::flush() {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -98,12 +99,18 @@ Plane<float> upsample_to(const Plane<float>& in, int w, int h) {
 }
 
 void encode_component_plane(const Plane<float>& plane, Component& comp,
-                            const QuantTable& qt) {
+                            const QuantTable& qt,
+                            std::vector<std::uint64_t>* masks = nullptr) {
   // Block rows are independent; every (bx, by) writes its own preallocated
-  // block, so the result is bit-identical at any thread count. The quant
-  // constants (reciprocals, clamp bounds) are built once per plane.
+  // block (and mask slot), so the result is bit-identical at any thread
+  // count. The quant constants (reciprocals, clamp bounds) are built once
+  // per plane. The fused quantize_scan kernel produces exactly quantize()'s
+  // int16 output plus the nonzero mask serialize() run-length codes from.
   const kernels::QuantConstants qc = quant_constants(qt);
   const kernels::KernelTable& k = kernels::active();
+  if (masks)
+    masks->assign(
+        static_cast<std::size_t>(comp.blocks_w) * comp.blocks_h, 0);
   exec::parallel_for(static_cast<std::size_t>(comp.blocks_h),
                      [&](std::size_t by) {
                        FloatBlock samples, coeffs;
@@ -111,9 +118,13 @@ void encode_component_plane(const Plane<float>& plane, Component& comp,
                          extract_block(plane, bx, static_cast<int>(by),
                                        samples.data());
                          k.fdct8x8(samples.data(), coeffs.data());
-                         k.quantize(coeffs.data(), qc,
-                                    comp.block(bx, static_cast<int>(by))
-                                        .data());
+                         const std::uint64_t m = k.quantize_scan(
+                             coeffs.data(), qc,
+                             comp.block(bx, static_cast<int>(by)).data());
+                         if (masks)
+                           (*masks)[by * static_cast<std::size_t>(
+                                             comp.blocks_w) +
+                                    static_cast<std::size_t>(bx)] = m;
                        }
                      });
 }
@@ -158,30 +169,34 @@ struct Symbols {
   std::array<long, 256> freq[2][2] = {};
 };
 
+/// Run-length walk of one block driven by its nonzero mask: set bits are
+/// visited via countr_zero, zero runs come from position deltas. Emits
+/// exactly the seed scan's symbol sequence (ZRL for runs > 15, EOB iff the
+/// block ends in zeros).
 template <typename DcSink, typename AcSink>
-void walk_block(const CoefBlock& block, int& prev_dc, DcSink&& dc_sink,
-                AcSink&& ac_sink) {
+void walk_block(const CoefBlock& block, std::uint64_t nonzero, int& prev_dc,
+                DcSink&& dc_sink, AcSink&& ac_sink) {
   const int diff = block[0] - prev_dc;
   prev_dc = block[0];
   const int dc_cat = magnitude_category(diff);
   dc_sink(static_cast<std::uint8_t>(dc_cat), diff, dc_cat);
 
-  int run = 0;
-  for (int z = 1; z < 64; ++z) {
-    const int v = block[static_cast<std::size_t>(z)];
-    if (v == 0) {
-      ++run;
-      continue;
-    }
+  std::uint64_t rest = nonzero & ~std::uint64_t{1};  // AC positions only
+  int prev_z = 0;
+  while (rest != 0) {
+    const int z = std::countr_zero(rest);
+    rest &= rest - 1;
+    int run = z - prev_z - 1;
     while (run > 15) {
       ac_sink(0xf0, 0, 0);  // ZRL
       run -= 16;
     }
+    const int v = block[static_cast<std::size_t>(z)];
     const int cat = magnitude_category(v);
     ac_sink(static_cast<std::uint8_t>((run << 4) | cat), v, cat);
-    run = 0;
+    prev_z = z;
   }
-  if (run > 0) ac_sink(0x00, 0, 0);  // EOB
+  if (prev_z < 63) ac_sink(0x00, 0, 0);  // EOB
 }
 
 int huff_table_id_for_component(int c) { return c == 0 ? 0 : 1; }
@@ -208,8 +223,17 @@ void for_each_block_in_scan_order(const CoefficientImage& img, OnMcu&& on_mcu,
     }
 }
 
-void gather_statistics(const CoefficientImage& img, int restart_interval,
-                       Symbols& stats) {
+/// Looks up block (bx, by) of component c in a validated ScanIndex.
+inline std::uint64_t mask_at(const ScanIndex& scan, const CoefficientImage& img,
+                             int c, int bx, int by) {
+  return scan.masks[static_cast<std::size_t>(c)]
+                   [static_cast<std::size_t>(by) *
+                        img.component(c).blocks_w +
+                    static_cast<std::size_t>(bx)];
+}
+
+void gather_statistics(const CoefficientImage& img, const ScanIndex& scan,
+                       int restart_interval, Symbols& stats) {
   std::vector<int> prev_dc(static_cast<std::size_t>(img.component_count()), 0);
   for_each_block_in_scan_order(
       img,
@@ -220,16 +244,16 @@ void gather_statistics(const CoefficientImage& img, int restart_interval,
       [&](int c, int bx, int by) {
         const int t = huff_table_id_for_component(c);
         walk_block(
-            img.component(c).block(bx, by),
+            img.component(c).block(bx, by), mask_at(scan, img, c, bx, by),
             prev_dc[static_cast<std::size_t>(c)],
             [&](std::uint8_t sym, int, int) { ++stats.freq[0][t][sym]; },
             [&](std::uint8_t sym, int, int) { ++stats.freq[1][t][sym]; });
       });
 }
 
-void encode_scan(const CoefficientImage& img, int restart_interval,
-                 const HuffmanEncoder dc_enc[2], const HuffmanEncoder ac_enc[2],
-                 BitWriter& bits) {
+void encode_scan(const CoefficientImage& img, const ScanIndex& scan,
+                 int restart_interval, const HuffmanEncoder dc_enc[2],
+                 const HuffmanEncoder ac_enc[2], BitWriter& bits) {
   std::vector<int> prev_dc(static_cast<std::size_t>(img.component_count()), 0);
   for_each_block_in_scan_order(
       img,
@@ -242,17 +266,56 @@ void encode_scan(const CoefficientImage& img, int restart_interval,
       [&](int c, int bx, int by) {
         const int t = huff_table_id_for_component(c);
         walk_block(
-            img.component(c).block(bx, by),
+            img.component(c).block(bx, by), mask_at(scan, img, c, bx, by),
             prev_dc[static_cast<std::size_t>(c)],
             [&](std::uint8_t sym, int v, int cat) {
-              dc_enc[t].emit(bits, sym);
-              bits.put(magnitude_bits(v, cat), cat);
+              dc_enc[t].emit_with_magnitude(bits, sym,
+                                            magnitude_bits(v, cat), cat);
             },
             [&](std::uint8_t sym, int v, int cat) {
-              ac_enc[t].emit(bits, sym);
-              bits.put(magnitude_bits(v, cat), cat);
+              ac_enc[t].emit_with_magnitude(bits, sym,
+                                            magnitude_bits(v, cat), cat);
             });
       });
+}
+
+/// Nonzero masks for every block of `img` via the active nonzero_mask
+/// kernel — the fallback when serialize() is handed coefficients that did
+/// not come through forward_transform (lossless edits, requantize, parse).
+ScanIndex build_scan_index(const CoefficientImage& img) {
+  const kernels::KernelTable& k = kernels::active();
+  ScanIndex scan;
+  scan.masks.resize(static_cast<std::size_t>(img.component_count()));
+  for (int c = 0; c < img.component_count(); ++c) {
+    const Component& comp = img.component(c);
+    auto& masks = scan.masks[static_cast<std::size_t>(c)];
+    masks.assign(comp.blocks.size(), 0);
+    exec::parallel_for(static_cast<std::size_t>(comp.blocks_h),
+                       [&](std::size_t by) {
+                         const std::size_t row =
+                             by * static_cast<std::size_t>(comp.blocks_w);
+                         for (int bx = 0; bx < comp.blocks_w; ++bx)
+                           masks[row + static_cast<std::size_t>(bx)] =
+                               k.nonzero_mask(
+                                   comp.blocks[row +
+                                               static_cast<std::size_t>(bx)]
+                                       .data());
+                       });
+  }
+  return scan;
+}
+
+/// Bits a symbol stream costs under `enc`, priced from its histogram. The
+/// magnitude bits are table-independent, so the table-to-table delta is
+/// exactly the optimized-Huffman saving.
+long long priced_bits(const std::array<long, 256>& freq,
+                      const HuffmanEncoder& enc) {
+  long long bits = 0;
+  for (int s = 0; s < 256; ++s)
+    if (freq[static_cast<std::size_t>(s)])
+      bits += freq[static_cast<std::size_t>(s)] *
+              enc.code_length(static_cast<std::uint8_t>(s));
+  return bits;
 }
 
 // --------------------------------------------------------------------------
@@ -344,32 +407,52 @@ struct FrameComponent {
 
 }  // namespace
 
+bool ScanIndex::matches(const CoefficientImage& img) const {
+  if (masks.size() != static_cast<std::size_t>(img.component_count()))
+    return false;
+  for (int c = 0; c < img.component_count(); ++c)
+    if (masks[static_cast<std::size_t>(c)].size() !=
+        img.component(c).blocks.size())
+      return false;
+  return true;
+}
+
 CoefficientImage forward_transform(const YccImage& img, int quality,
-                                   ChromaMode mode) {
+                                   ChromaMode mode, ScanIndex* scan) {
   CoefficientImage out(img.width(), img.height(), 3,
                        luma_quant_table(quality), chroma_quant_table(quality),
                        mode);
-  encode_component_plane(img.y, out.component(0), out.qtable_for(0));
+  if (scan) scan->masks.resize(3);
+  auto masks = [&](int c) {
+    return scan ? &scan->masks[static_cast<std::size_t>(c)] : nullptr;
+  };
+  encode_component_plane(img.y, out.component(0), out.qtable_for(0),
+                         masks(0));
   if (mode == ChromaMode::k420) {
     encode_component_plane(downsample2x(img.cb), out.component(1),
-                           out.qtable_for(1));
+                           out.qtable_for(1), masks(1));
     encode_component_plane(downsample2x(img.cr), out.component(2),
-                           out.qtable_for(2));
+                           out.qtable_for(2), masks(2));
   } else {
-    encode_component_plane(img.cb, out.component(1), out.qtable_for(1));
-    encode_component_plane(img.cr, out.component(2), out.qtable_for(2));
+    encode_component_plane(img.cb, out.component(1), out.qtable_for(1),
+                           masks(1));
+    encode_component_plane(img.cr, out.component(2), out.qtable_for(2),
+                           masks(2));
   }
   return out;
 }
 
-CoefficientImage forward_transform(const GrayU8& img, int quality) {
+CoefficientImage forward_transform(const GrayU8& img, int quality,
+                                   ScanIndex* scan) {
   const GrayF f = to_float(img);
   CoefficientImage out(img.width(), img.height(), 1,
                        luma_quant_table(quality), chroma_quant_table(quality));
   Plane<float> plane(img.width(), img.height(), 0.f);
   for (int y = 0; y < img.height(); ++y)
     for (int x = 0; x < img.width(); ++x) plane.at(x, y) = f.at(x, y);
-  encode_component_plane(plane, out.component(0), out.qtable_for(0));
+  if (scan) scan->masks.resize(1);
+  encode_component_plane(plane, out.component(0), out.qtable_for(0),
+                         scan ? &scan->masks[0] : nullptr);
   return out;
 }
 
@@ -403,20 +486,51 @@ RgbImage decode_to_rgb(const CoefficientImage& coeffs) {
   return ycc_to_rgb(inverse_transform(coeffs));
 }
 
-Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts) {
+Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts,
+                const ScanIndex* scan, EncodeStats* stats) {
   require(coeffs.component_count() == 1 || coeffs.component_count() == 3,
           "serialize supports 1 or 3 components");
+  // Trust a supplied index only if its shape matches; otherwise rebuild.
+  // Either way the masks are exact, so the output bytes are unaffected.
+  ScanIndex local_scan;
+  if (!scan || !scan->matches(coeffs)) {
+    local_scan = build_scan_index(coeffs);
+    scan = &local_scan;
+  }
+
   HuffmanSpec dc_spec[2] = {std_dc_luma(), std_dc_chroma()};
   HuffmanSpec ac_spec[2] = {std_ac_luma(), std_ac_chroma()};
+  if (stats) *stats = EncodeStats{};
 
   if (opts.huffman == HuffmanMode::kOptimized) {
-    Symbols stats;
-    gather_statistics(coeffs, opts.restart_interval, stats);
-    dc_spec[0] = build_optimal_spec(stats.freq[0][0]);
-    ac_spec[0] = build_optimal_spec(stats.freq[1][0]);
+    Symbols sym;
+    gather_statistics(coeffs, *scan, opts.restart_interval, sym);
+    dc_spec[0] = build_optimal_spec(sym.freq[0][0]);
+    ac_spec[0] = build_optimal_spec(sym.freq[1][0]);
     if (coeffs.component_count() == 3) {
-      dc_spec[1] = build_optimal_spec(stats.freq[0][1]);
-      ac_spec[1] = build_optimal_spec(stats.freq[1][1]);
+      dc_spec[1] = build_optimal_spec(sym.freq[0][1]);
+      ac_spec[1] = build_optimal_spec(sym.freq[1][1]);
+    }
+    if (stats) {
+      // Price the histograms under both table sets: the magnitude bits are
+      // identical, so the length-weighted frequency delta is the exact
+      // optimized-table saving.
+      long long saved_bits = 0;
+      const int ntables = coeffs.component_count() == 3 ? 2 : 1;
+      for (int t = 0; t < ntables; ++t) {
+        saved_bits +=
+            priced_bits(sym.freq[0][t],
+                        HuffmanEncoder(t == 0 ? std_dc_luma()
+                                              : std_dc_chroma())) -
+            priced_bits(sym.freq[0][t], HuffmanEncoder(dc_spec[t]));
+        saved_bits +=
+            priced_bits(sym.freq[1][t],
+                        HuffmanEncoder(t == 0 ? std_ac_luma()
+                                              : std_ac_chroma())) -
+            priced_bits(sym.freq[1][t], HuffmanEncoder(ac_spec[t]));
+      }
+      if (saved_bits > 0)
+        stats->saved_bytes = static_cast<std::size_t>(saved_bits / 8);
     }
   }
 
@@ -441,15 +555,17 @@ Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts) {
   write_sos(w, coeffs);
 
   Bytes out = w.take();
+  const std::size_t entropy_start = out.size();
   {
     const HuffmanEncoder dc_enc[2] = {HuffmanEncoder(dc_spec[0]),
                                       HuffmanEncoder(dc_spec[1])};
     const HuffmanEncoder ac_enc[2] = {HuffmanEncoder(ac_spec[0]),
                                       HuffmanEncoder(ac_spec[1])};
     BitWriter bits(out);
-    encode_scan(coeffs, opts.restart_interval, dc_enc, ac_enc, bits);
+    encode_scan(coeffs, *scan, opts.restart_interval, dc_enc, ac_enc, bits);
     bits.flush();
   }
+  if (stats) stats->entropy_bytes = out.size() - entropy_start;
   out.push_back(kMarkerPrefix);
   out.push_back(kEOI);
   return out;
@@ -696,8 +812,10 @@ CoefficientImage parse(std::span<const std::uint8_t> data) {
 }
 
 Bytes compress(const RgbImage& img, int quality, const EncodeOptions& opts) {
-  return serialize(forward_transform(rgb_to_ycc(img), quality, opts.chroma),
-                   opts);
+  ScanIndex scan;
+  const CoefficientImage coeffs =
+      forward_transform(rgb_to_ycc(img), quality, opts.chroma, &scan);
+  return serialize(coeffs, opts, &scan);
 }
 
 RgbImage decompress(std::span<const std::uint8_t> data) {

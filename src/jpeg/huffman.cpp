@@ -154,22 +154,23 @@ HuffmanSpec build_optimal_spec(const std::array<long, 256>& histogram) {
 }
 
 HuffmanEncoder::HuffmanEncoder(const HuffmanSpec& spec) {
-  std::uint16_t code = 0;
+  std::uint32_t code = 0;
   std::size_t k = 0;
   for (int len = 1; len <= 16; ++len) {
     for (int i = 0; i < spec.bits[static_cast<std::size_t>(len)]; ++i) {
       require(k < spec.values.size(), "Huffman spec truncated");
       const std::uint8_t sym = spec.values[k++];
-      code_[sym] = code++;
-      size_[sym] = static_cast<std::uint8_t>(len);
+      packed_[sym] = (code << 6) | static_cast<std::uint32_t>(len);
+      ++code;
     }
-    code = static_cast<std::uint16_t>(code << 1);
+    code <<= 1;
   }
 }
 
 void HuffmanEncoder::emit(BitWriter& out, std::uint8_t symbol) const {
-  require(size_[symbol] != 0, "symbol has no Huffman code in this table");
-  out.put(code_[symbol], size_[symbol]);
+  const std::uint32_t p = packed_[symbol];
+  require(p != 0, "symbol has no Huffman code in this table");
+  out.put(p >> 6, static_cast<int>(p & 63u));
 }
 
 HuffmanDecoder::HuffmanDecoder(const HuffmanSpec& spec)
@@ -247,30 +248,6 @@ std::uint8_t HuffmanDecoder::decode(BitReader& in) const {
     code = (code << 1) | in.bit();
   }
   throw ParseError("invalid Huffman code");
-}
-
-int magnitude_category(int v) {
-  int mag = v < 0 ? -v : v;
-  int cat = 0;
-  while (mag) {
-    mag >>= 1;
-    ++cat;
-  }
-  return cat;
-}
-
-std::uint32_t magnitude_bits(int v, int category) {
-  if (category == 0) return 0;
-  if (v < 0) v += (1 << category) - 1;  // one's-complement form
-  return static_cast<std::uint32_t>(v) & ((1u << category) - 1);
-}
-
-int extend_magnitude(std::uint32_t bits, int category) {
-  if (category == 0) return 0;
-  const std::uint32_t half = 1u << (category - 1);
-  if (bits < half)
-    return static_cast<int>(bits) - (1 << category) + 1;
-  return static_cast<int>(bits);
 }
 
 }  // namespace puppies::jpeg

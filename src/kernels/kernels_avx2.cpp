@@ -67,9 +67,9 @@ inline __m256i round_half_away(__m256 v) {
   return _mm256_cvttps_epi32(_mm256_add_ps(v, half));
 }
 
-void quantize_avx2(const float* raw, const QuantConstants& qc,
-                   std::int16_t* out) {
-  std::int16_t nat[64];
+/// Divide/clamp/round core of quantize: natural-order int16 out.
+inline void quantize_natural_avx2(const float* raw, const QuantConstants& qc,
+                                  std::int16_t* nat) {
   for (int n = 0; n < 64; n += 8) {
     // Divide via the double reciprocal, 4 doubles per half.
     const __m256 v = _mm256_loadu_ps(raw + n);
@@ -87,7 +87,41 @@ void quantize_avx2(const float* raw, const QuantConstants& qc,
                                       _mm256_extracti128_si256(i32, 1));
     _mm_storeu_si128(reinterpret_cast<__m128i*>(nat + n), p);
   }
+}
+
+void quantize_avx2(const float* raw, const QuantConstants& qc,
+                   std::int16_t* out) {
+  std::int16_t nat[64];
+  quantize_natural_avx2(raw, qc, nat);
   for (int z = 0; z < 64; ++z) out[z] = nat[qc.natural_of_zigzag[z]];
+}
+
+std::uint64_t nonzero_mask_avx2(const std::int16_t* block_zigzag) {
+  // 32 coefficients per round: cmpeq against zero, pack to bytes (the pack
+  // interleaves 128-bit lanes as [a.lo b.lo a.hi b.hi], so one 64-bit
+  // permute restores coefficient order), movemask, invert.
+  const __m256i zero = _mm256_setzero_si256();
+  std::uint64_t mask = 0;
+  for (int i = 0; i < 2; ++i) {
+    const __m256i a = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(block_zigzag + 32 * i));
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(block_zigzag + 32 * i + 16));
+    __m256i eq = _mm256_packs_epi16(_mm256_cmpeq_epi16(a, zero),
+                                    _mm256_cmpeq_epi16(b, zero));
+    eq = _mm256_permute4x64_epi64(eq, _MM_SHUFFLE(3, 1, 2, 0));
+    const std::uint32_t zeros =
+        static_cast<std::uint32_t>(_mm256_movemask_epi8(eq));
+    mask |= static_cast<std::uint64_t>(~zeros) << (32 * i);
+  }
+  return mask;
+}
+
+std::uint64_t quantize_scan_avx2(const float* raw, const QuantConstants& qc,
+                                 std::int16_t* out) {
+  std::int16_t nat[64];
+  quantize_natural_avx2(raw, qc, nat);
+  return permute_zigzag_mask(nat, qc, out);
 }
 
 void dequantize_avx2(const std::int16_t* in, const QuantConstants& qc,
@@ -257,6 +291,7 @@ const KernelTable& table_avx2() {
       quantize_avx2,        dequantize_avx2,
       rgb_to_ycc_row_avx2,  ycc_to_rgb_row_avx2,
       downsample2x_row_avx2, upsample_row_avx2,
+      nonzero_mask_avx2,    quantize_scan_avx2,
   };
   return t;
 }

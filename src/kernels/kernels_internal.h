@@ -34,6 +34,9 @@ void fdct8x8_scalar(const float* in, float* out);
 void idct8x8_scalar(const float* in, float* out);
 void quantize_scalar(const float* raw, const QuantConstants& qc,
                      std::int16_t* out);
+std::uint64_t nonzero_mask_scalar(const std::int16_t* block_zigzag);
+std::uint64_t quantize_scan_scalar(const float* raw, const QuantConstants& qc,
+                                   std::int16_t* out);
 void dequantize_scalar(const std::int16_t* in, const QuantConstants& qc,
                        float* out);
 void rgb_to_ycc_px(const std::uint8_t* r, const std::uint8_t* g,
@@ -48,6 +51,22 @@ void upsample_px(const float* row0, const float* row1, int in_w, float sx,
                  float wy, int first, int n, float* out);
 void upsample_row_scalar(const float* row0, const float* row1, int in_w,
                          float sx, float wy, int out_w, float* out);
+
+/// Shared zigzag permute + nonzero-scan epilogue of quantize_scan: every
+/// tier's divide/clamp/round core writes natural-order int16, then this one
+/// loop reorders into zig-zag and accumulates the nonzero bitmask, so the
+/// int16 output is identical to quantize() by construction.
+inline std::uint64_t permute_zigzag_mask(const std::int16_t* nat,
+                                         const QuantConstants& qc,
+                                         std::int16_t* out) {
+  std::uint64_t mask = 0;
+  for (int z = 0; z < 64; ++z) {
+    const std::int16_t v = nat[qc.natural_of_zigzag[z]];
+    out[z] = v;
+    mask |= static_cast<std::uint64_t>(v != 0) << z;
+  }
+  return mask;
+}
 
 /// lround with clamp for one already-divided value; kept inline so scalar
 /// and tail paths share the exact sequence.

@@ -51,6 +51,21 @@ void quantize_scalar(const float* raw, const QuantConstants& qc,
   for (int z = 0; z < 64; ++z) out[z] = nat[qc.natural_of_zigzag[z]];
 }
 
+std::uint64_t nonzero_mask_scalar(const std::int16_t* block_zigzag) {
+  std::uint64_t mask = 0;
+  for (int z = 0; z < 64; ++z)
+    mask |= static_cast<std::uint64_t>(block_zigzag[z] != 0) << z;
+  return mask;
+}
+
+std::uint64_t quantize_scan_scalar(const float* raw, const QuantConstants& qc,
+                                   std::int16_t* out) {
+  std::int16_t nat[64];
+  for (int n = 0; n < 64; ++n)
+    nat[n] = quantize_one(raw[n], qc.recip[n], qc.lo[n], qc.hi[n]);
+  return permute_zigzag_mask(nat, qc, out);
+}
+
 void dequantize_scalar(const std::int16_t* in, const QuantConstants& qc,
                        float* out) {
   for (int z = 0; z < 64; ++z) {
@@ -175,6 +190,7 @@ const KernelTable& table_scalar() {
       quantize_scalar,        dequantize_scalar,
       rgb_to_ycc_row_scalar,  ycc_to_rgb_row_scalar,
       downsample2x_row_scalar, upsample_row_scalar,
+      nonzero_mask_scalar,    quantize_scan_scalar,
   };
   return t;
 }

@@ -86,9 +86,9 @@ inline __m128i round_half_away(__m128 v) {
   return _mm_cvttps_epi32(_mm_add_ps(v, half));
 }
 
-void quantize_sse2(const float* raw, const QuantConstants& qc,
-                   std::int16_t* out) {
-  std::int16_t nat[64];
+/// Divide/clamp/round core of quantize: natural-order int16 out.
+inline void quantize_natural_sse2(const float* raw, const QuantConstants& qc,
+                                  std::int16_t* nat) {
   for (int n = 0; n < 64; n += 4) {
     // Divide via the double reciprocal: two 2-double halves per 4 floats.
     const __m128 v = _mm_loadu_ps(raw + n);
@@ -105,7 +105,39 @@ void quantize_sse2(const float* raw, const QuantConstants& qc,
     const __m128i p = _mm_packs_epi32(i, i);
     _mm_storel_epi64(reinterpret_cast<__m128i*>(nat + n), p);
   }
+}
+
+void quantize_sse2(const float* raw, const QuantConstants& qc,
+                   std::int16_t* out) {
+  std::int16_t nat[64];
+  quantize_natural_sse2(raw, qc, nat);
   for (int z = 0; z < 64; ++z) out[z] = nat[qc.natural_of_zigzag[z]];
+}
+
+std::uint64_t nonzero_mask_sse2(const std::int16_t* block_zigzag) {
+  // cmpeq against zero + pack to bytes + movemask: 16 coefficients per
+  // round, inverted so set bits mark nonzero positions.
+  const __m128i zero = _mm_setzero_si128();
+  std::uint64_t mask = 0;
+  for (int i = 0; i < 4; ++i) {
+    const __m128i a = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(block_zigzag + 16 * i));
+    const __m128i b = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(block_zigzag + 16 * i + 8));
+    const __m128i eq = _mm_packs_epi16(_mm_cmpeq_epi16(a, zero),
+                                       _mm_cmpeq_epi16(b, zero));
+    const std::uint32_t zeros =
+        static_cast<std::uint32_t>(_mm_movemask_epi8(eq));
+    mask |= static_cast<std::uint64_t>(~zeros & 0xffffu) << (16 * i);
+  }
+  return mask;
+}
+
+std::uint64_t quantize_scan_sse2(const float* raw, const QuantConstants& qc,
+                                 std::int16_t* out) {
+  std::int16_t nat[64];
+  quantize_natural_sse2(raw, qc, nat);
+  return permute_zigzag_mask(nat, qc, out);
 }
 
 void dequantize_sse2(const std::int16_t* in, const QuantConstants& qc,
@@ -230,6 +262,7 @@ const KernelTable& table_sse2() {
       // No gather / floor in SSE2: the bilinear resampler stays on the
       // scalar interior-fast-path implementation.
       upsample_row_scalar,
+      nonzero_mask_sse2,    quantize_scan_sse2,
   };
   return t;
 }

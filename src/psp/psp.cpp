@@ -22,6 +22,20 @@ std::unique_ptr<store::BlobStore> open_backend(const PspConfig& config) {
   return store::open_disk_store(dir);
 }
 
+/// Every serving-side encode funnels through here: one timer histogram plus
+/// the entropy-segment accounting counters, so `store stats --json` shows
+/// the encode cost and the optimized-table win per upload/recompress.
+Bytes serialize_measured(const jpeg::CoefficientImage& img,
+                         const jpeg::EncodeOptions& opts,
+                         const jpeg::ScanIndex* scan = nullptr) {
+  metrics::ScopedTimer timer(metrics::histogram("psp.codec.encode_ms"));
+  jpeg::EncodeStats stats;
+  Bytes out = jpeg::serialize(img, opts, scan, &stats);
+  metrics::counter("psp.codec.entropy_bytes").add(stats.entropy_bytes);
+  metrics::counter("psp.codec.entropy_saved_bytes").add(stats.saved_bytes);
+  return out;
+}
+
 }  // namespace
 
 PspService::PspService() : PspService(PspConfig{}) {}
@@ -98,7 +112,9 @@ store::TransformResult PspService::compute_transform(
       img = transform::apply_lossless(s, img);
     }
     metrics::counter("psp.codec.serialize").add();
-    r.jfif = jpeg::serialize(img);
+    jpeg::EncodeOptions eo;
+    eo.huffman = config_.huffman;
+    r.jfif = serialize_measured(img, eo);
   } else {
     require(mode != DeliveryMode::kCoefficients,
             "coefficient delivery requires an all-lossless chain");
@@ -114,7 +130,12 @@ store::TransformResult PspService::compute_transform(
           metrics::histogram("psp.transform.reencode_ms"));
       metrics::counter("psp.codec.forward").add();
       const RgbImage clamped = ycc_to_rgb(transformed);
-      r.jfif = jpeg::compress(clamped, reencode_quality);
+      jpeg::EncodeOptions eo;
+      eo.huffman = config_.huffman;
+      jpeg::ScanIndex scan;
+      const jpeg::CoefficientImage coeffs = jpeg::forward_transform(
+          rgb_to_ycc(clamped), reencode_quality, eo.chroma, &scan);
+      r.jfif = serialize_measured(coeffs, eo, &scan);
     }
   }
   return r;
@@ -129,7 +150,7 @@ void PspService::transform_entry(Entry& e, const transform::Chain& chain,
   const bool quality_relevant = mode == DeliveryMode::kClampedReencode;
   const Digest key = store::transform_cache_key(
       e.digest, chain, static_cast<std::uint8_t>(mode), reencode_quality,
-      quality_relevant);
+      quality_relevant, static_cast<std::uint8_t>(config_.huffman));
   try {
     e.transformed = cache_.get_or_compute(key, [&] {
       return compute_transform(e, chain, mode, reencode_quality);
@@ -173,7 +194,9 @@ Download PspService::download(const std::string& id) {
       metrics::counter("psp.degraded.store_read").add();
       if (dynamic_cast<const CorruptionError*>(&err))
         metrics::counter("psp.degraded.store_corrupt").add();
-      d.jfif = jpeg::serialize(e.parsed);
+      jpeg::EncodeOptions eo;
+      eo.huffman = config_.huffman;
+      d.jfif = serialize_measured(e.parsed, eo);
       try {
         const Digest healed = blobs_->put(d.jfif);
         if (!(healed == e.digest)) {

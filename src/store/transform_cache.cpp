@@ -14,11 +14,12 @@ std::size_t TransformResult::cost_bytes() const {
 Digest transform_cache_key(const Digest& source,
                            const transform::Chain& chain,
                            std::uint8_t delivery_mode, int reencode_quality,
-                           bool quality_relevant) {
+                           bool quality_relevant, std::uint8_t encode_mode) {
   ByteWriter w;
   w.raw(source.bytes);
   w.u8(delivery_mode);
   w.i32(quality_relevant ? reencode_quality : 0);
+  w.u8(encode_mode);
   transform::write_chain(w, transform::canonicalize(chain));
   return sha256(w.bytes());
 }

@@ -110,6 +110,17 @@ TEST(FuzzParse, TenThousandMutantsThrowOnlyParseError) {
       ASSERT_GT(img.width(), 0) << "trial " << trial;
       ASSERT_GT(img.height(), 0) << "trial " << trial;
       ASSERT_GE(img.component_count(), 1) << "trial " << trial;
+      // Drive the survivor's hostile coefficient distribution through the
+      // optimized-Huffman encoder (histogram, table build, fused emission):
+      // under ASan/UBSan this is what makes the re-encode path's crash-free
+      // claim real. serialize may legitimately reject images whose parsed
+      // tables it cannot re-emit (e.g. zero DQT entries) — via Error only.
+      try {
+        const Bytes reencoded = serialize(img);
+        ASSERT_EQ(parse(reencoded), img) << "trial " << trial;
+      } catch (const Error&) {
+        // Sanctioned: unencodable survivor (never a crash or foreign throw).
+      }
       ++decoded;
     } catch (const ParseError&) {
       ++rejected;  // the one and only sanctioned failure mode

@@ -253,6 +253,38 @@ TEST(CacheKey, QualityOnlyKeyedWhenRelevant) {
             transform_cache_key(src, chain, 2, 50, true));
 }
 
+TEST(CacheKey, EncodeModeSeparatesKeysAndDefaultsToOptimized) {
+  const Digest src = sha256("img");
+  const transform::Chain chain{transform::rotate(90)};
+  const auto opt = static_cast<std::uint8_t>(jpeg::HuffmanMode::kOptimized);
+  const auto std_mode =
+      static_cast<std::uint8_t>(jpeg::HuffmanMode::kStandard);
+  // The default parameter matches PspConfig's default Huffman mode, so
+  // default-configured services keep producing the same keys as callers
+  // that pass the mode explicitly.
+  EXPECT_EQ(transform_cache_key(src, chain, 0, 85, false),
+            transform_cache_key(src, chain, 0, 85, false, opt));
+  // Different table modes serialize different bytes: never one cache entry.
+  EXPECT_NE(transform_cache_key(src, chain, 0, 85, false, opt),
+            transform_cache_key(src, chain, 0, 85, false, std_mode));
+}
+
+TEST(CacheKey, ChainWireFormatUnchangedByEncodeModeField) {
+  // The encode mode lives only in the cache-key material; the chain wire
+  // format is untouched, so chains serialized before the field existed
+  // still parse. Pin the serialized bytes of a representative chain and
+  // the write->read round trip.
+  const transform::Chain chain{transform::rotate(90),
+                               transform::crop_aligned(Rect{8, 16, 32, 24}),
+                               transform::recompress(60)};
+  ByteWriter w;
+  transform::write_chain(w, chain);
+  const Bytes wire = w.take();
+  ByteReader r(wire);
+  EXPECT_EQ(transform::read_chain(r), chain);
+  EXPECT_TRUE(r.done()) << "trailing bytes after chain";
+}
+
 // ---------------------------------------------------------------------------
 // TransformCache: LRU, byte budget, single-flight.
 

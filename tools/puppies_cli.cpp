@@ -6,6 +6,8 @@
 //           [--roi x,y,w,h ...] [--auto] [--scheme N|B|C|Z]
 //           [--level low|medium|high] [--quality N] [--chroma 444|420]
 //   puppies recover <in.jpg> <in.pub> <out.ppm> --key <file> [--key <file>...]
+//   puppies recompress <in.jpg> <out.jpg> [--quality N] [--optimize on|off]
+//           [--restart N]
 //   puppies inspect <in.jpg> [<in.pub>]
 //   puppies attack <in.jpg> <in.pub> <out.ppm> --method inference|inpaint|pca
 //   puppies store put <file>... [--dir DIR]
@@ -57,7 +59,10 @@ namespace {
                "  puppies protect <in.ppm> <out.jpg> <out.pub> --key <file>\n"
                "          [--roi x,y,w,h ...] [--auto] [--scheme N|B|C|Z]\n"
                "          [--level low|medium|high] [--quality N] [--chroma 444|420]\n"
+               "          [--optimize on|off]\n"
                "  puppies recover <in.jpg> <in.pub> <out.ppm> --key <file> [--key ...]\n"
+               "  puppies recompress <in.jpg> <out.jpg> [--quality N]\n"
+               "          [--optimize on|off] [--restart N]\n"
                "  puppies inspect <in.jpg> [<in.pub>]\n"
                "  puppies attack <in.jpg> <in.pub> <out.ppm> --method "
                "inference|inpaint|pca\n"
@@ -156,6 +161,12 @@ int cmd_keygen(const std::vector<std::string>& args) {
   return 0;
 }
 
+jpeg::HuffmanMode parse_optimize(const std::string& v) {
+  if (v == "on") return jpeg::HuffmanMode::kOptimized;
+  if (v == "off") return jpeg::HuffmanMode::kStandard;
+  usage("bad --optimize, expected on|off");
+}
+
 int cmd_protect(std::vector<std::string> args) {
   std::vector<Rect> rois;
   bool auto_detect = false;
@@ -164,6 +175,7 @@ int cmd_protect(std::vector<std::string> args) {
   core::PrivacyLevel level = core::PrivacyLevel::kMedium;
   int quality = 75;
   jpeg::ChromaMode chroma = jpeg::ChromaMode::k444;
+  jpeg::HuffmanMode huffman = jpeg::HuffmanMode::kOptimized;
 
   std::vector<std::string> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -186,6 +198,8 @@ int cmd_protect(std::vector<std::string> args) {
       quality = std::stoi(next());
     else if (a == "--chroma")
       chroma = next() == "420" ? jpeg::ChromaMode::k420 : jpeg::ChromaMode::k444;
+    else if (a == "--optimize")
+      huffman = parse_optimize(next());
     else
       positional.push_back(a);
   }
@@ -208,7 +222,9 @@ int cmd_protect(std::vector<std::string> args) {
   const jpeg::CoefficientImage original =
       jpeg::forward_transform(rgb_to_ycc(image), quality, chroma);
   const core::ProtectResult result = core::protect(original, policies);
-  write_file(positional[1], jpeg::serialize(result.perturbed));
+  jpeg::EncodeOptions eo;
+  eo.huffman = huffman;
+  write_file(positional[1], jpeg::serialize(result.perturbed, eo));
   write_file(positional[2], result.params.serialize());
   std::printf("wrote %s + %s (%zu ROIs, scheme %s, key id %s)\n",
               positional[1].c_str(), positional[2].c_str(),
@@ -245,6 +261,46 @@ int cmd_recover(std::vector<std::string> args) {
   std::printf("wrote %s (%d keys, %d of %zu ROIs recovered)\n",
               positional[2].c_str(), keys, recovered_rois,
               params.rois.size());
+  return 0;
+}
+
+int cmd_recompress(std::vector<std::string> args) {
+  int quality = 0;  // 0 = keep the input's quantization as-is
+  int restart = 0;
+  jpeg::HuffmanMode huffman = jpeg::HuffmanMode::kOptimized;
+  std::vector<std::string> positional;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) usage(("missing value after " + a).c_str());
+      return args[++i];
+    };
+    if (a == "--quality")
+      quality = std::stoi(next());
+    else if (a == "--restart")
+      restart = std::stoi(next());
+    else if (a == "--optimize")
+      huffman = parse_optimize(next());
+    else
+      positional.push_back(a);
+  }
+  if (positional.size() != 2) usage("recompress needs <in.jpg> <out.jpg>");
+
+  const Bytes input = read_file(positional[0]);
+  jpeg::CoefficientImage img = jpeg::parse(input);
+  if (quality != 0) img = jpeg::requantize(img, quality);
+
+  jpeg::EncodeOptions eo;
+  eo.huffman = huffman;
+  eo.restart_interval = restart;
+  jpeg::EncodeStats stats;
+  const Bytes output = jpeg::serialize(img, eo, nullptr, &stats);
+  write_file(positional[1], output);
+  std::printf(
+      "wrote %s (%zu -> %zu bytes, entropy %zu bytes, optimized tables "
+      "saved %zu bytes)\n",
+      positional[1].c_str(), input.size(), output.size(),
+      stats.entropy_bytes, stats.saved_bytes);
   return 0;
 }
 
@@ -443,6 +499,7 @@ int main(int argc, char** argv) {
     if (command == "keygen") return cmd_keygen(args);
     if (command == "protect") return cmd_protect(args);
     if (command == "recover") return cmd_recover(args);
+    if (command == "recompress") return cmd_recompress(args);
     if (command == "inspect") return cmd_inspect(args);
     if (command == "attack") return cmd_attack(args);
     if (command == "store") return cmd_store(args);
