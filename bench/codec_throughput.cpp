@@ -7,6 +7,7 @@
 #include "bench_common.h"
 #include "puppies/core/perturb.h"
 #include "puppies/exec/pool.h"
+#include "puppies/jpeg/chunk.h"
 #include "puppies/jpeg/dct.h"
 #include "puppies/jpeg/quant.h"
 #include "puppies/kernels/kernels.h"
@@ -458,6 +459,46 @@ void emit_codec_json() {
   }
   kernels::configure(initial_tier);
   exec::configure(exec::Config{});
+
+  // Chunked streaming encode (DESIGN.md §11): full pixels -> JFIF bytes via
+  // the bounded-memory MCU-row pipeline, with one restart segment per MCU
+  // row so the entropy encode parallelizes maximally. Byte identity between
+  // the 1-thread and N-thread runs is the determinism contract;
+  // peak_chunk_bytes is the fixed per-chunk scratch footprint that makes
+  // the path memory-bounded regardless of image height.
+  {
+    jpeg::EncodeOptions eo;
+    eo.restart_interval = w / 8;  // one segment per MCU row
+    jpeg::ChunkStats cstats;
+    Bytes chunked_1, chunked_n;
+    exec::configure(exec::Config{1});
+    const double ms1 = bench::min_ms(3, [&] {
+      chunked_1 = jpeg::compress_chunked(big.image, 75, eo, {}, &cstats);
+    });
+    exec::configure(exec::Config{n_threads});
+    const double msn = bench::min_ms(3, [&] {
+      chunked_n = jpeg::compress_chunked(big.image, 75, eo, {}, &cstats);
+    });
+    exec::configure(exec::Config{});
+    const bool chunk_identical = chunked_1 == chunked_n;
+    const double mp1 = mp / (ms1 / 1e3), mpn = mp / (msn / 1e3);
+    std::snprintf(line, sizeof(line),
+                  "  \"chunked_encode_mp_s_1t\": %.3f,\n"
+                  "  \"chunked_encode_mp_s_nt\": %.3f,\n"
+                  "  \"chunked_speedup\": %.2f,\n"
+                  "  \"peak_chunk_bytes\": %zu,\n"
+                  "  \"chunked_byte_identical\": %s,\n",
+                  mp1, mpn, msn > 0 ? ms1 / msn : 0,
+                  cstats.peak_chunk_bytes,
+                  chunk_identical ? "true" : "false");
+    extras += line;
+    std::printf(
+        "chunked encode: %.2f MP/s @1 thread, %.2f MP/s @%d threads "
+        "(%.2fx), peak chunk scratch %zu bytes, output %s\n",
+        mp1, mpn, n_threads, msn > 0 ? ms1 / msn : 0, cstats.peak_chunk_bytes,
+        chunk_identical ? "byte-identical" : "DIVERGED");
+  }
+
   if (scalar_fdct_ns > 0 && tiers.size() > 1)
     std::printf(
         "tier speedup (%s vs scalar): fdct %.2fx, encode %.2fx, decode "

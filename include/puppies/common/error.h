@@ -55,5 +55,8 @@ class CorruptionError : public Error {
 inline void require(bool cond, const char* msg) {
   if (!cond) throw InvalidArgument(msg);
 }
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw InvalidArgument(msg);
+}
 
 }  // namespace puppies

@@ -108,6 +108,12 @@ struct YccImage {
 YccImage rgb_to_ycc(const RgbImage& rgb);
 /// YCbCr -> RGB, clamped to [0,255].
 RgbImage ycc_to_rgb(const YccImage& ycc);
+/// One row of ycc_to_rgb into caller-owned width()-pixel buffers, without
+/// materializing the whole RGB image. ycc_to_rgb() and the chunked encode
+/// pipeline (jpeg/chunk.h) both run on this, so a row-streamed consumer
+/// sees byte-identical pixels to the whole-image conversion.
+void ycc_to_rgb_row_u8(const YccImage& ycc, int y, std::uint8_t* r,
+                       std::uint8_t* g, std::uint8_t* b);
 /// Luma-only grayscale view of an RGB image.
 GrayU8 to_gray(const RgbImage& rgb);
 /// Grayscale u8 -> float plane and back (clamping).

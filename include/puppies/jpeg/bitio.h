@@ -42,6 +42,14 @@ class BitWriter {
   /// Flushes, then emits restart marker RSTn (n in 0..7) unstuffed.
   void restart_marker(int n);
 
+  /// True iff the writer sits on a byte boundary (no buffered bits). This
+  /// is the property the parallel-segment encoder rests on: flush() leaves
+  /// the writer aligned, so a restart segment's bytes are self-contained
+  /// and segments encoded by independent writers concatenate — with RSTn
+  /// markers between them — into exactly the stream one serial writer
+  /// would have produced.
+  bool aligned() const { return nbits_ == 0; }
+
  private:
   void drain();
   void emit_byte(std::uint8_t b);

@@ -33,6 +33,18 @@ const HuffmanSpec& std_ac_chroma();
 /// Symbols with zero frequency get no code.
 HuffmanSpec build_optimal_spec(const std::array<long, 256>& freq);
 
+/// Symbol histogram of a scan: freq[class][id][symbol], class 0 = DC /
+/// 1 = AC, table id 0 = luma / 1 = chroma. Restart segments gather into
+/// private instances on the exec pool and are merge()d in segment order, so
+/// an optimized-table build sees exactly the counts a serial pass over the
+/// whole scan would have produced.
+struct SymbolHistogram {
+  std::array<long, 256> freq[2][2] = {};
+
+  /// Element-wise accumulate (folds per-segment histograms).
+  void merge(const SymbolHistogram& other);
+};
+
 /// Encoder-side derived table: one 256-entry LUT of packed
 /// (code << 6) | length words, so the hot loop reads a single word per
 /// symbol and can fuse the code with the magnitude bits in one

@@ -23,9 +23,18 @@ PUPPIES_SIMD=scalar ./build/tests/tests_kernels
 # must hold on every tier, and ctest above only covered the native one.
 PUPPIES_SIMD=scalar ./build/tests/tests_encode
 
+# The chunked-pipeline differential suite on the forced-scalar tier too:
+# chunked vs whole-image byte identity is claimed per SIMD tier.
+PUPPIES_SIMD=scalar ./build/tests/tests_chunked
+
+# tests_chunked rides under TSan alongside the store suite: the parallel
+# restart-segment writers and the per-chunk pipeline stages are new
+# shared-state concurrency, so races there must surface as failures, not
+# as one-in-a-thousand flaky byte mismatches.
 cmake -B build-tsan -S . -DPUPPIES_SANITIZE=thread
-cmake --build build-tsan -j"$(nproc)" --target tests_store
+cmake --build build-tsan -j"$(nproc)" --target tests_store tests_chunked
 ./build-tsan/tests/tests_store
+./build-tsan/tests/tests_chunked
 
 # Mutation fuzzing of the JPEG parser under the memory sanitizers: ten
 # thousand seeded mutants per run must produce clean ParseErrors, never a
@@ -42,4 +51,4 @@ cmake -B build-ubsan -S . -DPUPPIES_SANITIZE=undefined
 cmake --build build-ubsan -j"$(nproc)" --target tests_fuzz
 ./build-ubsan/tests/tests_fuzz
 
-echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode + tests_store under TSan + tests_fuzz under ASan/UBSan)"
+echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode/tests_chunked + tests_store/tests_chunked under TSan + tests_fuzz under ASan/UBSan)"

@@ -26,15 +26,19 @@ YccImage rgb_to_ycc(const RgbImage& rgb) {
   return out;
 }
 
+void ycc_to_rgb_row_u8(const YccImage& ycc, int y, std::uint8_t* r,
+                       std::uint8_t* g, std::uint8_t* b) {
+  kernels::active().ycc_to_rgb_row(ycc.y.row(y).data(), ycc.cb.row(y).data(),
+                                   ycc.cr.row(y).data(), ycc.width(), r, g, b);
+}
+
 RgbImage ycc_to_rgb(const YccImage& ycc) {
   RgbImage out(ycc.width(), ycc.height());
-  const kernels::KernelTable& k = kernels::active();
   exec::parallel_for(static_cast<std::size_t>(ycc.height()),
                      [&](std::size_t row) {
     const int y = static_cast<int>(row);
-    k.ycc_to_rgb_row(ycc.y.row(y).data(), ycc.cb.row(y).data(),
-                     ycc.cr.row(y).data(), ycc.width(), out.r.row(y).data(),
-                     out.g.row(y).data(), out.b.row(y).data());
+    ycc_to_rgb_row_u8(ycc, y, out.r.row(y).data(), out.g.row(y).data(),
+                      out.b.row(y).data());
   });
   return out;
 }

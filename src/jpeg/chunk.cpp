@@ -1,0 +1,255 @@
+#include "puppies/jpeg/chunk.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "puppies/exec/parallel_for.h"
+#include "puppies/jpeg/dct.h"
+#include "puppies/jpeg/quant.h"
+#include "puppies/kernels/kernels.h"
+
+namespace puppies::jpeg {
+
+namespace {
+
+constexpr int kDefaultChunkMcuRows = 16;
+
+/// 0 = unset: resolve PUPPIES_CHUNK_ROWS, else the default.
+std::atomic<int> g_chunk_mcu_rows{0};
+
+/// Band-resident version of the whole-image encoder's extract_block: reads
+/// block (bx, by) of a plane_w x plane_h component plane whose rows
+/// [band_y0, band_y0 + band rows) are resident at `band` (stride plane_w).
+/// Border clamping replicates Plane::clamped_at exactly — the clamped row
+/// index never exceeds plane_h - 1, which the caller guarantees is resident
+/// whenever a block row needs it (padded block rows only exist in the last
+/// band) — so the extracted samples match the whole-image path bit for bit.
+void extract_band_block(const float* band, int plane_w, int plane_h,
+                        int band_y0, int bx, int by, float* out) {
+  const int x0 = bx * 8, y0 = by * 8;
+  if (x0 + 8 <= plane_w && y0 + 8 <= plane_h) {
+    for (int y = 0; y < 8; ++y) {
+      const float* src =
+          band + static_cast<std::size_t>(y0 + y - band_y0) * plane_w + x0;
+      for (int x = 0; x < 8; ++x) out[y * 8 + x] = src[x] - 128.f;
+    }
+    return;
+  }
+  for (int y = 0; y < 8; ++y) {
+    const int py = std::min(y0 + y, plane_h - 1);
+    const float* src = band + static_cast<std::size_t>(py - band_y0) * plane_w;
+    for (int x = 0; x < 8; ++x) {
+      const int px = std::min(x0 + x, plane_w - 1);
+      out[y * 8 + x] = src[px] - 128.f;
+    }
+  }
+}
+
+}  // namespace
+
+McuRowBuffer::McuRowBuffer(int width, int pixel_rows, ChromaMode mode)
+    : w_(width), rows_(pixel_rows) {
+  require(width > 0 && pixel_rows > 0, "McuRowBuffer dimensions");
+  rgb_.resize(3 * static_cast<std::size_t>(w_) * rows_);
+  ycc_.resize(3 * static_cast<std::size_t>(w_) * rows_);
+  if (mode == ChromaMode::k420) {
+    cw_ = (width + 1) / 2;
+    crows_ = (pixel_rows + 1) / 2;
+    chroma2_.resize(2 * static_cast<std::size_t>(cw_) * crows_);
+  }
+}
+
+std::size_t McuRowBuffer::bytes() const {
+  return rgb_.size() * sizeof(std::uint8_t) + ycc_.size() * sizeof(float) +
+         chroma2_.size() * sizeof(float);
+}
+
+CoefficientImage forward_transform_chunked_rows(
+    int width, int height, const RgbRowSource& source, int quality,
+    ChromaMode mode, const ChunkOptions& copt, ScanIndex* scan,
+    ChunkStats* stats) {
+  require(width > 0 && height > 0, "chunked encode dimensions");
+  // Bounded-allocation guarantee: the same pixel-footprint limit the
+  // decoder enforces gates the encode side, and past this check the
+  // pipeline only ever allocates the output coefficients plus one band of
+  // pixel scratch.
+  const std::uint64_t pixels =
+      static_cast<std::uint64_t>(width) * static_cast<std::uint64_t>(height);
+  require(pixels <= max_decode_pixels(),
+          "image " + std::to_string(width) + "x" + std::to_string(height) +
+              " exceeds the encode limit of " +
+              std::to_string(max_decode_pixels()) +
+              " pixels (PUPPIES_MAX_PIXELS)");
+
+  const int chunk_mcu_rows =
+      copt.mcu_rows > 0 ? copt.mcu_rows : default_chunk_mcu_rows();
+  CoefficientImage out(width, height, 3, luma_quant_table(quality),
+                       chroma_quant_table(quality), mode);
+  if (scan) {
+    scan->masks.resize(3);
+    for (int c = 0; c < 3; ++c)
+      scan->masks[static_cast<std::size_t>(c)].assign(
+          out.component(c).blocks.size(), 0);
+  }
+
+  const int mcu_px = 8 * out.v_max();  // 8 (4:4:4) or 16 (4:2:0)
+  const int total_mcu_rows = out.blocks_h() / out.component(0).v;
+  const int nchunks =
+      (total_mcu_rows + chunk_mcu_rows - 1) / chunk_mcu_rows;
+  McuRowBuffer buf(width, std::min(total_mcu_rows, chunk_mcu_rows) * mcu_px,
+                   mode);
+  if (stats) {
+    stats->peak_chunk_bytes = buf.bytes();
+    stats->chunks = nchunks;
+    stats->chunk_mcu_rows = chunk_mcu_rows;
+  }
+
+  const kernels::QuantConstants qc_luma = quant_constants(out.qtable_for(0));
+  const kernels::QuantConstants qc_chroma = quant_constants(out.qtable_for(1));
+  const kernels::KernelTable& k = kernels::active();
+
+  for (int ci = 0; ci < nchunks; ++ci) {
+    ChunkView view;
+    view.index = ci;
+    view.mcu_row_begin = ci * chunk_mcu_rows;
+    view.mcu_row_end =
+        std::min(total_mcu_rows, view.mcu_row_begin + chunk_mcu_rows);
+    view.y_begin = view.mcu_row_begin * mcu_px;
+    view.y_end = std::min(height, view.mcu_row_end * mcu_px);
+    const int nrows = view.pixel_rows();
+
+    // Stage 1: produce this band's pixel rows and color-convert them. Rows
+    // are independent and each writes only its own band slots.
+    exec::parallel_for(static_cast<std::size_t>(nrows), [&](std::size_t row) {
+      const int i = static_cast<int>(row);
+      const RgbRow rgb =
+          source(view.y_begin + i, buf.r_row(i), buf.g_row(i), buf.b_row(i));
+      k.rgb_to_ycc_row(rgb.r, rgb.g, rgb.b, width, buf.y_row(i),
+                       buf.cb_row(i), buf.cr_row(i));
+    });
+
+    // Stage 2 (4:2:0): decimate the band's chroma rows. y_begin is a
+    // multiple of 16, so every output chroma row's two source rows live in
+    // this band; the odd-height tail duplicates the last image row, exactly
+    // like the whole-image downsample2x.
+    int cy_begin = 0;
+    if (mode == ChromaMode::k420) {
+      cy_begin = view.y_begin / 2;
+      const int cy_end = (view.y_end + 1) / 2;
+      exec::parallel_for(
+          static_cast<std::size_t>(cy_end - cy_begin), [&](std::size_t j) {
+            const int cy = cy_begin + static_cast<int>(j);
+            const int ya = 2 * cy - view.y_begin;
+            const int yb = std::min(2 * cy + 1, height - 1) - view.y_begin;
+            const int i = static_cast<int>(j);
+            k.downsample2x_row(buf.cb_row(ya), buf.cb_row(yb), width,
+                               buf.chroma_width(), buf.cb2_row(i));
+            k.downsample2x_row(buf.cr_row(ya), buf.cr_row(yb), width,
+                               buf.chroma_width(), buf.cr2_row(i));
+          });
+    }
+
+    // Stage 3: DCT + quantize this band's block rows of every component.
+    // Same kernels, same per-block inputs, same preallocated output slots
+    // as the whole-image encode_component_plane — hence bit-identical.
+    for (int c = 0; c < 3; ++c) {
+      Component& comp = out.component(c);
+      const kernels::QuantConstants& qc = c == 0 ? qc_luma : qc_chroma;
+      const bool subsampled = mode == ChromaMode::k420 && c > 0;
+      const float* band = c == 0 ? buf.y_row(0)
+                          : subsampled
+                              ? (c == 1 ? buf.cb2_row(0) : buf.cr2_row(0))
+                              : (c == 1 ? buf.cb_row(0) : buf.cr_row(0));
+      const int plane_w = subsampled ? (width + 1) / 2 : width;
+      const int plane_h = subsampled ? (height + 1) / 2 : height;
+      const int band_y0 = subsampled ? cy_begin : view.y_begin;
+      const int br0 = view.block_row_begin(comp.v);
+      const int br1 = view.block_row_end(comp.v);
+      std::uint64_t* mask_out =
+          scan ? scan->masks[static_cast<std::size_t>(c)].data() : nullptr;
+      exec::parallel_for(
+          static_cast<std::size_t>(br1 - br0), [&](std::size_t rel) {
+            const int by = br0 + static_cast<int>(rel);
+            FloatBlock samples, coeffs;
+            for (int bx = 0; bx < comp.blocks_w; ++bx) {
+              extract_band_block(band, plane_w, plane_h, band_y0, bx, by,
+                                 samples.data());
+              k.fdct8x8(samples.data(), coeffs.data());
+              const std::uint64_t m =
+                  k.quantize_scan(coeffs.data(), qc, comp.block(bx, by).data());
+              if (mask_out)
+                mask_out[static_cast<std::size_t>(by) * comp.blocks_w +
+                         static_cast<std::size_t>(bx)] = m;
+            }
+          });
+    }
+  }
+  return out;
+}
+
+CoefficientImage forward_transform_chunked(const RgbImage& img, int quality,
+                                           ChromaMode mode,
+                                           const ChunkOptions& copt,
+                                           ScanIndex* scan,
+                                           ChunkStats* stats) {
+  // Zero-copy source: the RGB planes already hold clamped 8-bit rows.
+  const RgbRowSource source = [&img](int y, std::uint8_t*, std::uint8_t*,
+                                     std::uint8_t*) {
+    return RgbRow{img.r.row(y).data(), img.g.row(y).data(),
+                  img.b.row(y).data()};
+  };
+  return forward_transform_chunked_rows(img.width(), img.height(), source,
+                                        quality, mode, copt, scan, stats);
+}
+
+CoefficientImage forward_transform_clamped_chunked(const YccImage& ycc,
+                                                   int quality,
+                                                   ChromaMode mode,
+                                                   const ChunkOptions& copt,
+                                                   ScanIndex* scan,
+                                                   ChunkStats* stats) {
+  // Clamp one row at a time through the same kernel ycc_to_rgb uses, so the
+  // round trip float YCC -> u8 RGB -> float YCC matches the whole-image
+  // path sample for sample without materializing either intermediate.
+  const RgbRowSource source = [&ycc](int y, std::uint8_t* r, std::uint8_t* g,
+                                     std::uint8_t* b) {
+    ycc_to_rgb_row_u8(ycc, y, r, g, b);
+    return RgbRow{r, g, b};
+  };
+  return forward_transform_chunked_rows(ycc.width(), ycc.height(), source,
+                                        quality, mode, copt, scan, stats);
+}
+
+Bytes compress_chunked(const RgbImage& img, int quality,
+                       const EncodeOptions& opts, const ChunkOptions& copt,
+                       ChunkStats* stats) {
+  ScanIndex scan;
+  const CoefficientImage coeffs =
+      forward_transform_chunked(img, quality, opts.chroma, copt, &scan, stats);
+  return serialize(coeffs, opts, &scan);
+}
+
+int default_chunk_mcu_rows() {
+  const int v = g_chunk_mcu_rows.load(std::memory_order_relaxed);
+  if (v > 0) return v;
+  static const int resolved = [] {
+    const char* env = std::getenv("PUPPIES_CHUNK_ROWS");
+    if (env && *env) {
+      char* end = nullptr;
+      const long n = std::strtol(env, &end, 10);
+      if (end && *end == '\0' && n > 0 && n <= 1 << 20)
+        return static_cast<int>(n);
+    }
+    return kDefaultChunkMcuRows;
+  }();
+  return resolved;
+}
+
+void set_default_chunk_mcu_rows(int rows) {
+  require(rows >= 0, "chunk MCU rows must be >= 0");
+  g_chunk_mcu_rows.store(rows, std::memory_order_relaxed);
+}
+
+}  // namespace puppies::jpeg

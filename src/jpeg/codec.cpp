@@ -8,11 +8,14 @@
 #include <cstring>
 
 #include "puppies/exec/parallel_for.h"
+#include "puppies/fault/fault.h"
 #include "puppies/jpeg/bitio.h"
+#include "puppies/jpeg/chunk.h"
 #include "puppies/jpeg/dct.h"
 #include "puppies/jpeg/huffman.h"
 #include "puppies/jpeg/zigzag.h"
 #include "puppies/kernels/kernels.h"
+#include "puppies/metrics/metrics.h"
 
 namespace puppies::jpeg {
 
@@ -161,13 +164,12 @@ std::pair<int, int> component_pixel_size(const CoefficientImage& img, int c) {
 }
 
 // ---------------------------------------------------------------------------
-// Entropy coding: one MCU-interleaved pass over all blocks feeding either a
-// statistics sink or an emitting sink.
-
-struct Symbols {
-  // per (table_class 0=DC/1=AC, table_id 0/1)
-  std::array<long, 256> freq[2][2] = {};
-};
+// Entropy coding. The scan decomposes into restart segments (the whole scan
+// is one segment when there is no restart interval). Each segment starts
+// with fresh DC predictors and — because BitWriter::flush() pads to a byte
+// boundary before every RSTn — owns a self-contained byte range, so
+// segments feed statistics gathering and entropy emission independently on
+// the exec pool and concatenate deterministically (DESIGN.md §11).
 
 /// Run-length walk of one block driven by its nonzero mask: set bits are
 /// visited via countr_zero, zero runs come from position deltas. Emits
@@ -223,6 +225,30 @@ void for_each_block_in_scan_order(const CoefficientImage& img, OnMcu&& on_mcu,
     }
 }
 
+/// Visits the blocks of MCUs [mcu_begin, mcu_end) in scan order — one
+/// restart segment's worth when a restart interval is in force.
+template <typename Visit>
+void for_each_block_in_mcu_range(const CoefficientImage& img, int mcu_begin,
+                                 int mcu_end, Visit&& visit) {
+  const int ncomp = img.component_count();
+  const int mcu_cols = img.blocks_w() / img.component(0).h;
+  for (int m = mcu_begin; m < mcu_end; ++m) {
+    const int my = m / mcu_cols, mx = m % mcu_cols;
+    for (int c = 0; c < ncomp; ++c) {
+      const Component& comp = img.component(c);
+      for (int by = 0; by < comp.v; ++by)
+        for (int bx = 0; bx < comp.h; ++bx)
+          visit(c, mx * comp.h + bx, my * comp.v + by);
+    }
+  }
+}
+
+int total_mcu_count(const CoefficientImage& img) {
+  const int mcu_cols = img.blocks_w() / img.component(0).h;
+  const int mcu_rows = img.blocks_h() / img.component(0).v;
+  return mcu_cols * mcu_rows;
+}
+
 /// Looks up block (bx, by) of component c in a validated ScanIndex.
 inline std::uint64_t mask_at(const ScanIndex& scan, const CoefficientImage& img,
                              int c, int bx, int by) {
@@ -232,16 +258,14 @@ inline std::uint64_t mask_at(const ScanIndex& scan, const CoefficientImage& img,
                     static_cast<std::size_t>(bx)];
 }
 
-void gather_statistics(const CoefficientImage& img, const ScanIndex& scan,
-                       int restart_interval, Symbols& stats) {
+void gather_segment_statistics(const CoefficientImage& img,
+                               const ScanIndex& scan, int mcu_begin,
+                               int mcu_end, SymbolHistogram& stats) {
+  // DC predictors start at 0: segment begins either at the scan start or
+  // just after a restart marker, both of which reset prediction.
   std::vector<int> prev_dc(static_cast<std::size_t>(img.component_count()), 0);
-  for_each_block_in_scan_order(
-      img,
-      [&](int mcu) {
-        if (restart_interval > 0 && mcu > 0 && mcu % restart_interval == 0)
-          std::fill(prev_dc.begin(), prev_dc.end(), 0);
-      },
-      [&](int c, int bx, int by) {
+  for_each_block_in_mcu_range(
+      img, mcu_begin, mcu_end, [&](int c, int bx, int by) {
         const int t = huff_table_id_for_component(c);
         walk_block(
             img.component(c).block(bx, by), mask_at(scan, img, c, bx, by),
@@ -251,19 +275,13 @@ void gather_statistics(const CoefficientImage& img, const ScanIndex& scan,
       });
 }
 
-void encode_scan(const CoefficientImage& img, const ScanIndex& scan,
-                 int restart_interval, const HuffmanEncoder dc_enc[2],
-                 const HuffmanEncoder ac_enc[2], BitWriter& bits) {
+void encode_segment(const CoefficientImage& img, const ScanIndex& scan,
+                    int mcu_begin, int mcu_end,
+                    const HuffmanEncoder dc_enc[2],
+                    const HuffmanEncoder ac_enc[2], BitWriter& bits) {
   std::vector<int> prev_dc(static_cast<std::size_t>(img.component_count()), 0);
-  for_each_block_in_scan_order(
-      img,
-      [&](int mcu) {
-        if (restart_interval > 0 && mcu > 0 && mcu % restart_interval == 0) {
-          bits.restart_marker((mcu / restart_interval - 1) % 8);
-          std::fill(prev_dc.begin(), prev_dc.end(), 0);
-        }
-      },
-      [&](int c, int bx, int by) {
+  for_each_block_in_mcu_range(
+      img, mcu_begin, mcu_end, [&](int c, int bx, int by) {
         const int t = huff_table_id_for_component(c);
         walk_block(
             img.component(c).block(bx, by), mask_at(scan, img, c, bx, by),
@@ -491,20 +509,41 @@ Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts,
   require(coeffs.component_count() == 1 || coeffs.component_count() == 3,
           "serialize supports 1 or 3 components");
   // Trust a supplied index only if its shape matches; otherwise rebuild.
-  // Either way the masks are exact, so the output bytes are unaffected.
+  // Either way the masks are exact, so the output bytes are unaffected —
+  // but a rebuild means the caller fell off the forward_transform fast
+  // path, so make it observable (`store stats --json`).
   ScanIndex local_scan;
   if (!scan || !scan->matches(coeffs)) {
+    metrics::counter("psp.codec.scanindex_rebuilds").add();
     local_scan = build_scan_index(coeffs);
     scan = &local_scan;
   }
+
+  // Restart-segment decomposition of the scan: segment s covers MCUs
+  // [s*R, min((s+1)*R, total)); no restart interval = one segment.
+  const int total_mcus = total_mcu_count(coeffs);
+  const int R = opts.restart_interval;
+  const int nseg = R > 0 ? (total_mcus + R - 1) / R : 1;
+  const auto segment_bounds = [&](int s) {
+    const int m0 = R > 0 ? s * R : 0;
+    return std::pair<int, int>(m0, R > 0 ? std::min(total_mcus, m0 + R)
+                                         : total_mcus);
+  };
 
   HuffmanSpec dc_spec[2] = {std_dc_luma(), std_dc_chroma()};
   HuffmanSpec ac_spec[2] = {std_ac_luma(), std_ac_chroma()};
   if (stats) *stats = EncodeStats{};
 
   if (opts.huffman == HuffmanMode::kOptimized) {
-    Symbols sym;
-    gather_statistics(coeffs, *scan, opts.restart_interval, sym);
+    // Per-segment histograms gathered on the pool into preallocated slots,
+    // folded in segment order: identical counts to a serial scan pass.
+    std::vector<SymbolHistogram> seg_hist(static_cast<std::size_t>(nseg));
+    exec::parallel_for(static_cast<std::size_t>(nseg), [&](std::size_t s) {
+      const auto [m0, m1] = segment_bounds(static_cast<int>(s));
+      gather_segment_statistics(coeffs, *scan, m0, m1, seg_hist[s]);
+    });
+    SymbolHistogram sym;
+    for (const SymbolHistogram& h : seg_hist) sym.merge(h);
     dc_spec[0] = build_optimal_spec(sym.freq[0][0]);
     ac_spec[0] = build_optimal_spec(sym.freq[1][0]);
     if (coeffs.component_count() == 3) {
@@ -561,9 +600,43 @@ Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts,
                                       HuffmanEncoder(dc_spec[1])};
     const HuffmanEncoder ac_enc[2] = {HuffmanEncoder(ac_spec[0]),
                                       HuffmanEncoder(ac_spec[1])};
-    BitWriter bits(out);
-    encode_scan(coeffs, *scan, opts.restart_interval, dc_enc, ac_enc, bits);
-    bits.flush();
+    if (nseg == 1) {
+      // No restart markers: the single segment writes straight into `out`.
+      BitWriter bits(out);
+      encode_segment(coeffs, *scan, 0, total_mcus, dc_enc, ac_enc, bits);
+      bits.flush();
+    } else {
+      // Restart segments are independently encodable: each starts with
+      // fresh DC predictors, and flush() leaves every BitWriter
+      // byte-aligned, so segment bytes never depend on their neighbours.
+      // Encode them on the pool into per-segment buffers, then concatenate
+      // in segment order with the RSTn markers interleaved — byte-identical
+      // to a serial scan writer at any thread count.
+      std::vector<Bytes> seg(static_cast<std::size_t>(nseg));
+      exec::parallel_for(static_cast<std::size_t>(nseg), [&](std::size_t s) {
+        const auto [m0, m1] = segment_bounds(static_cast<int>(s));
+        BitWriter bits(seg[s]);
+        encode_segment(coeffs, *scan, m0, m1, dc_enc, ac_enc, bits);
+        bits.flush();
+        // Fault hook: flip a byte of this finished segment, so tests can
+        // prove a bad parallel worker stays contained to its segment.
+        if (fault::point("jpeg.encode.segment") && !seg[s].empty())
+          seg[s][seg[s].size() / 2] ^= 0x40;
+      });
+      std::size_t entropy_total = 0;
+      for (const Bytes& b : seg) entropy_total += b.size() + 2;
+      out.reserve(out.size() + entropy_total);
+      for (int s = 0; s < nseg; ++s) {
+        const Bytes& b = seg[static_cast<std::size_t>(s)];
+        out.insert(out.end(), b.begin(), b.end());
+        if (s + 1 < nseg) {
+          // Same marker index the serial writer emitted before MCU
+          // (s + 1) * R: ((m / R) - 1) % 8 == s % 8.
+          out.push_back(kMarkerPrefix);
+          out.push_back(static_cast<std::uint8_t>(0xd0 + s % 8));
+        }
+      }
+    }
   }
   if (stats) stats->entropy_bytes = out.size() - entropy_start;
   out.push_back(kMarkerPrefix);
@@ -812,10 +885,9 @@ CoefficientImage parse(std::span<const std::uint8_t> data) {
 }
 
 Bytes compress(const RgbImage& img, int quality, const EncodeOptions& opts) {
-  ScanIndex scan;
-  const CoefficientImage coeffs =
-      forward_transform(rgb_to_ycc(img), quality, opts.chroma, &scan);
-  return serialize(coeffs, opts, &scan);
+  // The chunked pipeline is the production encode path: bounded pixel
+  // scratch, byte-identical output (see jpeg/chunk.h and tests_chunked).
+  return compress_chunked(img, quality, opts);
 }
 
 RgbImage decompress(std::span<const std::uint8_t> data) {

@@ -153,6 +153,14 @@ HuffmanSpec build_optimal_spec(const std::array<long, 256>& histogram) {
   return spec;
 }
 
+void SymbolHistogram::merge(const SymbolHistogram& other) {
+  for (int cls = 0; cls < 2; ++cls)
+    for (int id = 0; id < 2; ++id)
+      for (int s = 0; s < 256; ++s)
+        freq[cls][id][static_cast<std::size_t>(s)] +=
+            other.freq[cls][id][static_cast<std::size_t>(s)];
+}
+
 HuffmanEncoder::HuffmanEncoder(const HuffmanSpec& spec) {
   std::uint32_t code = 0;
   std::size_t k = 0;

@@ -6,6 +6,7 @@
 
 #include "puppies/exec/parallel_for.h"
 #include "puppies/fault/fault.h"
+#include "puppies/jpeg/chunk.h"
 #include "puppies/jpeg/codec.h"
 #include "puppies/metrics/metrics.h"
 
@@ -125,16 +126,22 @@ store::TransformResult PspService::compute_transform(
     if (mode == DeliveryMode::kLinearFloat) {
       r.pixels = transformed;
     } else {
-      // Realistic path: clamp and re-encode.
+      // Realistic path: clamp and re-encode, streamed one band of MCU rows
+      // at a time (jpeg/chunk.h) so per-request pixel scratch stays
+      // O(width * chunk rows) instead of three more full-image planes.
+      // Byte-identical to the whole-image clamp + forward_transform, which
+      // is why the chunk knob never enters the transform cache key.
       metrics::ScopedTimer reencode(
           metrics::histogram("psp.transform.reencode_ms"));
       metrics::counter("psp.codec.forward").add();
-      const RgbImage clamped = ycc_to_rgb(transformed);
       jpeg::EncodeOptions eo;
       eo.huffman = config_.huffman;
+      jpeg::ChunkOptions copt;
+      copt.mcu_rows = config_.chunk_mcu_rows;
       jpeg::ScanIndex scan;
-      const jpeg::CoefficientImage coeffs = jpeg::forward_transform(
-          rgb_to_ycc(clamped), reencode_quality, eo.chroma, &scan);
+      const jpeg::CoefficientImage coeffs =
+          jpeg::forward_transform_clamped_chunked(
+              transformed, reencode_quality, eo.chroma, copt, &scan);
       r.jfif = serialize_measured(coeffs, eo, &scan);
     }
   }

@@ -463,7 +463,11 @@ TEST(EncodeDifferential, CorpusMatchesSeedEncoderByteForByte) {
     for (std::size_t i = 0; i < corpus.size(); ++i) {
       for (jpeg::HuffmanMode hm :
            {jpeg::HuffmanMode::kStandard, jpeg::HuffmanMode::kOptimized}) {
-        for (int restart : {0, 3}) {
+        // 0 = single segment, 1 = one MCU per segment (maximum marker
+        // density), 3 = short segments with a ragged tail, 64 = interval
+        // larger than the whole scan. The parallel-segment serialize path
+        // must hit the seed bytes at every density.
+        for (int restart : {0, 1, 3, 64}) {
           jpeg::EncodeOptions opts;
           opts.huffman = hm;
           opts.restart_interval = restart;
