@@ -1,0 +1,348 @@
+// Zipfian load harness for the networked serving tier (puppies::net).
+//
+// Spins up a loopback server (or targets one via --connect), uploads a
+// protected corpus, applies one deterministic transform chain per image, and
+// then hammers downloads from N concurrent connections with zipf-distributed
+// image popularity — the skew a photo-sharing workload actually has. Every
+// downloaded byte stream is compared against a local ground truth (an
+// identically configured in-process PspService), so the bench doubles as an
+// end-to-end correctness check: RPS with a byte mismatch is meaningless.
+//
+// A second, deliberately saturated sub-phase (tiny --max-inflight plus a
+// stalled dispatcher) verifies admission control under overload: the server
+// must answer BUSY immediately rather than queue without bound.
+//
+// Emits BENCH_load.json: sustained RPS, client-side p50/p90/p99 latency,
+// byte-identity verdict, and the BUSY count from the saturation phase.
+#include <atomic>
+#include <cstring>
+#include <map>
+#include <thread>
+
+#include "bench_common.h"
+#include "puppies/core/pipeline.h"
+#include "puppies/fault/fault.h"
+#include "puppies/metrics/metrics.h"
+#include "puppies/net/client.h"
+#include "puppies/net/server.h"
+#include "puppies/psp/psp.h"
+
+using namespace puppies;
+
+namespace {
+
+struct Options {
+  int connections = 8;
+  double seconds = 2.0;
+  int images = 12;
+  double zipf_s = 1.0;
+  std::string connect;  ///< "host:port"; empty = in-process loopback server
+  std::string out = "BENCH_load.json";
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_load [--connections N] [--seconds S] [--images K]\n"
+      "                  [--zipf S] [--connect HOST:PORT] [--out FILE]\n");
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (a == "--connections") o.connections = std::atoi(next().c_str());
+    else if (a == "--seconds") o.seconds = std::atof(next().c_str());
+    else if (a == "--images") o.images = std::atoi(next().c_str());
+    else if (a == "--zipf") o.zipf_s = std::atof(next().c_str());
+    else if (a == "--connect") o.connect = next();
+    else if (a == "--out") o.out = next();
+    else usage();
+  }
+  if (o.connections < 1 || o.images < 1 || o.seconds <= 0) usage();
+  return o;
+}
+
+/// Zipf sampler over ranks [0, n): weight(rank) = 1 / (rank+1)^s.
+class Zipf {
+ public:
+  Zipf(int n, double s) {
+    double acc = 0;
+    for (int i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_.push_back(acc);
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+  int sample(Rng& rng) const {
+    const double u = rng.uniform();
+    return static_cast<int>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct CorpusEntry {
+  Bytes jfif;
+  Bytes params;
+  transform::Chain chain;
+  psp::DeliveryMode mode = psp::DeliveryMode::kCoefficients;
+  int quality = 85;
+  std::string id;       ///< id on the server under test
+  Bytes expect_jfif;    ///< ground truth from the local reference PSP
+};
+
+std::vector<CorpusEntry> build_corpus(int n) {
+  std::vector<CorpusEntry> corpus;
+  for (int i = 0; i < n; ++i) {
+    const synth::SceneImage scene =
+        synth::generate(synth::Dataset::kPascal, 40 + i, 96, 64);
+    const jpeg::CoefficientImage original =
+        jpeg::forward_transform(rgb_to_ycc(scene.image), 75);
+    const SecretKey key =
+        SecretKey::from_label("bench_load/" + std::to_string(i));
+    const core::ProtectResult shared = core::protect(
+        original, {core::RoiPolicy{Rect{8, 8, 32, 24}, key,
+                                   core::Scheme::kCompression,
+                                   core::PrivacyLevel::kMedium}});
+    CorpusEntry e;
+    e.jfif = jpeg::serialize(shared.perturbed);
+    e.params = shared.params.serialize();
+    // Alternate the lossless coefficient path and the codec-heavy clamped
+    // re-encode path so the load mix exercises both serving pipelines.
+    if (i % 2 == 0) {
+      e.chain = {transform::rotate(i % 4 == 0 ? 90 : 180)};
+      e.mode = psp::DeliveryMode::kCoefficients;
+    } else {
+      e.chain = {transform::scale(48, 32)};
+      e.mode = psp::DeliveryMode::kClampedReencode;
+      e.quality = 80;
+    }
+    corpus.push_back(std::move(e));
+  }
+  return corpus;
+}
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  std::uint64_t requests = 0;
+  std::uint64_t busy = 0;
+  std::uint64_t mismatches = 0;
+  std::uint64_t errors = 0;
+};
+
+double percentile_of(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  bench::header("net serving: zipfian multi-connection load",
+                "Sec. 7 deployment (networked serving tier)");
+
+  // ---- target server --------------------------------------------------
+  std::string host;
+  std::uint16_t port = 0;
+  std::unique_ptr<net::Server> local;
+  if (opt.connect.empty()) {
+    net::ServerConfig config;
+    config.threads = std::max(2, opt.connections / 4);
+    local = std::make_unique<net::Server>(config);
+    local->start();
+    host = local->host();
+    port = local->port();
+    std::printf("in-process loopback server on %s:%u\n", host.c_str(), port);
+  } else {
+    const std::size_t colon = opt.connect.rfind(':');
+    if (colon == std::string::npos) usage();
+    host = opt.connect.substr(0, colon);
+    port = static_cast<std::uint16_t>(
+        std::atoi(opt.connect.substr(colon + 1).c_str()));
+    std::printf("targeting external server %s:%u\n", host.c_str(), port);
+  }
+
+  // ---- corpus upload + ground truth -----------------------------------
+  std::vector<CorpusEntry> corpus = build_corpus(opt.images);
+  psp::PspService reference;  // local ground truth, default config
+  {
+    net::Client setup;
+    setup.connect(host, port);
+    for (CorpusEntry& e : corpus) {
+      e.id = setup.upload(e.jfif, e.params);
+      setup.apply(e.id, e.chain, e.mode, e.quality);
+      const std::string ref_id = reference.upload(e.jfif, e.params);
+      reference.apply_transform(ref_id, e.chain, e.mode, e.quality);
+      e.expect_jfif = reference.download(ref_id).jfif;
+    }
+  }
+  std::printf("corpus: %d images uploaded + transformed (zipf s=%.2f)\n",
+              opt.images, opt.zipf_s);
+
+  // ---- zipfian load phase ---------------------------------------------
+  const Zipf zipf(opt.images, opt.zipf_s);
+  std::atomic<bool> stop{false};
+  std::vector<WorkerResult> results(
+      static_cast<std::size_t>(opt.connections));
+  std::vector<std::thread> workers;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int w = 0; w < opt.connections; ++w) {
+    workers.emplace_back([&, w] {
+      WorkerResult& r = results[static_cast<std::size_t>(w)];
+      Rng rng("bench_load/conn" + std::to_string(w));
+      try {
+        net::Client client;
+        client.connect(host, port);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const CorpusEntry& e =
+              corpus[static_cast<std::size_t>(zipf.sample(rng))];
+          const auto s = std::chrono::steady_clock::now();
+          try {
+            const net::DownloadReply d = client.download(e.id);
+            r.latencies_ms.push_back(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - s)
+                    .count());
+            ++r.requests;
+            if (d.jfif != e.expect_jfif) ++r.mismatches;
+          } catch (const net::ServerBusy&) {
+            ++r.busy;  // backpressure is a valid answer, not an error
+          }
+        }
+      } catch (const std::exception& ex) {
+        ++r.errors;
+        std::fprintf(stderr, "conn %d: %s\n", w, ex.what());
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(opt.seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : workers) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  WorkerResult total;
+  std::vector<double> lat;
+  for (const WorkerResult& r : results) {
+    total.requests += r.requests;
+    total.busy += r.busy;
+    total.mismatches += r.mismatches;
+    total.errors += r.errors;
+    lat.insert(lat.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  std::sort(lat.begin(), lat.end());
+  const double rps = total.requests / elapsed_s;
+  const double p50 = percentile_of(lat, 50);
+  const double p90 = percentile_of(lat, 90);
+  const double p99 = percentile_of(lat, 99);
+  const bool identical = total.mismatches == 0 && total.requests > 0;
+
+  std::printf("\n%-26s %12s\n", "metric", "value");
+  std::printf("%-26s %12d\n", "connections", opt.connections);
+  std::printf("%-26s %12.2f\n", "duration s", elapsed_s);
+  std::printf("%-26s %12llu\n", "requests",
+              static_cast<unsigned long long>(total.requests));
+  std::printf("%-26s %12.1f\n", "sustained RPS", rps);
+  std::printf("%-26s %12.3f\n", "p50 ms", p50);
+  std::printf("%-26s %12.3f\n", "p90 ms", p90);
+  std::printf("%-26s %12.3f\n", "p99 ms", p99);
+  std::printf("%-26s %12s\n", "byte-identical",
+              identical ? "yes" : "NO — BUG");
+  std::printf("%-26s %12llu\n", "worker errors",
+              static_cast<unsigned long long>(total.errors));
+
+  // ---- saturation sub-phase -------------------------------------------
+  // A dedicated tiny server: one dispatcher lane, one admission slot, and a
+  // stalled dispatch. Eight hammering connections must be answered with
+  // immediate BUSY replies — admission control, not unbounded queueing.
+  std::uint64_t busy_replies = 0;
+  std::uint64_t saturation_ok = 0;
+  if (opt.connect.empty()) {
+    net::ServerConfig tiny;
+    tiny.threads = 1;
+    tiny.max_inflight = 1;
+    net::Server sat(tiny);
+    sat.start();
+    std::string sat_id;
+    {
+      net::Client setup;
+      setup.connect(sat.host(), sat.port());
+      sat_id = setup.upload(corpus[0].jfif, corpus[0].params);
+    }
+    fault::arm_spec("net.dispatch.stall=always");
+    std::atomic<std::uint64_t> busy{0}, ok{0};
+    std::vector<std::thread> hammer;
+    for (int w = 0; w < 8; ++w) {
+      hammer.emplace_back([&] {
+        net::Client c;
+        c.connect(sat.host(), sat.port());
+        for (int i = 0; i < 6; ++i) {
+          try {
+            c.download(sat_id);
+            ++ok;
+          } catch (const net::ServerBusy&) {
+            ++busy;
+          }
+        }
+      });
+    }
+    for (auto& t : hammer) t.join();
+    fault::disarm("net.dispatch.stall");
+    sat.shutdown();
+    busy_replies = busy.load();
+    saturation_ok = ok.load();
+    std::printf("%-26s %12llu (of %llu saturation requests)\n",
+                "BUSY replies", static_cast<unsigned long long>(busy_replies),
+                static_cast<unsigned long long>(busy_replies + saturation_ok));
+  } else {
+    std::printf("saturation phase skipped (external server)\n");
+  }
+
+  if (local) local->shutdown();
+
+  // ---- report ----------------------------------------------------------
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", opt.out.c_str());
+    return identical ? 0 : 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_load\",\n");
+  std::fprintf(f, "  \"connections\": %d,\n  \"images\": %d,\n",
+               opt.connections, opt.images);
+  std::fprintf(f, "  \"zipf_s\": %.2f,\n  \"duration_s\": %.3f,\n",
+               opt.zipf_s, elapsed_s);
+  std::fprintf(f, "  \"requests\": %llu,\n  \"rps\": %.1f,\n",
+               static_cast<unsigned long long>(total.requests), rps);
+  std::fprintf(f,
+               "  \"p50_ms\": %.3f,\n  \"p90_ms\": %.3f,\n"
+               "  \"p99_ms\": %.3f,\n",
+               p50, p90, p99);
+  std::fprintf(f, "  \"byte_identical\": %s,\n", identical ? "true" : "false");
+  std::fprintf(f, "  \"busy_replies\": %llu,\n",
+               static_cast<unsigned long long>(busy_replies));
+  std::fprintf(f, "  \"load_busy\": %llu,\n",
+               static_cast<unsigned long long>(total.busy));
+  std::fprintf(f, "  \"worker_errors\": %llu,\n",
+               static_cast<unsigned long long>(total.errors));
+  std::fprintf(f, "  \"metrics\": %s\n}\n", metrics::dump_json().c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", opt.out.c_str());
+
+  // The harness fails loudly: a byte mismatch, a worker error, or (when the
+  // saturation phase ran) admission control never refusing anything.
+  const bool sat_ok = !opt.connect.empty() || busy_replies > 0;
+  return identical && total.errors == 0 && sat_ok ? 0 : 1;
+}

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace puppies::exec {
+
+/// Bounded multi-producer task queue with dedicated worker threads — the
+/// dispatch substrate under the serving tier (puppies::net). Unlike the
+/// parallel_for pool (one batch region at a time, caller participates and
+/// blocks), a TaskQueue accepts independent fire-and-forget tasks and
+/// applies backpressure instead of buffering without bound: try_submit()
+/// refuses when `capacity` tasks are already queued, and the caller decides
+/// what refusal means (the net tier replies BUSY).
+///
+/// Tasks run concurrently with the parallel_for pool; heavy codec work
+/// inside a task still fans out through exec::parallel_for as usual (worker
+/// lanes nest inline, so a task never deadlocks the batch pool).
+///
+/// A task that throws is swallowed and counted (metrics `exec.task_error`):
+/// the queue must keep serving, so reacting to failures is the task's job —
+/// net wraps every request in its own error reply.
+class TaskQueue {
+ public:
+  /// `threads` >= 1 workers; `capacity` >= 1 bounds *queued* (not yet
+  /// running) tasks.
+  TaskQueue(int threads, std::size_t capacity);
+  /// Stops accepting, discards queued tasks, joins workers. Tasks already
+  /// running complete first.
+  ~TaskQueue();
+
+  TaskQueue(const TaskQueue&) = delete;
+  TaskQueue& operator=(const TaskQueue&) = delete;
+
+  /// Enqueues `task` unless the queue is full or stopped; false = rejected
+  /// (the task was not consumed in that case).
+  bool try_submit(std::function<void()> task);
+
+  /// Stops accepting, runs every already-queued task to completion, joins
+  /// workers. Idempotent with stop()/the destructor.
+  void drain();
+
+  /// Stops accepting, discards queued tasks (running ones finish), joins
+  /// workers.
+  void stop();
+
+  std::size_t pending() const;    ///< queued, not yet picked up
+  std::size_t in_flight() const;  ///< queued + currently executing
+  std::size_t capacity() const { return capacity_; }
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void worker_loop();
+  void shut_down(bool run_queued);
+
+  const std::size_t capacity_;
+  std::mutex join_mu_;  ///< serializes the drain/stop/destructor join
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t executing_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace puppies::exec

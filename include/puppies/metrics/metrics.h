@@ -44,6 +44,14 @@ class Histogram {
   static constexpr std::size_t kBuckets = kBucketUpperMs.size() + 1;
 
   void observe(double ms);
+  /// Estimated latency at quantile `q` in [0, 100] (e.g. 50, 99), linearly
+  /// interpolated inside the bucket the quantile lands in (the standard
+  /// exponential-histogram estimator). The overflow bucket reports its lower
+  /// bound — a floor, not a guess. 0 when the histogram is empty. The walk
+  /// reads each bucket once with relaxed loads, so a concurrent observe()
+  /// can skew a quantile by at most the in-flight samples — fine for the
+  /// stats dumps this feeds.
+  double percentile(double q) const;
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum_ms() const {
     return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) / 1e6;

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "puppies/net/protocol.h"
+
+namespace puppies::net {
+
+/// Blocking client for the PUPPIES serving protocol: one TCP connection,
+/// one request in flight at a time (request ids still flow on the wire so
+/// a future pipelined client speaks the same protocol). Not thread-safe —
+/// use one Client per thread; connections are cheap.
+///
+/// Status handling: call() returns the raw (status, payload) so load
+/// harnesses can count BUSY without unwinding; the typed helpers map
+/// non-OK statuses to the error taxonomy (ServerBusy, DeadlineExceeded,
+/// RemoteError) and decode OK payloads.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (IPv4). `io_timeout_ms` bounds every subsequent socket
+  /// send/receive; a stalled server surfaces as TransientError rather than
+  /// a hang. Throws TransientError on connection failure.
+  void connect(const std::string& host, std::uint16_t port,
+               int io_timeout_ms = 30000);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  struct Response {
+    Status status = Status::kOk;
+    Bytes payload;
+  };
+
+  /// Sends one request frame and blocks for its response (matched by
+  /// request id). `deadline_ms` rides the frame header; 0 = server default.
+  Response call(Op op, const Bytes& payload, std::uint32_t deadline_ms = 0);
+
+  // Typed helpers (throw on any non-OK status).
+  std::string upload(const Bytes& jfif, const Bytes& public_params,
+                     std::uint32_t deadline_ms = 0);
+  void apply(const std::string& id, const transform::Chain& chain,
+             psp::DeliveryMode mode = psp::DeliveryMode::kCoefficients,
+             int quality = 85, std::uint32_t deadline_ms = 0);
+  DownloadReply download(const std::string& id,
+                         std::uint32_t deadline_ms = 0);
+  std::string stats_json(std::uint32_t deadline_ms = 0);
+
+ private:
+  [[noreturn]] static void raise(Status s, const Bytes& payload);
+  Response call_checked(Op op, const Bytes& payload,
+                        std::uint32_t deadline_ms);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+};
+
+}  // namespace puppies::net

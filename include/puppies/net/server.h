@@ -1,0 +1,119 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "puppies/net/protocol.h"
+#include "puppies/psp/psp.h"
+
+namespace puppies::net {
+
+/// Networked serving tier configuration (CLI `puppies serve`).
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral: the kernel picks; read the bound port from port().
+  std::uint16_t port = 0;
+  /// Dispatcher threads executing requests against the PspService;
+  /// 0 = exec::thread_count() (so the global --threads flag governs both
+  /// the codec pool and the dispatcher).
+  int threads = 0;
+  /// Admission control: requests admitted but not yet answered. At the cap
+  /// a newly parsed request is refused with Status::kBusy immediately —
+  /// queue depth, and therefore queued-request memory, is bounded.
+  int max_inflight = 64;
+  /// Simultaneous connections; at the cap new accepts are closed on sight.
+  int max_connections = 256;
+  /// Default per-request deadline; a request's own deadline_ms header
+  /// field, when nonzero, overrides it. A request still queued when its
+  /// deadline passes is answered kDeadlineExceeded instead of executed.
+  int deadline_ms = 10000;
+  /// Graceful-drain budget for shutdown(): in-flight requests get this long
+  /// to finish executing and flush their response bytes before connections
+  /// are force-closed.
+  int drain_ms = 5000;
+  /// Request-payload byte cap enforced by the framing before allocation.
+  /// 0 derives from the decoder's own bounded-allocation guarantee: a
+  /// parseable upload is capped at jpeg::max_decode_pixels() (its SOF is
+  /// rejected past that), and at 3 bytes/pixel + 1 MiB of parameter slack
+  /// no legitimate request outgrows the derived cap first.
+  std::size_t max_request_bytes = 0;
+  /// The PSP the dispatcher serves (backend, cache, Huffman mode...).
+  psp::PspConfig psp;
+};
+
+/// The resolved max_request_bytes for a config (applies the 0 derivation).
+std::size_t resolve_max_request_bytes(const ServerConfig& config);
+
+/// poll()-based event-loop server multiplexing the PUPPIES protocol onto a
+/// thread-safe PspService (DESIGN.md §12).
+///
+/// One event-loop thread owns every socket: it accepts connections,
+/// reassembles frames (FrameAssembler, bounded), applies admission control,
+/// and writes responses with partial-write handling. Parsed requests are
+/// dispatched to an exec::TaskQueue whose workers run the PSP operation and
+/// hand the encoded response back to the loop through a completion queue +
+/// self-pipe wakeup. Backpressure is explicit end to end: over
+/// max_inflight -> kBusy on the spot, never an unbounded queue.
+///
+/// Fault points (PUPPIES_FAULTS / --faults, DESIGN.md §9):
+///   net.accept       drop a just-accepted connection
+///   net.read.fail    treat a readable socket as errored (connection drops)
+///   net.read.short   deliver at most one byte per read (reassembly stress)
+///   net.write.fail   treat a writable socket as errored
+///   net.write.short  write at most one byte per round (partial-write stress)
+///   net.dispatch     dispatcher fails the request with kError
+///   net.dispatch.stall  dispatcher sleeps 100 ms before executing
+///
+/// Metrics: net.requests / net.busy / net.too_large / net.bad_request /
+/// net.deadline_expired / net.protocol_error counters, net.inflight and
+/// net.connections gauges, and per-op latency histograms
+/// net.op.<upload|apply|download|stats>_ms (admission to response-queued)
+/// plus net.write_flush_ms (response-queued to last byte written).
+class Server {
+ public:
+  explicit Server(const ServerConfig& config);
+  /// Calls shutdown(): graceful drain, bounded by drain_ms.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event loop + dispatcher threads.
+  /// Throws TransientError if the socket cannot be bound.
+  void start();
+
+  /// The bound port (after start(); the actual one when config.port == 0).
+  std::uint16_t port() const { return port_; }
+  const std::string& host() const { return config_.host; }
+
+  /// Graceful drain: stop accepting connections and reading new request
+  /// bytes, execute everything already admitted, flush every pending
+  /// response fully (no response is cut off mid-write), then close. Blocks
+  /// until drained or drain_ms elapsed; idempotent.
+  void shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The served PSP (tests and the in-process bench harness).
+  psp::PspService& service() { return *service_; }
+
+  /// Requests admitted and not yet answered (tests poll this to stage
+  /// deterministic BUSY/deadline scenarios).
+  std::size_t inflight() const;
+  /// Total frames parsed off all connections since start().
+  std::uint64_t requests_seen() const;
+
+ private:
+  struct Impl;
+  ServerConfig config_;
+  std::unique_ptr<psp::PspService> service_;
+  std::unique_ptr<Impl> impl_;
+  std::thread loop_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace puppies::net

@@ -2,6 +2,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "puppies/core/params.h"
@@ -78,6 +80,15 @@ struct PspConfig {
 /// in-memory parse (metrics `psp.degraded.*`) and re-publishes the blob to
 /// heal the store; a transient cache/compute failure during apply_transform
 /// is retried directly, bypassing the cache, and never poisons a cache key.
+///
+/// Concurrency (DESIGN.md §12): every public method is safe to call from
+/// any thread — the serving tier (`puppies::net`) multiplexes concurrent
+/// client requests straight onto one PspService. A shared_mutex guards the
+/// id->entry map (uploads take it exclusive, lookups shared) and each entry
+/// carries its own mutex, so requests against different images run fully in
+/// parallel while apply/download races on one image serialize per entry.
+/// Entries are never erased, so an entry pointer resolved under the map
+/// lock stays valid after it is released.
 class PspService {
  public:
   PspService();
@@ -111,7 +122,7 @@ class PspService {
   /// parameters + transformed variant).
   std::size_t stored_bytes(const std::string& id) const;
 
-  std::size_t image_count() const { return entries_.size(); }
+  std::size_t image_count() const;
 
   /// Content address of a stored image's perturbed JPEG.
   const Digest& digest_of(const std::string& id) const;
@@ -123,6 +134,10 @@ class PspService {
 
  private:
   struct Entry {
+    /// Serializes apply/download/heal against this image. Held across the
+    /// transform compute, so two requests for one image never race; the
+    /// cache's single-flight would have serialized that compute anyway.
+    mutable std::mutex mu;
     Digest digest;              ///< address of the perturbed JPEG in blobs_
     std::size_t jfif_bytes = 0;
     Bytes public_params;
@@ -133,7 +148,7 @@ class PspService {
     DeliveryMode mode = DeliveryMode::kCoefficients;
     store::TransformCache::ResultPtr transformed;  ///< null until transformed
   };
-  const Entry& entry(const std::string& id) const;
+  Entry& entry(const std::string& id) const;
   void transform_entry(Entry& e, const transform::Chain& chain,
                        DeliveryMode mode, int reencode_quality);
   store::TransformResult compute_transform(const Entry& e,
@@ -144,7 +159,10 @@ class PspService {
   PspConfig config_;
   std::unique_ptr<store::BlobStore> blobs_;
   store::TransformCache cache_;
-  std::map<std::string, Entry> entries_;
+  /// Guards the map structure and next_id_; per-entry state is guarded by
+  /// Entry::mu. Node-based map + no erase ⇒ entry addresses are stable.
+  mutable std::shared_mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
   int next_id_ = 0;
 };
 

@@ -27,14 +27,37 @@ PUPPIES_SIMD=scalar ./build/tests/tests_encode
 # chunked vs whole-image byte identity is claimed per SIMD tier.
 PUPPIES_SIMD=scalar ./build/tests/tests_chunked
 
+# Loopback serving smoke: a real `puppies serve` process (ephemeral port,
+# discovered through --port-file), the zipfian load harness against it over
+# 8 connections with byte-identity checked per download, then SIGINT and a
+# clean graceful drain. This is the one place the CLI server, the client,
+# and the bench harness meet as separate processes.
+SMOKE_DIR=$(mktemp -d)
+./build/tools/puppies serve --port 0 --port-file "$SMOKE_DIR/port" \
+  >"$SMOKE_DIR/serve.log" 2>"$SMOKE_DIR/serve.err" & SERVE_PID=$!
+for _ in $(seq 1 100); do [ -s "$SMOKE_DIR/port" ] && break; sleep 0.1; done
+[ -s "$SMOKE_DIR/port" ] || { echo "serve never wrote its port file"; exit 1; }
+REPO_ROOT=$(pwd)
+( cd "$SMOKE_DIR" && "$REPO_ROOT/build/bench/bench_load" \
+    --connect "127.0.0.1:$(cat port)" --connections 8 --seconds 1 )
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+grep -q "drained" "$SMOKE_DIR/serve.log" \
+  || { echo "serve did not drain cleanly"; exit 1; }
+rm -rf "$SMOKE_DIR"
+
 # tests_chunked rides under TSan alongside the store suite: the parallel
 # restart-segment writers and the per-chunk pipeline stages are new
 # shared-state concurrency, so races there must surface as failures, not
-# as one-in-a-thousand flaky byte mismatches.
+# as one-in-a-thousand flaky byte mismatches. tests_net joins them: the
+# event loop, dispatcher queue, per-entry PSP locking, and the completion
+# hand-off are the newest shared-state code in the repo, and the suite
+# hammers them from eight client threads on purpose.
 cmake -B build-tsan -S . -DPUPPIES_SANITIZE=thread
-cmake --build build-tsan -j"$(nproc)" --target tests_store tests_chunked
+cmake --build build-tsan -j"$(nproc)" --target tests_store tests_chunked tests_net
 ./build-tsan/tests/tests_store
 ./build-tsan/tests/tests_chunked
+./build-tsan/tests/tests_net
 
 # Mutation fuzzing of the JPEG parser under the memory sanitizers: ten
 # thousand seeded mutants per run must produce clean ParseErrors, never a
@@ -51,4 +74,4 @@ cmake -B build-ubsan -S . -DPUPPIES_SANITIZE=undefined
 cmake --build build-ubsan -j"$(nproc)" --target tests_fuzz
 ./build-ubsan/tests/tests_fuzz
 
-echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode/tests_chunked + tests_store/tests_chunked under TSan + tests_fuzz under ASan/UBSan)"
+echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode/tests_chunked + loopback serve/bench_load smoke + tests_store/tests_chunked/tests_net under TSan + tests_fuzz under ASan/UBSan)"

@@ -1,0 +1,81 @@
+#include "puppies/exec/task_queue.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "puppies/metrics/metrics.h"
+
+namespace puppies::exec {
+
+TaskQueue::TaskQueue(int threads, std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {
+  const int n = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+TaskQueue::~TaskQueue() { shut_down(/*run_queued=*/false); }
+
+bool TaskQueue::try_submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void TaskQueue::drain() { shut_down(/*run_queued=*/true); }
+
+void TaskQueue::stop() { shut_down(/*run_queued=*/false); }
+
+std::size_t TaskQueue::pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size();
+}
+
+std::size_t TaskQueue::in_flight() const {
+  std::lock_guard lock(mu_);
+  return queue_.size() + executing_;
+}
+
+void TaskQueue::shut_down(bool run_queued) {
+  {
+    std::lock_guard lock(mu_);
+    if (!run_queued) queue_.clear();
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  // Workers exit once stopping_ is set and (for drain) the queue is empty.
+  // join_mu_ serializes drain()/stop()/~TaskQueue so only one caller joins
+  // each worker; later callers find joinable() == false.
+  std::lock_guard join_lock(join_mu_);
+  for (std::thread& w : workers_)
+    if (w.joinable()) w.join();
+}
+
+void TaskQueue::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+    try {
+      task();
+    } catch (...) {
+      metrics::counter("exec.task_error").add();
+    }
+    {
+      std::lock_guard lock(mu_);
+      --executing_;
+    }
+  }
+}
+
+}  // namespace puppies::exec

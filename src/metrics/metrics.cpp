@@ -19,6 +19,34 @@ void Histogram::observe(double ms) {
                     std::memory_order_relaxed);
 }
 
+double Histogram::percentile(double q) const {
+  // Snapshot the buckets first: to_json() prints several quantiles per
+  // histogram and each must see one consistent-enough view.
+  std::array<std::uint64_t, kBuckets> snap;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
+  }
+  if (total == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 100.0);
+  // The sample with (1-based) rank ceil(q% * total) bounds the quantile.
+  const double target = q / 100.0 * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (snap[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += snap[i];
+    if (static_cast<double>(seen) < target) continue;
+    const double lower = i == 0 ? 0.0 : kBucketUpperMs[i - 1];
+    if (i == kBucketUpperMs.size()) return lower;  // +inf bucket: floor
+    const double upper = kBucketUpperMs[i];
+    const double frac = (target - before) / static_cast<double>(snap[i]);
+    return lower + (upper - lower) * std::min(std::max(frac, 0.0), 1.0);
+  }
+  return kBucketUpperMs.back();  // unreachable: seen == total >= target
+}
+
 void Histogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -113,10 +141,12 @@ std::string Registry::to_json() const {
     char buf[512];
     std::snprintf(buf, sizeof(buf),
                   "%s\n    \"%s\": {\"count\": %llu, \"sum_ms\": %.3f, "
-                  "\"mean_ms\": %.4f, \"buckets\": [",
+                  "\"mean_ms\": %.4f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, "
+                  "\"p99_ms\": %.4f, \"buckets\": [",
                   first ? "" : ",", name.c_str(),
                   static_cast<unsigned long long>(h->count()), h->sum_ms(),
-                  h->mean_ms());
+                  h->mean_ms(), h->percentile(50), h->percentile(90),
+                  h->percentile(99));
     out += buf;
     for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
       std::snprintf(buf, sizeof(buf), "%s%llu", i ? ", " : "",

@@ -1,0 +1,169 @@
+#include "puppies/net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <limits>
+#include <utility>
+
+namespace puppies::net {
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port,
+                     int io_timeout_ms) {
+  close();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw TransientError("socket: " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw InvalidArgument("bad host (IPv4 dotted quad expected): " + host);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    throw TransientError("connect to " + host + ":" + std::to_string(port) +
+                         ": " + err);
+  }
+  if (io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = io_timeout_ms / 1000;
+    tv.tv_usec = (io_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  fd_ = fd;
+}
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Client::Response Client::call(Op op, const Bytes& payload,
+                              std::uint32_t deadline_ms) {
+  require(fd_ >= 0, "client not connected");
+  const std::uint64_t rid = next_request_id_++;
+  const Bytes frame = encode_frame(op, rid, deadline_ms, payload);
+
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err =
+          errno == EAGAIN || errno == EWOULDBLOCK ? "send timeout"
+                                                  : strerror(errno);
+      close();
+      throw TransientError("send: " + err);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+
+  // Responses are parsed with the same bounded assembler the server uses;
+  // the cap only bounds what this client is willing to buffer.
+  FrameAssembler assembler(std::numeric_limits<std::uint32_t>::max());
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    if (auto f = assembler.take()) {
+      if (f->header.request_id != rid) continue;  // stale/foreign response
+      Response r;
+      r.status = static_cast<Status>(f->header.type);
+      r.payload = std::move(f->payload);
+      return r;
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      close();
+      throw TransientError("server closed the connection mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err =
+          errno == EAGAIN || errno == EWOULDBLOCK ? "receive timeout"
+                                                  : strerror(errno);
+      close();
+      throw TransientError("recv: " + err);
+    }
+    assembler.feed({buf, static_cast<std::size_t>(n)});
+  }
+}
+
+void Client::raise(Status s, const Bytes& payload) {
+  switch (s) {
+    case Status::kBusy:
+      throw ServerBusy();
+    case Status::kDeadlineExceeded:
+      throw DeadlineExceeded();
+    default:
+      break;
+  }
+  std::string message = to_string(s);
+  if (!payload.empty()) {
+    try {
+      message += ": " + parse_text(payload);
+    } catch (const ParseError&) {
+    }
+  }
+  throw RemoteError(message);
+}
+
+Client::Response Client::call_checked(Op op, const Bytes& payload,
+                                      std::uint32_t deadline_ms) {
+  Response r = call(op, payload, deadline_ms);
+  if (r.status != Status::kOk) raise(r.status, r.payload);
+  return r;
+}
+
+std::string Client::upload(const Bytes& jfif, const Bytes& public_params,
+                           std::uint32_t deadline_ms) {
+  const Response r = call_checked(
+      Op::kUpload, encode_upload({jfif, public_params}), deadline_ms);
+  return parse_text(r.payload);
+}
+
+void Client::apply(const std::string& id, const transform::Chain& chain,
+                   psp::DeliveryMode mode, int quality,
+                   std::uint32_t deadline_ms) {
+  ApplyRequest a;
+  a.id = id;
+  a.mode = mode;
+  a.quality = quality;
+  a.chain = chain;
+  call_checked(Op::kApply, encode_apply(a), deadline_ms);
+}
+
+DownloadReply Client::download(const std::string& id,
+                               std::uint32_t deadline_ms) {
+  const Response r =
+      call_checked(Op::kDownload, encode_download({id}), deadline_ms);
+  return parse_download_reply(r.payload);
+}
+
+std::string Client::stats_json(std::uint32_t deadline_ms) {
+  const Response r = call_checked(Op::kStats, {}, deadline_ms);
+  return parse_text(r.payload);
+}
+
+}  // namespace puppies::net

@@ -51,43 +51,58 @@ std::string PspService::upload(const Bytes& jfif, const Bytes& public_params) {
   // The PSP validates uploads parse as JPEG (it must be able to process
   // them — the compatibility property PUPPIES is designed around). The
   // parse result is retained so transforms never re-decode the stream.
+  // Parse and blob publication run outside the map lock: only the cheap
+  // insert serializes against other uploads.
   metrics::counter("psp.codec.parse").add();
   jpeg::CoefficientImage parsed = jpeg::parse(jfif);
-  const std::string id = "img-" + std::to_string(next_id_++);
-  Entry e;
-  e.digest = blobs_->put(jfif);
-  e.jfif_bytes = jfif.size();
-  e.public_params = public_params;
-  e.parsed = std::move(parsed);
-  entries_[id] = std::move(e);
+  auto e = std::make_unique<Entry>();
+  e->digest = blobs_->put(jfif);
+  e->jfif_bytes = jfif.size();
+  e->public_params = public_params;
+  e->parsed = std::move(parsed);
+  std::string id;
+  {
+    std::unique_lock lock(mu_);
+    id = "img-" + std::to_string(next_id_++);
+    entries_.emplace(id, std::move(e));
+  }
   metrics::counter("psp.upload").add();
   return id;
 }
 
-const PspService::Entry& PspService::entry(const std::string& id) const {
+PspService::Entry& PspService::entry(const std::string& id) const {
+  std::shared_lock lock(mu_);
   auto it = entries_.find(id);
   require(it != entries_.end(), "unknown image id");
-  return it->second;
+  return *it->second;
 }
 
 const Digest& PspService::digest_of(const std::string& id) const {
-  return entry(id).digest;
+  Entry& e = entry(id);
+  std::lock_guard lock(e.mu);
+  return e.digest;
+}
+
+std::size_t PspService::image_count() const {
+  std::shared_lock lock(mu_);
+  return entries_.size();
 }
 
 void PspService::apply_transform(const std::string& id,
                                  const transform::Chain& chain,
                                  DeliveryMode mode, int reencode_quality) {
-  auto it = entries_.find(id);
-  require(it != entries_.end(), "unknown image id");
-  transform_entry(it->second, chain, mode, reencode_quality);
+  transform_entry(entry(id), chain, mode, reencode_quality);
 }
 
 void PspService::apply_transform_all(const transform::Chain& chain,
                                      DeliveryMode mode,
                                      int reencode_quality) {
   std::vector<Entry*> batch;
-  batch.reserve(entries_.size());
-  for (auto& [id, e] : entries_) batch.push_back(&e);
+  {
+    std::shared_lock lock(mu_);
+    batch.reserve(entries_.size());
+    for (auto& [id, e] : entries_) batch.push_back(e.get());
+  }
   // Entries are independent; the per-entry codec/transform loops nest on
   // the same pool and run inline on worker lanes.
   exec::parallel_for(batch.size(), [&](std::size_t i) {
@@ -150,6 +165,7 @@ store::TransformResult PspService::compute_transform(
 
 void PspService::transform_entry(Entry& e, const transform::Chain& chain,
                                  DeliveryMode mode, int reencode_quality) {
+  std::lock_guard entry_lock(e.mu);
   metrics::counter("psp.transform").add();
   // The reencode quality only reaches the output on the clamped-reencode
   // path; masking it elsewhere lets e.g. kCoefficients requests at
@@ -182,9 +198,8 @@ void PspService::transform_entry(Entry& e, const transform::Chain& chain,
 
 Download PspService::download(const std::string& id) {
   metrics::ScopedTimer timer(metrics::histogram("psp.download_ms"));
-  auto it = entries_.find(id);
-  require(it != entries_.end(), "unknown image id");
-  Entry& e = it->second;
+  Entry& e = entry(id);
+  std::lock_guard entry_lock(e.mu);
   metrics::counter("psp.download").add();
   Download d;
   d.public_params = e.public_params;
@@ -231,6 +246,7 @@ Download PspService::download(const std::string& id) {
 
 std::size_t PspService::stored_bytes(const std::string& id) const {
   const Entry& e = entry(id);
+  std::lock_guard entry_lock(e.mu);
   std::size_t total = e.jfif_bytes + e.public_params.size();
   if (e.transformed) {
     total += e.transformed->jfif.size();

@@ -14,6 +14,9 @@
 //   puppies store get <digest> <out> [--dir DIR]
 //   puppies store stats [--json] [--dir DIR]
 //   puppies store scrub [--repair] [--json] [--dir DIR]
+//   puppies serve [--port N] [--host H] [--max-inflight N] [--deadline-ms N]
+//          [--max-request-bytes N] [--backend memory|disk] [--dir DIR]
+//          [--port-file PATH]
 //
 // Images are PPM on the pixel side and baseline JPEG (this codec) on the
 // shared side; keys are 64-hex-char files produced by `keygen`. The store
@@ -24,12 +27,14 @@
 // The global --faults flag (equivalently PUPPIES_FAULTS) arms deterministic
 // fault injection for robustness testing, e.g.
 // --faults "store.put.write=once,store.get.read=p:0.3:7" (DESIGN.md §9).
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "puppies/attacks/correlation.h"
@@ -43,6 +48,7 @@
 #include "puppies/jpeg/inspect.h"
 #include "puppies/kernels/kernels.h"
 #include "puppies/metrics/metrics.h"
+#include "puppies/net/server.h"
 #include "puppies/roi/detect.h"
 #include "puppies/store/blob_store.h"
 #include "puppies/synth/synth.h"
@@ -71,6 +77,10 @@ namespace {
                "  puppies store get <digest> <out> [--dir DIR]\n"
                "  puppies store stats [--json] [--dir DIR]\n"
                "  puppies store scrub [--repair] [--json] [--dir DIR]\n"
+               "  puppies serve [--port N] [--host H] [--max-inflight N]\n"
+               "          [--deadline-ms N] [--max-request-bytes N]\n"
+               "          [--backend memory|disk] [--dir DIR]\n"
+               "          [--port-file PATH]\n"
                "\n"
                "global options:\n"
                "  --threads N   worker threads for parallel stages (default:\n"
@@ -89,7 +99,24 @@ namespace {
                "  --dir DIR     blob directory (default: PUPPIES_DATA_DIR env\n"
                "                var, else ./puppies_data)\n"
                "  --json        stats/scrub report as JSON\n"
-               "  --repair      scrub also purges quarantine/ and stale tmp files\n");
+               "  --repair      scrub also purges quarantine/ and stale tmp files\n"
+               "\n"
+               "serve options (DESIGN.md \xc2\xa712):\n"
+               "  --port N      TCP port; 0 (default) picks an ephemeral port\n"
+               "  --host H      IPv4 bind address (default 127.0.0.1)\n"
+               "  --max-inflight N   admitted-but-unanswered request cap; past\n"
+               "                it requests get an immediate BUSY (default 64)\n"
+               "  --deadline-ms N    default per-request deadline (default 10000)\n"
+               "  --max-request-bytes N  request payload cap enforced before\n"
+               "                allocation (default derived from\n"
+               "                PUPPIES_MAX_PIXELS: 3 bytes/pixel + 1 MiB)\n"
+               "  --backend B   memory (default) or disk (content-addressed\n"
+               "                blobs under --dir)\n"
+               "  --port-file PATH   write the bound port to PATH once\n"
+               "                listening (scripts wait on this)\n"
+               "  dispatcher threads follow the global --threads flag;\n"
+               "  SIGINT/SIGTERM drains in-flight requests, flushes metrics\n"
+               "  to stderr as JSON, then exits 0\n");
   std::exit(2);
 }
 
@@ -469,6 +496,80 @@ int cmd_store(std::vector<std::string> args) {
   usage(("unknown store subcommand: " + sub).c_str());
 }
 
+/// SIGINT/SIGTERM request a graceful drain; the handler only sets a flag
+/// (async-signal-safe), the serve loop does the actual shutdown.
+volatile std::sig_atomic_t g_stop_requested = 0;
+extern "C" void handle_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve(std::vector<std::string> args) {
+  net::ServerConfig config;
+  std::string port_file;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size()) usage(("missing value after " + a).c_str());
+      return args[++i];
+    };
+    if (a == "--port")
+      config.port = static_cast<std::uint16_t>(std::stoi(next()));
+    else if (a == "--host")
+      config.host = next();
+    else if (a == "--max-inflight")
+      config.max_inflight = std::stoi(next());
+    else if (a == "--deadline-ms")
+      config.deadline_ms = std::stoi(next());
+    else if (a == "--max-request-bytes")
+      config.max_request_bytes = std::stoull(next());
+    else if (a == "--backend") {
+      const std::string b = next();
+      if (b == "memory")
+        config.psp.backend = psp::StoreBackend::kMemory;
+      else if (b == "disk")
+        config.psp.backend = psp::StoreBackend::kDisk;
+      else
+        usage("bad --backend, expected memory|disk");
+    } else if (a == "--dir")
+      config.psp.data_dir = next();
+    else if (a == "--port-file")
+      port_file = next();
+    else
+      usage(("unknown serve option: " + a).c_str());
+  }
+  if (config.max_inflight <= 0) usage("--max-inflight must be positive");
+  if (config.deadline_ms <= 0) usage("--deadline-ms must be positive");
+
+  net::Server server(config);
+  server.start();
+  std::printf("listening on %s:%u (dispatcher threads %d, max inflight %d, "
+              "deadline %d ms, request cap %zu bytes, backend %s)\n",
+              server.host().c_str(), server.port(), exec::thread_count(),
+              config.max_inflight, config.deadline_ms,
+              net::resolve_max_request_bytes(config),
+              config.psp.backend == psp::StoreBackend::kDisk ? "disk"
+                                                             : "memory");
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    // Written after listen succeeds: a script that waits for this file can
+    // connect the moment it appears.
+    const std::string text = std::to_string(server.port()) + "\n";
+    write_file(port_file, Bytes(text.begin(), text.end()));
+  }
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (!g_stop_requested)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::fprintf(stderr, "draining...\n");
+  server.shutdown();
+  // Flush the metrics registry so a terminated server still leaves its
+  // serving profile behind.
+  std::fprintf(stderr, "%s", metrics::dump_json().c_str());
+  std::printf("drained; served %llu requests\n",
+              static_cast<unsigned long long>(server.requests_seen()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -515,6 +616,7 @@ int main(int argc, char** argv) {
     if (command == "inspect") return cmd_inspect(args);
     if (command == "attack") return cmd_attack(args);
     if (command == "store") return cmd_store(args);
+    if (command == "serve") return cmd_serve(args);
     usage(("unknown command: " + command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
