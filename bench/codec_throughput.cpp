@@ -499,6 +499,56 @@ void emit_codec_json() {
         chunk_identical ? "byte-identical" : "DIVERGED");
   }
 
+  // Decode-side mirror (DESIGN.md §13): segment-parallel entropy decode of a
+  // restart-interval stream at 1 and N threads, the serial fused-LUT decode
+  // of a plain stream, and the coefficient-identity check between the
+  // parallel and the forced-serial paths (the determinism contract).
+  {
+    jpeg::EncodeOptions eo;
+    eo.restart_interval = w / 8;  // one segment per MCU row
+    const Bytes restart_jpg = jpeg::compress(big.image, 75, eo);
+    jpeg::CoefficientImage dec_coeffs;
+    jpeg::ParseStats pstats;
+    exec::configure(exec::Config{1});
+    const double dec_ms1 = bench::min_ms(5, [&] {
+      dec_coeffs = jpeg::parse(restart_jpg, &pstats);
+    });
+    exec::configure(exec::Config{n_threads});
+    jpeg::CoefficientImage dec_coeffs_n;
+    const double dec_msn = bench::min_ms(5, [&] {
+      dec_coeffs_n = jpeg::parse(restart_jpg, &pstats);
+    });
+    jpeg::set_parallel_decode_enabled(0);
+    const jpeg::CoefficientImage dec_serial = jpeg::parse(restart_jpg);
+    jpeg::set_parallel_decode_enabled(-1);
+    const bool dec_identical =
+        dec_coeffs == dec_serial && dec_coeffs_n == dec_serial;
+    // Plain stream, one segment: the serial fused-LUT entropy decoder alone.
+    exec::configure(exec::Config{1});
+    const double fused_ms = bench::min_ms(5, [&] {
+      benchmark::DoNotOptimize(jpeg::parse(jpg));
+    });
+    exec::configure(exec::Config{});
+    const double dmp1 = mp / (dec_ms1 / 1e3), dmpn = mp / (dec_msn / 1e3);
+    std::snprintf(line, sizeof(line),
+                  "  \"parallel_decode_mp_s_1t\": %.3f,\n"
+                  "  \"parallel_decode_mp_s_nt\": %.3f,\n"
+                  "  \"decode_speedup\": %.2f,\n"
+                  "  \"decode_restart_segments\": %d,\n"
+                  "  \"fused_lut_decode_mp_s\": %.3f,\n"
+                  "  \"decode_byte_identical\": %s,\n",
+                  dmp1, dmpn, dec_msn > 0 ? dec_ms1 / dec_msn : 0,
+                  pstats.restart_segments, mp / (fused_ms / 1e3),
+                  dec_identical ? "true" : "false");
+    extras += line;
+    std::printf(
+        "parallel decode: %.2f MP/s @1 thread, %.2f MP/s @%d threads "
+        "(%.2fx, %d segments), fused-LUT serial parse %.2f MP/s, output %s\n",
+        dmp1, dmpn, n_threads, dec_msn > 0 ? dec_ms1 / dec_msn : 0,
+        pstats.restart_segments, mp / (fused_ms / 1e3),
+        dec_identical ? "coefficient-identical" : "DIVERGED");
+  }
+
   if (scalar_fdct_ns > 0 && tiers.size() > 1)
     std::printf(
         "tier speedup (%s vs scalar): fdct %.2fx, encode %.2fx, decode "

@@ -80,12 +80,34 @@ class BitReader {
   /// segment (never throws). On success a following skip(count) consumes.
   bool peek(int count, std::uint32_t& bits);
 
+  /// Wide variant of peek (count in [1,56]) for the fused Huffman+magnitude
+  /// decode: one peek covers an 8-bit first-level code plus up to 11
+  /// magnitude bits. Same refill/stop semantics as peek. Inline because it
+  /// runs once per decoded coefficient — the refill stays out of line, so
+  /// the hot path is a compare and two shifts on registers.
+  bool peek_wide(int count, std::uint64_t& bits) {
+    if (avail_ < count) {
+      refill();
+      if (avail_ < count) return false;
+    }
+    bits = (acc_ >> (avail_ - count)) & (~std::uint64_t{0} >> (64 - count));
+    return true;
+  }
+
   /// Consumes `count` bits previously seen via peek (count <= peeked count).
   void skip(int count) { avail_ -= count; }
 
   /// Consumes a restart marker RSTn (discarding any partial byte first).
   /// Throws ParseError if the next marker is not RST(expected_n).
   void expect_restart_marker(int expected_n);
+
+  /// True iff the reader sits where expect_restart_marker would accept a
+  /// marker: the partial-byte remainder is discarded and no whole entropy
+  /// byte is left buffered or unread. The parallel segment decoder checks
+  /// this at the end of every non-final segment — the RSTn itself lies
+  /// outside the segment's byte range — so a segment that over- or
+  /// under-consumes falls back to the serial decoder and its exact error.
+  bool at_segment_end();
 
  private:
   enum class Stop : std::uint8_t { kNone, kEnd, kDangling, kMarker };

@@ -152,6 +152,53 @@ Bytes compress_chunked(const RgbImage& img, int quality,
                        const ChunkOptions& copt = {},
                        ChunkStats* stats = nullptr);
 
+/// One row of clamped 8-bit RGB handed out by the chunked inverse pipeline.
+/// Called serially in top-to-bottom row order; the pointers address the
+/// pipeline's band buffer and are only valid during the call.
+using RgbRowSink = std::function<void(
+    int y, const std::uint8_t* r, const std::uint8_t* g,
+    const std::uint8_t* b)>;
+
+/// Chunked (bounded-memory) inverse pipeline: the decode-side mirror of
+/// forward_transform_chunked_rows. Pulls dequantize+IDCT -> chroma upsample
+/// -> color-convert through one band of MCU rows at a time and hands each
+/// clamped RGB row to `sink`; pixel-domain scratch is O(width * chunk rows)
+/// regardless of image height, gated by max_decode_pixels() like the encode
+/// side. Every kernel sees exactly the values the whole-image
+/// inverse_transform/ycc_to_rgb pair computes, so the rows are bit-identical
+/// to decode_to_rgb's at every chunk size, SIMD tier, and thread count
+/// (DESIGN.md §13). Requires a 3-component image, like inverse_transform.
+void inverse_transform_chunked(const CoefficientImage& coeffs,
+                               const RgbRowSink& sink,
+                               const ChunkOptions& copt = {},
+                               ChunkStats* stats = nullptr);
+
+/// Convenience sink-into-image wrapper; the result equals decode_to_rgb()
+/// bit for bit (tests_decode differences them across chunk sizes).
+RgbImage decode_to_rgb_chunked(const CoefficientImage& coeffs,
+                               const ChunkOptions& copt = {},
+                               ChunkStats* stats = nullptr);
+
+/// Streaming transcode core: decode `coeffs`, clamp, and re-encode at
+/// `quality` one output-aligned band at a time, never materializing a
+/// full-resolution pixel plane on either side. The result is identical to
+/// forward_transform_clamped_chunked(inverse_transform(coeffs), ...) — the
+/// PSP recompress path streams through this when a transform chain folds to
+/// the identity. ChunkStats reports the combined decode + encode band
+/// scratch (still height-independent).
+CoefficientImage transcode_chunked(const CoefficientImage& coeffs, int quality,
+                                   ChromaMode mode = ChromaMode::k444,
+                                   const ChunkOptions& copt = {},
+                                   ScanIndex* scan = nullptr,
+                                   ChunkStats* stats = nullptr);
+
+/// transcode_chunked + serialize: recompress a parsed stream at a new
+/// quality with bounded pixel memory.
+Bytes recompress_chunked(const CoefficientImage& coeffs, int quality,
+                         const EncodeOptions& opts = {},
+                         const ChunkOptions& copt = {},
+                         ChunkStats* stats = nullptr);
+
 /// Process-wide default for ChunkOptions::mcu_rows == 0. Resolution order:
 /// set_default_chunk_mcu_rows() > PUPPIES_CHUNK_ROWS env var > 16.
 int default_chunk_mcu_rows();

@@ -80,11 +80,54 @@ RgbImage decode_to_rgb(const CoefficientImage& coeffs);
 Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts = {},
                 const ScanIndex* scan = nullptr, EncodeStats* stats = nullptr);
 
+/// What parse() observed in the entropy-coded scan.
+struct ParseStats {
+  /// Restart segments in the scan (1 when no restart interval is in force).
+  int restart_segments = 0;
+  /// True iff the scan decoded on the exec pool (segment-parallel path);
+  /// false for single-segment scans, a disabled knob, or a fallback.
+  bool parallel = false;
+};
+
 /// Parses a JFIF stream produced by serialize() (baseline, 4:4:4 or gray).
 /// Malformed or hostile input throws ParseError — never anything else, and
 /// never an unbounded allocation: SOF dimensions whose pixel footprint
 /// exceeds max_decode_pixels() are rejected before any buffer is sized.
-CoefficientImage parse(std::span<const std::uint8_t> data);
+///
+/// Scans with restart intervals decode segment-parallel on the exec pool
+/// (each segment gets its own BitReader and fresh DC predictors — the exact
+/// inverse of serialize()'s parallel segment writers); anything the
+/// marker-aware segment scanner cannot cleanly partition falls back to the
+/// serial decoder, so output bytes and error taxonomy are identical to a
+/// serial decode at any thread count.
+CoefficientImage parse(std::span<const std::uint8_t> data,
+                       ParseStats* stats = nullptr);
+
+/// One restart segment's byte range within an entropy-coded scan:
+/// [begin, end) holds the segment's entropy bytes; the RSTn marker (or the
+/// scan-terminating marker) sits at `end`.
+struct ScanSegment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// Marker-aware partition of an entropy-coded byte range at its RSTn
+/// boundaries: O(bytes), stuffed-0xFF-safe, no entropy decoding. Returns
+/// exactly `expected_segments` ranges when the scan's restart structure is
+/// well formed (markers present, in RST0..RST7 sequence, right count before
+/// the terminating marker), and an empty vector on any anomaly — the
+/// caller's cue to decode serially and surface the serial error.
+std::vector<ScanSegment> scan_restart_segments(
+    std::span<const std::uint8_t> entropy, int expected_segments);
+
+/// Enables/disables the segment-parallel decode path (default on; the
+/// PUPPIES_PARALLEL_DECODE environment variable set to "0" disables it).
+/// Purely an execution knob: parse output and errors are identical either
+/// way — tests and benches toggle it to difference the two paths.
+bool parallel_decode_enabled();
+
+/// Overrides the knob at runtime; pass -1 to restore env/default resolution.
+void set_parallel_decode_enabled(int enabled);
 
 /// Decoder allocation guard: the largest width*height (in pixels) parse()
 /// will accept from an SOF header. Default 100'000'000 (100 MP), overridable

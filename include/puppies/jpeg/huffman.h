@@ -83,16 +83,55 @@ class HuffmanEncoder {
   std::array<std::uint32_t, 256> packed_{};
 };
 
+inline int extend_magnitude(std::uint32_t bits, int category);
+
 /// Decoder-side derived table. The fast path resolves codes of up to 8 bits
 /// with a single 256-entry lookup on the next 8 bits; longer codes (and the
 /// tail of the segment, where 8 bits cannot be peeked) fall back to the
 /// MAXCODE/MINCODE/VALPTR method from T.81 F.2.
 class HuffmanDecoder {
  public:
+  /// Window width of decode_fused: the 8-bit first-level LUT plus the widest
+  /// magnitude field it can resolve (11 bits, the DC maximum).
+  static constexpr int kFusedPeekBits = 8 + 11;
+
   explicit HuffmanDecoder(const HuffmanSpec& spec);
 
   /// Reads one symbol from the bit stream. Throws ParseError on invalid code.
   std::uint8_t decode(BitReader& in) const;
+
+  /// Fused fast path of the decode hot loop (DESIGN.md §13): one wide peek
+  /// resolves the Huffman code via the first-level LUT AND receive-extends
+  /// the value's magnitude bits, consuming both at once. `kDc` selects the
+  /// class's magnitude rule (DC: category = symbol, max 11; AC: category =
+  /// low nibble, max 10). A symbol whose category is invalid for its class
+  /// consumes only the code bits and reports value 0 — the caller's range
+  /// check then throws exactly as the slow path would. Returns false when
+  /// the LUT cannot serve (code longer than 8 bits) or fewer than
+  /// kFusedPeekBits bits remain buffered (segment tail / marker-adjacent
+  /// refill); the caller takes the verbatim decode() + get() slow path.
+  template <bool kDc>
+  bool decode_fused(BitReader& in, std::uint8_t& sym, int& value) const {
+    std::uint64_t w = 0;
+    if (!in.peek_wide(kFusedPeekBits, w)) return false;
+    const auto idx = static_cast<std::size_t>(w >> (kFusedPeekBits - 8));
+    const int len = lut_len_[idx];
+    if (len == 0) return false;
+    const std::uint8_t s = lut_sym_[idx];
+    int cat = kDc ? s : (s & 0xf);
+    if (cat > (kDc ? 11 : 10)) cat = 0;
+    sym = s;
+    if (cat == 0) {
+      in.skip(len);
+      value = 0;
+      return true;
+    }
+    const auto mag = static_cast<std::uint32_t>(
+        (w >> (kFusedPeekBits - len - cat)) & ((1u << cat) - 1));
+    in.skip(len + cat);
+    value = extend_magnitude(mag, cat);
+    return true;
+  }
 
  private:
   std::array<std::int32_t, 17> mincode_{};

@@ -76,6 +76,12 @@ struct KernelTable {
   std::uint64_t (*quantize_scan)(const float* raw_natural,
                                  const QuantConstants& qc,
                                  std::int16_t* out_zigzag);
+  /// dequantize() fused with idct8x8(): zig-zag int16 block straight to
+  /// spatial samples through a tier-local temporary, so the decode loop
+  /// never round-trips raw coefficients through a caller-side buffer.
+  /// Bit-identical to dequantize() followed by idct8x8() on every tier.
+  void (*dequantize_idct)(const std::int16_t* in_zigzag,
+                          const QuantConstants& qc, float* out_natural);
 };
 
 /// Best tier this CPU supports (CPUID probe, cached).

@@ -27,6 +27,12 @@ PUPPIES_SIMD=scalar ./build/tests/tests_encode
 # chunked vs whole-image byte identity is claimed per SIMD tier.
 PUPPIES_SIMD=scalar ./build/tests/tests_chunked
 
+# The decode differential suite on the forced-scalar tier: the chunked
+# inverse pipeline and the fused dequantize+IDCT kernel claim bit identity
+# with the whole-image decode per SIMD tier, and ctest only ran the native
+# one.
+PUPPIES_SIMD=scalar ./build/tests/tests_decode
+
 # Loopback serving smoke: a real `puppies serve` process (ephemeral port,
 # discovered through --port-file), the zipfian load harness against it over
 # 8 connections with byte-identity checked per download, then SIGINT and a
@@ -52,12 +58,15 @@ rm -rf "$SMOKE_DIR"
 # as one-in-a-thousand flaky byte mismatches. tests_net joins them: the
 # event loop, dispatcher queue, per-entry PSP locking, and the completion
 # hand-off are the newest shared-state code in the repo, and the suite
-# hammers them from eight client threads on purpose.
+# hammers them from eight client threads on purpose. tests_decode joins
+# too: the segment-parallel entropy decoder's per-segment readers and the
+# fallback flag are shared-state code on the same pool.
 cmake -B build-tsan -S . -DPUPPIES_SANITIZE=thread
-cmake --build build-tsan -j"$(nproc)" --target tests_store tests_chunked tests_net
+cmake --build build-tsan -j"$(nproc)" --target tests_store tests_chunked tests_net tests_decode
 ./build-tsan/tests/tests_store
 ./build-tsan/tests/tests_chunked
 ./build-tsan/tests/tests_net
+./build-tsan/tests/tests_decode
 
 # Mutation fuzzing of the JPEG parser under the memory sanitizers: ten
 # thousand seeded mutants per run must produce clean ParseErrors, never a
@@ -74,4 +83,4 @@ cmake -B build-ubsan -S . -DPUPPIES_SANITIZE=undefined
 cmake --build build-ubsan -j"$(nproc)" --target tests_fuzz
 ./build-ubsan/tests/tests_fuzz
 
-echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode/tests_chunked + loopback serve/bench_load smoke + tests_store/tests_chunked/tests_net under TSan + tests_fuzz under ASan/UBSan)"
+echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode/tests_chunked/tests_decode + loopback serve/bench_load smoke + tests_store/tests_chunked/tests_net/tests_decode under TSan + tests_fuzz under ASan/UBSan)"

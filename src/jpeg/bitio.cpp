@@ -54,6 +54,21 @@ void BitReader::refill() {
   // accumulator. Stops (without consuming) at end-of-data, a dangling 0xFF,
   // or a marker; the condition is recorded and only thrown if bits past it
   // are actually requested.
+  //
+  // Fast path: 4 upcoming bytes with no 0xFF anywhere (no stuffing, no
+  // marker, no dangling tail — the common case mid-scan) append in one
+  // shift. The 0xFF screen uses the haszero bit-trick on the inverted word.
+  while (avail_ <= 32 && stop_ == Stop::kNone && pos_ + 4 <= data_.size()) {
+    const std::uint32_t w = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                            (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                            (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                            static_cast<std::uint32_t>(data_[pos_ + 3]);
+    const std::uint32_t inv = ~w;  // a 0xFF byte in w is a zero byte here
+    if (((inv - 0x01010101u) & ~inv & 0x80808080u) != 0) break;
+    acc_ = (acc_ << 32) | w;
+    avail_ += 32;
+    pos_ += 4;
+  }
   while (avail_ <= 56 && stop_ == Stop::kNone) {
     if (pos_ >= data_.size()) {
       stop_ = Stop::kEnd;
@@ -108,6 +123,14 @@ bool BitReader::peek(int count, std::uint32_t& bits) {
   bits = static_cast<std::uint32_t>(acc_ >> (avail_ - count)) &
          ((1u << count) - 1);
   return true;
+}
+
+bool BitReader::at_segment_end() {
+  // Discard the bit remainder of the current byte, exactly like
+  // expect_restart_marker; the marker is accepted iff no whole byte is
+  // buffered and every byte of the segment has been consumed.
+  avail_ -= avail_ % 8;
+  return avail_ == 0 && pos_ >= data_.size();
 }
 
 void BitReader::expect_restart_marker(int expected_n) {

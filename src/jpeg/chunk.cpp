@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "puppies/exec/parallel_for.h"
@@ -66,10 +68,18 @@ std::size_t McuRowBuffer::bytes() const {
          chroma2_.size() * sizeof(float);
 }
 
-CoefficientImage forward_transform_chunked_rows(
-    int width, int height, const RgbRowSource& source, int quality,
-    ChromaMode mode, const ChunkOptions& copt, ScanIndex* scan,
-    ChunkStats* stats) {
+namespace {
+
+/// Invoked serially at the top of every band, before stage 1 reads any of
+/// the band's rows — transcode_chunked uses it to pull the inverse pipeline
+/// forward so the row source only ever performs pure reads.
+using BandHook = std::function<void(const ChunkView&)>;
+
+CoefficientImage forward_chunked_impl(int width, int height,
+                                      const RgbRowSource& source, int quality,
+                                      ChromaMode mode, const ChunkOptions& copt,
+                                      ScanIndex* scan, ChunkStats* stats,
+                                      const BandHook& before_band) {
   require(width > 0 && height > 0, "chunked encode dimensions");
   // Bounded-allocation guarantee: the same pixel-footprint limit the
   // decoder enforces gates the encode side, and past this check the
@@ -119,6 +129,7 @@ CoefficientImage forward_transform_chunked_rows(
     view.y_begin = view.mcu_row_begin * mcu_px;
     view.y_end = std::min(height, view.mcu_row_end * mcu_px);
     const int nrows = view.pixel_rows();
+    if (before_band) before_band(view);
 
     // Stage 1: produce this band's pixel rows and color-convert them. Rows
     // are independent and each writes only its own band slots.
@@ -189,6 +200,16 @@ CoefficientImage forward_transform_chunked_rows(
   return out;
 }
 
+}  // namespace
+
+CoefficientImage forward_transform_chunked_rows(
+    int width, int height, const RgbRowSource& source, int quality,
+    ChromaMode mode, const ChunkOptions& copt, ScanIndex* scan,
+    ChunkStats* stats) {
+  return forward_chunked_impl(width, height, source, quality, mode, copt,
+                              scan, stats, {});
+}
+
 CoefficientImage forward_transform_chunked(const RgbImage& img, int quality,
                                            ChromaMode mode,
                                            const ChunkOptions& copt,
@@ -229,6 +250,284 @@ Bytes compress_chunked(const RgbImage& img, int quality,
   const CoefficientImage coeffs =
       forward_transform_chunked(img, quality, opts.chroma, copt, &scan, stats);
   return serialize(coeffs, opts, &scan);
+}
+
+namespace {
+
+/// Band-resident inverse pipeline shared by inverse_transform_chunked and
+/// transcode_chunked: dequantize+IDCT the block rows covering a pixel-row
+/// range of every component, upsample subsampled chroma through its one-row
+/// vertical halo, color-convert, and clamp. Every kernel invocation sees
+/// exactly the values the whole-image inverse_transform/ycc_to_rgb pair
+/// would have handed it — same dequantize_idct samples, same upsample taps,
+/// same row-wise color convert — so the clamped RGB rows are bit-identical
+/// to decode_to_rgb's for every band size (DESIGN.md §13). Rows stay
+/// resident (readable through r_row/g_row/b_row) until the next
+/// decode_rows() call.
+class InverseBandDecoder {
+ public:
+  InverseBandDecoder(const CoefficientImage& coeffs, int cap_rows)
+      : coeffs_(coeffs),
+        w_(coeffs.width()),
+        h_(coeffs.height()),
+        cap_rows_(std::min(cap_rows, coeffs.height())) {
+    require(coeffs.component_count() == 3,
+            "chunked inverse expects a 3-component image");
+    require(cap_rows_ > 0, "chunked inverse band capacity");
+    for (int c = 0; c < 3; ++c) {
+      const Component& comp = coeffs.component(c);
+      cw_[c] = (w_ * comp.h + coeffs.h_max() - 1) / coeffs.h_max();
+      ch_[c] = (h_ * comp.v + coeffs.v_max() - 1) / coeffs.v_max();
+      qc_[c] = quant_constants(coeffs.qtable_for(c));
+    }
+    subsampled_ = cw_[1] != w_ || ch_[1] != h_;
+    ycc_.resize(3 * static_cast<std::size_t>(w_) * cap_rows_);
+    rgb_.resize(3 * static_cast<std::size_t>(w_) * cap_rows_);
+    if (subsampled_) {
+      // A band of N output rows reads at most N * (ch/h) + 1 chroma rows
+      // (the vertical taps are monotonic in y), block-aligned at both ends:
+      // N/2 rounded up, one halo row each side, padded to 8-row blocks.
+      ccap_ = std::min((cap_rows_ + 1) / 2 + 24, ch_[1]);
+      chroma_.resize(2 * static_cast<std::size_t>(cw_[1]) * ccap_);
+    }
+  }
+
+  /// Decodes pixel rows [y0, y1) of the image into the band buffers. y0
+  /// must be block-row aligned (every caller bands on MCU-row multiples),
+  /// so no 8-row luma block ever straddles a band boundary.
+  void decode_rows(int y0, int y1) {
+    require(y0 >= 0 && y0 < y1 && y1 <= h_ && y1 - y0 <= cap_rows_ &&
+                y0 % 8 == 0 && (y1 == h_ || y1 % 8 == 0),
+            "decode_rows range must be block-aligned and fit the band");
+    y0_ = y0;
+    const kernels::KernelTable& k = kernels::active();
+    decode_band(k, 0, ycc_row(0, 0), w_, h_, y0, y0, y1);
+    if (!subsampled_) {
+      decode_band(k, 1, ycc_row(1, 0), w_, h_, y0, y0, y1);
+      decode_band(k, 2, ycc_row(2, 0), w_, h_, y0, y0, y1);
+    } else {
+      upsample_chroma(k, y0, y1);
+    }
+    // Color-convert + clamp through the same kernel row op ycc_to_rgb uses.
+    exec::parallel_for(static_cast<std::size_t>(y1 - y0), [&](std::size_t i) {
+      const int r = static_cast<int>(i);
+      k.ycc_to_rgb_row(ycc_row(0, r), ycc_row(1, r), ycc_row(2, r), w_,
+                       rgb_row(0, r), rgb_row(1, r), rgb_row(2, r));
+    });
+  }
+
+  /// Clamped RGB rows of the decoded range, addressed by image row.
+  const std::uint8_t* r_row(int y) const { return row_u8(0, y); }
+  const std::uint8_t* g_row(int y) const { return row_u8(1, y); }
+  const std::uint8_t* b_row(int y) const { return row_u8(2, y); }
+
+  /// Resident scratch (the decode-side ChunkStats::peak_chunk_bytes).
+  std::size_t bytes() const {
+    return ycc_.size() * sizeof(float) + chroma_.size() * sizeof(float) +
+           rgb_.size() * sizeof(std::uint8_t);
+  }
+
+ private:
+  /// Band-resident deposit_block: writes samples + 128 into rows
+  /// [max(row_begin, 8*by), min(row_end, 8*by + 8)), columns clipped to
+  /// plane_w — the same values deposit_block writes into a whole plane.
+  static void deposit_band_block(float* band, int plane_w, int base_row,
+                                 int row_begin, int row_end, int bx, int by,
+                                 const float* samples) {
+    const int x0 = bx * 8, y0 = by * 8;
+    const int ya = std::max(y0, row_begin);
+    const int yb = std::min(y0 + 8, row_end);
+    const int xe = std::min(8, plane_w - x0);
+    for (int y = ya; y < yb; ++y) {
+      float* dst =
+          band + static_cast<std::size_t>(y - base_row) * plane_w + x0;
+      const float* src = samples + (y - y0) * 8;
+      for (int x = 0; x < xe; ++x) dst[x] = src[x] + 128.f;
+    }
+  }
+
+  /// Dequantize+IDCT the block rows of component `c` covering plane rows
+  /// [row_begin, row_end) into `band` (stride plane_w, first resident row
+  /// base_row). Identical kernels and per-block inputs to
+  /// decode_component_plane; block rows write disjoint band rows.
+  void decode_band(const kernels::KernelTable& k, int c, float* band,
+                   int plane_w, int plane_h, int base_row, int row_begin,
+                   int row_end) {
+    const Component& comp = coeffs_.component(c);
+    const int end = std::min(row_end, plane_h);
+    const int br0 = row_begin / 8;
+    const int br1 = std::min((end + 7) / 8, comp.blocks_h);
+    exec::parallel_for(
+        static_cast<std::size_t>(br1 - br0), [&](std::size_t rel) {
+          const int by = br0 + static_cast<int>(rel);
+          FloatBlock samples;
+          for (int bx = 0; bx < comp.blocks_w; ++bx) {
+            k.dequantize_idct(comp.block(bx, by).data(), qc_[c],
+                              samples.data());
+            deposit_band_block(band, plane_w, base_row, row_begin, end, bx,
+                               by, samples.data());
+          }
+        });
+  }
+
+  /// 4:2:0 chroma for output rows [y0, y1): decode the chroma block rows the
+  /// band's vertical taps read (including the one-row halo past each edge —
+  /// boundary block rows decode again in the next band, bit-identically),
+  /// then replicate upsample_to's per-row tap selection exactly.
+  void upsample_chroma(const kernels::KernelTable& k, int y0, int y1) {
+    const int cw = cw_[1], ch = ch_[1];
+    const float sy = static_cast<float>(ch) / h_;
+    const float sx = static_cast<float>(cw) / w_;
+    const int last = ch - 1;
+    const auto clampc = [last](int t) {
+      return t < 0 ? 0 : (t > last ? last : t);
+    };
+    const int ca =
+        clampc(static_cast<int>(std::floor((y0 + 0.5f) * sy - 0.5f)));
+    const int cb =
+        clampc(static_cast<int>(std::floor((y1 - 1 + 0.5f) * sy - 0.5f)) + 1);
+    cbase_ = ca / 8 * 8;
+    const int cend = std::min((cb / 8 + 1) * 8, ch);
+    require(cend - cbase_ <= ccap_, "chroma band overflow");
+    decode_band(k, 1, chroma_row(0, cbase_), cw, ch, cbase_, cbase_, cend);
+    decode_band(k, 2, chroma_row(1, cbase_), cw, ch, cbase_, cbase_, cend);
+    exec::parallel_for(static_cast<std::size_t>(y1 - y0), [&](std::size_t i) {
+      const int y = y0 + static_cast<int>(i);
+      const float fy = (y + 0.5f) * sy - 0.5f;
+      const int t0 = static_cast<int>(std::floor(fy));
+      const float wy = fy - t0;
+      const int ya = clampc(t0);
+      const int yb = clampc(t0 + 1);
+      const int r = static_cast<int>(i);
+      k.upsample_row(chroma_row(0, ya), chroma_row(0, yb), cw, sx, wy, w_,
+                     ycc_row(1, r));
+      k.upsample_row(chroma_row(1, ya), chroma_row(1, yb), cw, sx, wy, w_,
+                     ycc_row(2, r));
+    });
+  }
+
+  float* ycc_row(int plane, int i) {
+    return ycc_.data() +
+           (static_cast<std::size_t>(plane) * cap_rows_ + i) * w_;
+  }
+  std::uint8_t* rgb_row(int plane, int i) {
+    return rgb_.data() +
+           (static_cast<std::size_t>(plane) * cap_rows_ + i) * w_;
+  }
+  const std::uint8_t* row_u8(int plane, int y) const {
+    return rgb_.data() +
+           (static_cast<std::size_t>(plane) * cap_rows_ + (y - y0_)) * w_;
+  }
+  /// Decoded (subsampled) chroma rows addressed by chroma-plane row.
+  float* chroma_row(int plane, int cy) {
+    return chroma_.data() +
+           (static_cast<std::size_t>(plane) * ccap_ + (cy - cbase_)) * cw_[1];
+  }
+
+  const CoefficientImage& coeffs_;
+  int w_ = 0, h_ = 0;
+  int cap_rows_ = 0;
+  int ccap_ = 0;
+  int cbase_ = 0;
+  int y0_ = 0;
+  bool subsampled_ = false;
+  int cw_[3] = {0, 0, 0}, ch_[3] = {0, 0, 0};
+  kernels::QuantConstants qc_[3];
+  std::vector<float> ycc_;
+  std::vector<float> chroma_;
+  std::vector<std::uint8_t> rgb_;
+};
+
+}  // namespace
+
+void inverse_transform_chunked(const CoefficientImage& coeffs,
+                               const RgbRowSink& sink,
+                               const ChunkOptions& copt, ChunkStats* stats) {
+  // Same bounded-allocation gate as the forward pipeline: past this check,
+  // pixel-domain scratch never exceeds one band.
+  const std::uint64_t pixels = static_cast<std::uint64_t>(coeffs.width()) *
+                               static_cast<std::uint64_t>(coeffs.height());
+  require(pixels <= max_decode_pixels(),
+          "image " + std::to_string(coeffs.width()) + "x" +
+              std::to_string(coeffs.height()) +
+              " exceeds the decode limit of " +
+              std::to_string(max_decode_pixels()) +
+              " pixels (PUPPIES_MAX_PIXELS)");
+  const int chunk_mcu_rows =
+      copt.mcu_rows > 0 ? copt.mcu_rows : default_chunk_mcu_rows();
+  const int mcu_px = 8 * coeffs.v_max();
+  const int total_mcu_rows = coeffs.blocks_h() / coeffs.component(0).v;
+  const int nchunks = (total_mcu_rows + chunk_mcu_rows - 1) / chunk_mcu_rows;
+  InverseBandDecoder dec(coeffs,
+                         std::min(total_mcu_rows, chunk_mcu_rows) * mcu_px);
+  if (stats) {
+    stats->peak_chunk_bytes = dec.bytes();
+    stats->chunks = nchunks;
+    stats->chunk_mcu_rows = chunk_mcu_rows;
+  }
+  for (int ci = 0; ci < nchunks; ++ci) {
+    const int m0 = ci * chunk_mcu_rows;
+    const int m1 = std::min(total_mcu_rows, m0 + chunk_mcu_rows);
+    const int y0 = m0 * mcu_px;
+    const int y1 = std::min(coeffs.height(), m1 * mcu_px);
+    dec.decode_rows(y0, y1);
+    for (int y = y0; y < y1; ++y)
+      sink(y, dec.r_row(y), dec.g_row(y), dec.b_row(y));
+  }
+}
+
+RgbImage decode_to_rgb_chunked(const CoefficientImage& coeffs,
+                               const ChunkOptions& copt, ChunkStats* stats) {
+  RgbImage out(coeffs.width(), coeffs.height());
+  const std::size_t row_bytes = static_cast<std::size_t>(coeffs.width());
+  inverse_transform_chunked(
+      coeffs,
+      [&](int y, const std::uint8_t* r, const std::uint8_t* g,
+          const std::uint8_t* b) {
+        std::memcpy(out.r.row(y).data(), r, row_bytes);
+        std::memcpy(out.g.row(y).data(), g, row_bytes);
+        std::memcpy(out.b.row(y).data(), b, row_bytes);
+      },
+      copt, stats);
+  return out;
+}
+
+CoefficientImage transcode_chunked(const CoefficientImage& coeffs, int quality,
+                                   ChromaMode mode, const ChunkOptions& copt,
+                                   ScanIndex* scan, ChunkStats* stats) {
+  const int w = coeffs.width(), h = coeffs.height();
+  // Band on the OUTPUT geometry: the forward pipeline decides which rows it
+  // needs next, and the before-band hook pulls the inverse decoder forward
+  // to cover exactly that range — serially, before stage 1 reads a row, so
+  // the row source stays a pure read under the pool's concurrency. Forward
+  // bands start on output-MCU-row multiples, which are always 8-aligned,
+  // satisfying decode_rows' block alignment whatever the input's sampling.
+  const int chunk_mcu_rows =
+      copt.mcu_rows > 0 ? copt.mcu_rows : default_chunk_mcu_rows();
+  const int out_mcu_px = 8 * (mode == ChromaMode::k420 ? 2 : 1);
+  InverseBandDecoder dec(coeffs, chunk_mcu_rows * out_mcu_px);
+  const RgbRowSource source = [&dec](int y, std::uint8_t*, std::uint8_t*,
+                                     std::uint8_t*) {
+    return RgbRow{dec.r_row(y), dec.g_row(y), dec.b_row(y)};
+  };
+  const BandHook hook = [&dec](const ChunkView& v) {
+    dec.decode_rows(v.y_begin, v.y_end);
+  };
+  CoefficientImage out = forward_chunked_impl(w, h, source, quality, mode,
+                                              copt, scan, stats, hook);
+  // Both band buffers are resident at once; stats reports the true
+  // pixel-domain footprint of the transcode (still height-independent).
+  if (stats) stats->peak_chunk_bytes += dec.bytes();
+  return out;
+}
+
+Bytes recompress_chunked(const CoefficientImage& coeffs, int quality,
+                         const EncodeOptions& opts, const ChunkOptions& copt,
+                         ChunkStats* stats) {
+  ScanIndex scan;
+  const CoefficientImage out =
+      transcode_chunked(coeffs, quality, opts.chroma, copt, &scan, stats);
+  return serialize(out, opts, &scan);
 }
 
 int default_chunk_mcu_rows() {

@@ -142,12 +142,11 @@ Plane<float> decode_component_plane(const Component& comp,
   // disjoint pixel rows.
   exec::parallel_for(static_cast<std::size_t>(comp.blocks_h),
                      [&](std::size_t by) {
-                       FloatBlock raw, samples;
+                       FloatBlock samples;
                        for (int bx = 0; bx < comp.blocks_w; ++bx) {
-                         k.dequantize(
+                         k.dequantize_idct(
                              comp.block(bx, static_cast<int>(by)).data(), qc,
-                             raw.data());
-                         k.idct8x8(raw.data(), samples.data());
+                             samples.data());
                          deposit_block(plane, bx, static_cast<int>(by),
                                        samples.data());
                        }
@@ -423,6 +422,59 @@ struct FrameComponent {
   int ac_table = 0;
 };
 
+/// Decodes one block (DC + AC run-length symbols) into `block` in zig-zag
+/// order. The fused LUT path resolves symbol and magnitude in one wide peek
+/// per coefficient; the slow branch is the verbatim seed sequence
+/// (decode() + get() + extend), taken for codes longer than 8 bits and near
+/// segment boundaries, so error strings and bit consumption on corrupt
+/// input are unchanged. `block` must be all-zero on entry (freshly
+/// constructed CoefficientImage blocks are; the serial-fallback path
+/// re-zeroes explicitly) — only nonzero coefficients are written, which
+/// saves a full second write pass over the coefficient planes.
+void decode_block(BitReader& bits, const HuffmanDecoder& dc,
+                  const HuffmanDecoder& ac, int& dc_pred, CoefBlock& block) {
+  std::uint8_t dc_cat;
+  int diff;
+  if (dc.decode_fused<true>(bits, dc_cat, diff)) {
+    if (dc_cat > 11) throw ParseError("DC category out of range");
+  } else {
+    dc_cat = dc.decode(bits);
+    if (dc_cat > 11) throw ParseError("DC category out of range");
+    diff = extend_magnitude(bits.get(dc_cat), dc_cat);
+  }
+  dc_pred += diff;
+  block[0] = static_cast<std::int16_t>(dc_pred);
+
+  int z = 1;
+  while (z < 64) {
+    std::uint8_t sym;
+    int v;
+    if (!ac.decode_fused<false>(bits, sym, v)) {
+      sym = ac.decode(bits);
+      if (sym == 0x00) break;  // EOB
+      const int run = sym >> 4, cat = sym & 0xf;
+      if (sym == 0xf0) {
+        z += 16;
+        continue;
+      }
+      z += run;
+      if (z > 63 || cat == 0 || cat > 10) throw ParseError("corrupt AC symbol");
+      v = extend_magnitude(bits.get(cat), cat);
+    } else {
+      if (sym == 0x00) break;  // EOB
+      const int run = sym >> 4, cat = sym & 0xf;
+      if (sym == 0xf0) {
+        z += 16;
+        continue;
+      }
+      z += run;
+      if (z > 63 || cat == 0 || cat > 10) throw ParseError("corrupt AC symbol");
+    }
+    block[static_cast<std::size_t>(z)] = static_cast<std::int16_t>(v);
+    ++z;
+  }
+}
+
 }  // namespace
 
 bool ScanIndex::matches(const CoefficientImage& img) const {
@@ -644,6 +696,48 @@ Bytes serialize(const CoefficientImage& coeffs, const EncodeOptions& opts,
   return out;
 }
 
+std::vector<ScanSegment> scan_restart_segments(
+    std::span<const std::uint8_t> entropy, int expected_segments) {
+  std::vector<ScanSegment> segs;
+  if (expected_segments <= 0) return segs;
+  segs.reserve(static_cast<std::size_t>(expected_segments));
+  std::size_t begin = 0;
+  std::size_t i = 0;
+  const std::size_t n = entropy.size();
+  while (i < n) {
+    if (entropy[i] != 0xff) {
+      ++i;
+      continue;
+    }
+    // A dangling 0xFF as the very last byte cannot be classified; leave it
+    // inside the final segment, whose reader reports it iff bits past it
+    // are actually needed — exactly like the serial decoder.
+    if (i + 1 >= n) break;
+    const std::uint8_t m = entropy[i + 1];
+    if (m == 0x00) {  // stuffed data byte
+      i += 2;
+      continue;
+    }
+    if (m >= 0xd0 && m <= 0xd7) {  // RSTn: segment boundary
+      // The serial decoder requires marker index s % 8 after segment s.
+      if (m != 0xd0 + segs.size() % 8) return {};
+      segs.push_back({begin, i});
+      // More segments follow this marker than the header promised.
+      if (static_cast<int>(segs.size()) >= expected_segments) return {};
+      begin = i + 2;
+      i += 2;
+      continue;
+    }
+    // Any other marker terminates the scan.
+    segs.push_back({begin, i});
+    if (static_cast<int>(segs.size()) != expected_segments) return {};
+    return segs;
+  }
+  segs.push_back({begin, n});
+  if (static_cast<int>(segs.size()) != expected_segments) return {};
+  return segs;
+}
+
 namespace {
 
 constexpr std::size_t kDefaultMaxDecodePixels = 100'000'000;  // 100 MP
@@ -651,7 +745,56 @@ constexpr std::size_t kDefaultMaxDecodePixels = 100'000'000;  // 100 MP
 /// 0 = unset: resolve PUPPIES_MAX_PIXELS, else the default.
 std::atomic<std::size_t> g_max_decode_pixels{0};
 
-CoefficientImage parse_impl(std::span<const std::uint8_t> data) {
+/// -1 = unset: resolve PUPPIES_PARALLEL_DECODE, else enabled.
+std::atomic<int> g_parallel_decode{-1};
+
+/// Segment-parallel scan decode — the exact inverse of serialize()'s
+/// parallel segment writers. Returns true iff every segment decoded cleanly
+/// and every non-final segment consumed exactly its byte range; any anomaly
+/// (a ParseError inside a segment, leftover bytes before an RSTn) makes the
+/// caller rerun the serial decoder, which re-deposits every block and owns
+/// the error message. Workers write disjoint blocks of `img`, so success is
+/// bit-identical to the serial decode at any thread count.
+bool try_parallel_decode(CoefficientImage& img,
+                         const std::vector<FrameComponent>& fcs,
+                         const std::vector<HuffmanDecoder>& dc_dec,
+                         const std::vector<HuffmanDecoder>& ac_dec, int R,
+                         int total_mcus, int nseg,
+                         std::span<const std::uint8_t> entropy) {
+  const std::vector<ScanSegment> segs = scan_restart_segments(entropy, nseg);
+  if (static_cast<int>(segs.size()) != nseg) return false;
+  std::atomic<bool> ok{true};
+  exec::parallel_for(static_cast<std::size_t>(nseg), [&](std::size_t s) {
+    if (!ok.load(std::memory_order_relaxed)) return;
+    const int m0 = static_cast<int>(s) * R;
+    const int m1 = std::min(total_mcus, m0 + R);
+    BitReader bits(
+        entropy.subspan(segs[s].begin, segs[s].end - segs[s].begin));
+    std::vector<int> prev_dc(static_cast<std::size_t>(img.component_count()),
+                             0);
+    try {
+      for_each_block_in_mcu_range(img, m0, m1, [&](int c, int bx, int by) {
+        const FrameComponent& fc = fcs[static_cast<std::size_t>(c)];
+        decode_block(bits, dc_dec[static_cast<std::size_t>(fc.dc_table)],
+                     ac_dec[static_cast<std::size_t>(fc.ac_table)],
+                     prev_dc[static_cast<std::size_t>(c)],
+                     img.component(c).block(bx, by));
+      });
+      // A non-final segment must land exactly on its restart boundary (the
+      // condition under which the serial decoder's expect_restart_marker
+      // would have succeeded here). The final segment mirrors the serial
+      // decoder, which ignores trailing bytes after the last MCU.
+      if (s + 1 < static_cast<std::size_t>(nseg) && !bits.at_segment_end())
+        ok.store(false, std::memory_order_relaxed);
+    } catch (const Error&) {
+      ok.store(false, std::memory_order_relaxed);
+    }
+  });
+  return ok.load();
+}
+
+CoefficientImage parse_impl(std::span<const std::uint8_t> data,
+                            ParseStats* stats) {
   ByteReader r(data);
   if (r.u8() != kMarkerPrefix || r.u8() != kSOI)
     throw ParseError("missing SOI");
@@ -806,8 +949,38 @@ CoefficientImage parse_impl(std::span<const std::uint8_t> data) {
 
   // Entropy-coded data runs from here to the next marker.
   const std::size_t entropy_start = data.size() - r.remaining();
-  BitReader bits(data.subspan(entropy_start));
+  const std::span<const std::uint8_t> entropy = data.subspan(entropy_start);
 
+  const int total_mcus = total_mcu_count(img);
+  const int nseg =
+      restart_interval > 0
+          ? (total_mcus + restart_interval - 1) / restart_interval
+          : 1;
+  if (stats) {
+    stats->restart_segments = nseg;
+    stats->parallel = false;
+  }
+
+  if (nseg > 1 && parallel_decode_enabled()) {
+    if (try_parallel_decode(img, frame_comps, dc_dec, ac_dec,
+                            restart_interval, total_mcus, nseg, entropy)) {
+      if (stats) stats->parallel = true;
+      return img;
+    }
+    // A half-written parallel attempt leaves residue in the sparse-write
+    // blocks; restore the all-zero precondition decode_block relies on
+    // before the serial rerun.
+    for (int c = 0; c < img.component_count(); ++c) {
+      auto& blocks = img.component(c).blocks;
+      std::fill(blocks.begin(), blocks.end(), CoefBlock{});
+    }
+  }
+
+  // Serial scan decode: the reference path, and the fallback that owns all
+  // error reporting when the restart structure is malformed (the parallel
+  // path never throws — it re-runs this loop over re-zeroed planes, so a
+  // half-written parallel attempt leaves no residue).
+  BitReader bits(entropy);
   std::vector<int> prev_dc(static_cast<std::size_t>(scan_ncomp), 0);
   for_each_block_in_scan_order(
       img,
@@ -818,34 +991,12 @@ CoefficientImage parse_impl(std::span<const std::uint8_t> data) {
         }
       },
       [&](int c, int bx, int by) {
-    const FrameComponent& fc = frame_comps[static_cast<std::size_t>(c)];
-    CoefBlock& block = img.component(c).block(bx, by);
-    block.fill(0);
-    const std::uint8_t dc_cat =
-        dc_dec[static_cast<std::size_t>(fc.dc_table)].decode(bits);
-    if (dc_cat > 11) throw ParseError("DC category out of range");
-    const int diff = extend_magnitude(bits.get(dc_cat), dc_cat);
-    prev_dc[static_cast<std::size_t>(c)] += diff;
-    block[0] = static_cast<std::int16_t>(prev_dc[static_cast<std::size_t>(c)]);
-
-    int z = 1;
-    while (z < 64) {
-      const std::uint8_t sym =
-          ac_dec[static_cast<std::size_t>(fc.ac_table)].decode(bits);
-      if (sym == 0x00) break;  // EOB
-      const int run = sym >> 4, cat = sym & 0xf;
-      if (sym == 0xf0) {
-        z += 16;
-        continue;
-      }
-      z += run;
-      if (z > 63 || cat == 0 || cat > 10)
-        throw ParseError("corrupt AC symbol");
-      block[static_cast<std::size_t>(z)] =
-          static_cast<std::int16_t>(extend_magnitude(bits.get(cat), cat));
-      ++z;
-    }
-  });
+        const FrameComponent& fc = frame_comps[static_cast<std::size_t>(c)];
+        decode_block(bits, dc_dec[static_cast<std::size_t>(fc.dc_table)],
+                     ac_dec[static_cast<std::size_t>(fc.ac_table)],
+                     prev_dc[static_cast<std::size_t>(c)],
+                     img.component(c).block(bx, by));
+      });
 
   return img;
 }
@@ -871,12 +1022,27 @@ void set_max_decode_pixels(std::size_t pixels) {
   g_max_decode_pixels.store(pixels, std::memory_order_relaxed);
 }
 
-CoefficientImage parse(std::span<const std::uint8_t> data) {
+bool parallel_decode_enabled() {
+  const int v = g_parallel_decode.load(std::memory_order_relaxed);
+  if (v >= 0) return v != 0;
+  static const bool resolved = [] {
+    const char* env = std::getenv("PUPPIES_PARALLEL_DECODE");
+    return !(env && std::strcmp(env, "0") == 0);
+  }();
+  return resolved;
+}
+
+void set_parallel_decode_enabled(int enabled) {
+  g_parallel_decode.store(enabled < 0 ? -1 : (enabled != 0 ? 1 : 0),
+                          std::memory_order_relaxed);
+}
+
+CoefficientImage parse(std::span<const std::uint8_t> data, ParseStats* stats) {
   // Clean taxonomy for hostile input: anything a malformed stream trips —
   // including deep precondition checks (Huffman spec sizes, image
   // dimensions) that report InvalidArgument — surfaces as ParseError.
   try {
-    return parse_impl(data);
+    return parse_impl(data, stats);
   } catch (const ParseError&) {
     throw;
   } catch (const InvalidArgument& e) {

@@ -283,6 +283,13 @@ void upsample_row_avx2(const float* row0, const float* row1, int in_w,
   upsample_px(row0, row1, in_w, sx, wy, hi, out_w, out);
 }
 
+void dequantize_idct_avx2(const std::int16_t* in, const QuantConstants& qc,
+                          float* out) {
+  float raw[64];
+  dequantize_avx2(in, qc, raw);
+  idct8x8_avx2(raw, out);
+}
+
 }  // namespace
 
 const KernelTable& table_avx2() {
@@ -292,6 +299,7 @@ const KernelTable& table_avx2() {
       rgb_to_ycc_row_avx2,  ycc_to_rgb_row_avx2,
       downsample2x_row_avx2, upsample_row_avx2,
       nonzero_mask_avx2,    quantize_scan_avx2,
+      dequantize_idct_avx2,
   };
   return t;
 }

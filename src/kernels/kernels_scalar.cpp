@@ -182,6 +182,13 @@ void downsample2x_row_scalar(const float* row0, const float* row1, int in_w,
                   out_w, out);
 }
 
+void dequantize_idct_scalar(const std::int16_t* in, const QuantConstants& qc,
+                            float* out) {
+  float raw[64];
+  dequantize_scalar(in, qc, raw);
+  idct8x8_scalar(raw, out);
+}
+
 }  // namespace
 
 const KernelTable& table_scalar() {
@@ -191,6 +198,7 @@ const KernelTable& table_scalar() {
       rgb_to_ycc_row_scalar,  ycc_to_rgb_row_scalar,
       downsample2x_row_scalar, upsample_row_scalar,
       nonzero_mask_scalar,    quantize_scan_scalar,
+      dequantize_idct_scalar,
   };
   return t;
 }

@@ -251,6 +251,13 @@ void downsample2x_row_sse2(const float* row0, const float* row1, int in_w,
   downsample2x_px(row0, row1, in_w, x, out_w, out);
 }
 
+void dequantize_idct_sse2(const std::int16_t* in, const QuantConstants& qc,
+                          float* out) {
+  float raw[64];
+  dequantize_sse2(in, qc, raw);
+  idct8x8_sse2(raw, out);
+}
+
 }  // namespace
 
 const KernelTable& table_sse2() {
@@ -263,6 +270,7 @@ const KernelTable& table_sse2() {
       // scalar interior-fast-path implementation.
       upsample_row_scalar,
       nonzero_mask_sse2,    quantize_scan_sse2,
+      dequantize_idct_sse2,
   };
   return t;
 }

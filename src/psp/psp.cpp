@@ -37,6 +37,17 @@ Bytes serialize_measured(const jpeg::CoefficientImage& img,
   return out;
 }
 
+/// Decode-side twin of serialize_measured: upload-time parses funnel through
+/// here so `store stats --json` shows the decode cost next to the encode
+/// cost, plus how many restart segments fed the segment-parallel decoder.
+jpeg::CoefficientImage parse_measured(std::span<const std::uint8_t> data) {
+  metrics::ScopedTimer timer(metrics::histogram("psp.codec.decode_ms"));
+  jpeg::ParseStats stats;
+  jpeg::CoefficientImage img = jpeg::parse(data, &stats);
+  metrics::counter("psp.codec.decode_segments").add(stats.restart_segments);
+  return img;
+}
+
 }  // namespace
 
 PspService::PspService() : PspService(PspConfig{}) {}
@@ -54,7 +65,7 @@ std::string PspService::upload(const Bytes& jfif, const Bytes& public_params) {
   // Parse and blob publication run outside the map lock: only the cheap
   // insert serializes against other uploads.
   metrics::counter("psp.codec.parse").add();
-  jpeg::CoefficientImage parsed = jpeg::parse(jfif);
+  jpeg::CoefficientImage parsed = parse_measured(jfif);
   auto e = std::make_unique<Entry>();
   e->digest = blobs_->put(jfif);
   e->jfif_bytes = jfif.size();
@@ -135,6 +146,28 @@ store::TransformResult PspService::compute_transform(
     require(mode != DeliveryMode::kCoefficients,
             "coefficient delivery requires an all-lossless chain");
     metrics::ScopedTimer timer(metrics::histogram("psp.transform.pixel_ms"));
+    if (mode == DeliveryMode::kClampedReencode &&
+        transform::canonicalize(chain).empty()) {
+      // The chain folds to the identity (plain recompress-at-quality): stream
+      // decode -> clamp -> re-encode one output band at a time
+      // (jpeg::transcode_chunked), never materializing a full pixel plane on
+      // either side. Byte-identical to the general path below — D4 folding
+      // is exact — so the shared transform cache key stays safe.
+      metrics::ScopedTimer reencode(
+          metrics::histogram("psp.transform.reencode_ms"));
+      metrics::counter("psp.codec.inverse").add();
+      metrics::counter("psp.codec.forward").add();
+      metrics::counter("psp.codec.recompress_streamed").add();
+      jpeg::EncodeOptions eo;
+      eo.huffman = config_.huffman;
+      jpeg::ChunkOptions copt;
+      copt.mcu_rows = config_.chunk_mcu_rows;
+      jpeg::ScanIndex scan;
+      const jpeg::CoefficientImage coeffs = jpeg::transcode_chunked(
+          e.parsed, reencode_quality, eo.chroma, copt, &scan);
+      r.jfif = serialize_measured(coeffs, eo, &scan);
+      return r;
+    }
     metrics::counter("psp.codec.inverse").add();
     const YccImage transformed =
         transform::apply(chain, jpeg::inverse_transform(e.parsed));
