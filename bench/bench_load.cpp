@@ -36,6 +36,13 @@ struct Options {
   double seconds = 2.0;
   int images = 12;
   double zipf_s = 1.0;
+  /// Fraction of the corpus left untransformed, so downloads of those
+  /// images hit the blob store on every request instead of the transform
+  /// cache (1.0 = all raw; the replicated-store chaos smoke uses this).
+  double raw = 0.0;
+  /// net::Client retry policy for every connection (0 = off, the default).
+  int retries = 0;
+  int retry_base_ms = 50;
   std::string connect;  ///< "host:port"; empty = in-process loopback server
   std::string out = "BENCH_load.json";
 };
@@ -44,7 +51,9 @@ struct Options {
   std::fprintf(
       stderr,
       "usage: bench_load [--connections N] [--seconds S] [--images K]\n"
-      "                  [--zipf S] [--connect HOST:PORT] [--out FILE]\n");
+      "                  [--zipf S] [--raw FRACTION] [--retries N]\n"
+      "                  [--retry-base-ms N] [--connect HOST:PORT]\n"
+      "                  [--out FILE]\n");
   std::exit(2);
 }
 
@@ -60,11 +69,16 @@ Options parse_args(int argc, char** argv) {
     else if (a == "--seconds") o.seconds = std::atof(next().c_str());
     else if (a == "--images") o.images = std::atoi(next().c_str());
     else if (a == "--zipf") o.zipf_s = std::atof(next().c_str());
+    else if (a == "--raw") o.raw = std::atof(next().c_str());
+    else if (a == "--retries") o.retries = std::atoi(next().c_str());
+    else if (a == "--retry-base-ms") o.retry_base_ms = std::atoi(next().c_str());
     else if (a == "--connect") o.connect = next();
     else if (a == "--out") o.out = next();
     else usage();
   }
-  if (o.connections < 1 || o.images < 1 || o.seconds <= 0) usage();
+  if (o.connections < 1 || o.images < 1 || o.seconds <= 0 || o.raw < 0 ||
+      o.raw > 1 || o.retries < 0 || o.retry_base_ms < 1)
+    usage();
   return o;
 }
 
@@ -95,11 +109,17 @@ struct CorpusEntry {
   transform::Chain chain;
   psp::DeliveryMode mode = psp::DeliveryMode::kCoefficients;
   int quality = 85;
+  bool raw = false;     ///< no transform: every download hits the blob store
   std::string id;       ///< id on the server under test
   Bytes expect_jfif;    ///< ground truth from the local reference PSP
 };
 
-std::vector<CorpusEntry> build_corpus(int n) {
+std::vector<CorpusEntry> build_corpus(int n, double raw_fraction) {
+  // Raw (untransformed) images are served straight from the blob store on
+  // every request — no transform cache in front — which is what makes the
+  // kill-one-backend chaos smoke actually exercise replica failover.
+  const int raw_count =
+      static_cast<int>(std::lround(raw_fraction * static_cast<double>(n)));
   std::vector<CorpusEntry> corpus;
   for (int i = 0; i < n; ++i) {
     const synth::SceneImage scene =
@@ -117,7 +137,9 @@ std::vector<CorpusEntry> build_corpus(int n) {
     e.params = shared.params.serialize();
     // Alternate the lossless coefficient path and the codec-heavy clamped
     // re-encode path so the load mix exercises both serving pipelines.
-    if (i % 2 == 0) {
+    if (i < raw_count) {
+      e.raw = true;
+    } else if (i % 2 == 0) {
       e.chain = {transform::rotate(i % 4 == 0 ? 90 : 180)};
       e.mode = psp::DeliveryMode::kCoefficients;
     } else {
@@ -175,21 +197,34 @@ int main(int argc, char** argv) {
   }
 
   // ---- corpus upload + ground truth -----------------------------------
-  std::vector<CorpusEntry> corpus = build_corpus(opt.images);
+  std::vector<CorpusEntry> corpus = build_corpus(opt.images, opt.raw);
+  const net::Client::RetryPolicy retry_policy{opt.retries, opt.retry_base_ms,
+                                              2000};
   psp::PspService reference;  // local ground truth, default config
   {
     net::Client setup;
+    setup.set_retry(retry_policy);
     setup.connect(host, port);
     for (CorpusEntry& e : corpus) {
       e.id = setup.upload(e.jfif, e.params);
-      setup.apply(e.id, e.chain, e.mode, e.quality);
+      if (!e.raw) setup.apply(e.id, e.chain, e.mode, e.quality);
       const std::string ref_id = reference.upload(e.jfif, e.params);
-      reference.apply_transform(ref_id, e.chain, e.mode, e.quality);
+      if (!e.raw)
+        reference.apply_transform(ref_id, e.chain, e.mode, e.quality);
       e.expect_jfif = reference.download(ref_id).jfif;
     }
   }
-  std::printf("corpus: %d images uploaded + transformed (zipf s=%.2f)\n",
-              opt.images, opt.zipf_s);
+  std::printf(
+      "corpus: %d images uploaded, %d transformed + %d raw (zipf s=%.2f)\n",
+      opt.images,
+      static_cast<int>(std::count_if(corpus.begin(), corpus.end(),
+                                     [](const CorpusEntry& e) {
+                                       return !e.raw;
+                                     })),
+      static_cast<int>(std::count_if(
+          corpus.begin(), corpus.end(),
+          [](const CorpusEntry& e) { return e.raw; })),
+      opt.zipf_s);
 
   // ---- zipfian load phase ---------------------------------------------
   const Zipf zipf(opt.images, opt.zipf_s);
@@ -204,6 +239,7 @@ int main(int argc, char** argv) {
       Rng rng("bench_load/conn" + std::to_string(w));
       try {
         net::Client client;
+        client.set_retry(retry_policy);
         client.connect(host, port);
         while (!stop.load(std::memory_order_relaxed)) {
           const CorpusEntry& e =

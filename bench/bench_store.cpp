@@ -1,0 +1,291 @@
+// Replicated blob-store bench: failover latency, repair throughput, GC.
+//
+// Builds an R=3 / W=2 ReplicatedStore over three on-disk shard backends,
+// then walks the failure lifecycle the store is designed around:
+//
+//   1. put throughput (quorum writes, all replicas healthy),
+//   2. baseline zipfian read p50/p99,
+//   3. the same read mix with one backend failing every read — measures the
+//      failover tax and counts the read-repairs it triggers,
+//   4. bit-rot on one shard's files healed by a timed scrub pass (repair
+//      throughput), verified digest-identical afterwards,
+//   5. refcounted GC reclaiming unpinned blobs after the op-count grace.
+//
+// Every downloaded byte stream is compared against the original, so the
+// bench doubles as a correctness check; a mismatch fails the run. Emits
+// BENCH_store.json (failover p99, repair MB/s, GC reclaim bytes).
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "bench_common.h"
+#include "puppies/fault/fault.h"
+#include "puppies/metrics/metrics.h"
+#include "puppies/store/replicated_store.h"
+
+using namespace puppies;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Options {
+  int blobs = 48;
+  int blob_kb = 64;
+  int gets = 1000;
+  double zipf_s = 1.0;
+  std::string dir;  ///< scratch root; empty = under the system temp dir
+  std::string out = "BENCH_store.json";
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: bench_store [--blobs N] [--blob-kb N] [--gets N]\n"
+               "                   [--zipf S] [--dir PATH] [--out FILE]\n");
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (++i >= argc) usage();
+      return argv[i];
+    };
+    if (a == "--blobs") o.blobs = std::atoi(next().c_str());
+    else if (a == "--blob-kb") o.blob_kb = std::atoi(next().c_str());
+    else if (a == "--gets") o.gets = std::atoi(next().c_str());
+    else if (a == "--zipf") o.zipf_s = std::atof(next().c_str());
+    else if (a == "--dir") o.dir = next();
+    else if (a == "--out") o.out = next();
+    else usage();
+  }
+  if (o.blobs < 1 || o.blob_kb < 1 || o.gets < 1) usage();
+  return o;
+}
+
+/// Zipf sampler over ranks [0, n): weight(rank) = 1 / (rank+1)^s.
+class Zipf {
+ public:
+  Zipf(int n, double s) {
+    double acc = 0;
+    for (int i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_.push_back(acc);
+    }
+    for (double& c : cdf_) c /= acc;
+  }
+  int sample(Rng& rng) const {
+    const double u = rng.uniform();
+    return static_cast<int>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+double percentile_of(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo);
+}
+
+struct GetPhase {
+  double p50 = 0, p99 = 0;
+  std::uint64_t mismatches = 0;
+};
+
+/// `gets` zipfian reads with byte verification against the originals.
+GetPhase run_gets(store::ReplicatedStore& repl, const std::vector<Digest>& ids,
+                  const std::vector<Bytes>& originals, const Zipf& zipf,
+                  int gets, const char* label) {
+  GetPhase phase;
+  Rng rng(std::string("bench_store/") + label);
+  std::vector<double> lat;
+  lat.reserve(static_cast<std::size_t>(gets));
+  for (int i = 0; i < gets; ++i) {
+    const std::size_t r = static_cast<std::size_t>(zipf.sample(rng));
+    const auto t0 = std::chrono::steady_clock::now();
+    const Bytes data = repl.get(ids[r]);
+    lat.push_back(std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count());
+    if (data != originals[r]) ++phase.mismatches;
+  }
+  std::sort(lat.begin(), lat.end());
+  phase.p50 = percentile_of(lat, 50);
+  phase.p99 = percentile_of(lat, 99);
+  return phase;
+}
+
+/// Flips one byte in shard-`shard`'s on-disk copy of `d` (real bit-rot, not
+/// an injected fault — the disk backend must detect it itself).
+bool corrupt_replica_file(const fs::path& root, int shard, const Digest& d) {
+  const std::string hex = d.to_hex();
+  const fs::path path = root / ("shard-" + std::to_string(shard)) /
+                        hex.substr(0, 2) / (hex + ".blob");
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  if (!f) return false;
+  char byte = 0;
+  f.seekg(0);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  f.seekp(0);
+  f.write(&byte, 1);
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  bench::header("replicated store: failover, repair, GC",
+                "Sec. 7 deployment (replicated storage tier)");
+
+  const fs::path root =
+      opt.dir.empty()
+          ? fs::temp_directory_path() /
+                ("puppies_bench_store_" + std::to_string(::getpid()))
+          : fs::path(opt.dir);
+  fs::remove_all(root);
+
+  store::ReplicationConfig cfg;
+  cfg.replicas = 3;
+  cfg.write_quorum = 2;
+  cfg.gc_grace_ops = 16;
+  std::unique_ptr<store::ReplicatedStore> repl =
+      store::open_replicated_disk_store(root.string(), 3, cfg);
+
+  // ---- phase 1: put throughput ----------------------------------------
+  const std::size_t blob_bytes = static_cast<std::size_t>(opt.blob_kb) * 1024;
+  std::vector<Bytes> originals;
+  std::vector<Digest> ids;
+  for (int i = 0; i < opt.blobs; ++i) {
+    Rng rng("bench_store/blob" + std::to_string(i));
+    Bytes data(blob_bytes);
+    for (std::size_t j = 0; j < data.size(); ++j)
+      data[j] = static_cast<std::uint8_t>(rng.next());
+    originals.push_back(std::move(data));
+  }
+  const auto put0 = std::chrono::steady_clock::now();
+  for (const Bytes& data : originals) {
+    const Digest d = repl->put(data);
+    repl->pin(d);
+    ids.push_back(d);
+  }
+  const double put_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - put0)
+          .count();
+  const double total_mb =
+      static_cast<double>(opt.blobs) * static_cast<double>(blob_bytes) / 1e6;
+  const double put_mb_s = total_mb / put_s;
+  std::printf("put: %d blobs x %d KiB (R=3) in %.3f s  ->  %.1f MB/s\n",
+              opt.blobs, opt.blob_kb, put_s, put_mb_s);
+
+  // ---- phase 2: baseline reads ----------------------------------------
+  const Zipf zipf(opt.blobs, opt.zipf_s);
+  const GetPhase baseline =
+      run_gets(*repl, ids, originals, zipf, opt.gets, "baseline");
+  std::printf("baseline gets: %d zipfian  p50 %.3f ms  p99 %.3f ms\n",
+              opt.gets, baseline.p50, baseline.p99);
+
+  // ---- phase 3: failover with one backend down ------------------------
+  const std::uint64_t repairs_before =
+      metrics::counter("store.repl.read_repair").value();
+  fault::arm_spec("store.shard.0.get.fail=always");
+  const GetPhase failover =
+      run_gets(*repl, ids, originals, zipf, opt.gets, "failover");
+  fault::disarm("store.shard.0.get.fail");
+  repl->flush_repairs();
+  const std::uint64_t read_repairs =
+      metrics::counter("store.repl.read_repair").value() - repairs_before;
+  std::printf(
+      "failover gets (shard 0 down): p50 %.3f ms  p99 %.3f ms  "
+      "(%llu read-repairs, shard 0 %s)\n",
+      failover.p50, failover.p99,
+      static_cast<unsigned long long>(read_repairs),
+      repl->backend_health(0) == store::BackendHealth::kQuarantined
+          ? "quarantined"
+          : "not quarantined");
+
+  // ---- phase 4: scrub repair throughput -------------------------------
+  // Real bit-rot: flip a byte in shard 1's file for half the corpus, then
+  // let one timed scrub pass detect and re-publish from good replicas.
+  int corrupted = 0;
+  for (int i = 0; i < opt.blobs; i += 2)
+    if (corrupt_replica_file(root, 1, ids[static_cast<std::size_t>(i)]))
+      ++corrupted;
+  const auto scrub0 = std::chrono::steady_clock::now();
+  const store::ScrubReport scrub = repl->scrub(/*repair=*/true);
+  const double scrub_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - scrub0)
+          .count();
+  const double repair_mb_s =
+      scrub_s > 0 ? static_cast<double>(scrub.repaired_bytes) / 1e6 / scrub_s
+                  : 0;
+  // Post-condition: a second verify-only sweep must find every replica of
+  // every blob byte-identical to its digest again.
+  const store::ScrubReport verify = repl->scrub(/*repair=*/false);
+  const bool converged = verify.ok == verify.checked &&
+                         verify.quarantined.empty() && verify.repaired == 0;
+  std::printf(
+      "scrub: %d replicas corrupted, %zu repaired (%zu bytes) in %.3f s  "
+      "->  %.1f MB/s  converged=%s\n",
+      corrupted, scrub.repaired, scrub.repaired_bytes, scrub_s, repair_mb_s,
+      converged ? "yes" : "NO — BUG");
+
+  // ---- phase 5: refcounted GC -----------------------------------------
+  // Unpin half the corpus, age the orphans past the op-count grace with
+  // reads of a surviving blob, and reclaim.
+  for (int i = 1; i < opt.blobs; i += 2)
+    repl->unpin(ids[static_cast<std::size_t>(i)]);
+  for (std::uint64_t i = 0; i < cfg.gc_grace_ops; ++i) repl->get(ids[0]);
+  const store::GcReport gc = repl->gc();
+  std::printf("gc: %zu tracked, %zu reclaimed (%zu bytes)\n", gc.tracked,
+              gc.reclaimed, gc.reclaimed_bytes);
+
+  const bool identical = baseline.mismatches == 0 && failover.mismatches == 0;
+  std::printf("%-26s %12s\n", "byte-identical",
+              identical ? "yes" : "NO — BUG");
+
+  // ---- report ---------------------------------------------------------
+  std::FILE* f = std::fopen(opt.out.c_str(), "w");
+  if (f) {
+    std::fprintf(f, "{\n  \"bench\": \"bench_store\",\n");
+    std::fprintf(f, "  \"blobs\": %d,\n  \"blob_kb\": %d,\n  \"gets\": %d,\n",
+                 opt.blobs, opt.blob_kb, opt.gets);
+    std::fprintf(f, "  \"put_mb_per_s\": %.1f,\n", put_mb_s);
+    std::fprintf(f, "  \"baseline_p50_ms\": %.3f,\n", baseline.p50);
+    std::fprintf(f, "  \"baseline_p99_ms\": %.3f,\n", baseline.p99);
+    std::fprintf(f, "  \"failover_p50_ms\": %.3f,\n", failover.p50);
+    std::fprintf(f, "  \"failover_p99_ms\": %.3f,\n", failover.p99);
+    std::fprintf(f, "  \"read_repairs\": %llu,\n",
+                 static_cast<unsigned long long>(read_repairs));
+    std::fprintf(f, "  \"scrub_repaired\": %zu,\n", scrub.repaired);
+    std::fprintf(f, "  \"repair_mb_per_s\": %.1f,\n", repair_mb_s);
+    std::fprintf(f, "  \"gc_reclaimed\": %zu,\n", gc.reclaimed);
+    std::fprintf(f, "  \"gc_reclaimed_bytes\": %zu,\n", gc.reclaimed_bytes);
+    std::fprintf(f, "  \"byte_identical\": %s,\n",
+                 identical ? "true" : "false");
+    std::fprintf(f, "  \"converged_after_scrub\": %s,\n",
+                 converged ? "true" : "false");
+    std::fprintf(f, "  \"metrics\": %s\n}\n", metrics::dump_json().c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", opt.out.c_str());
+  } else {
+    std::fprintf(stderr, "warning: cannot write %s\n", opt.out.c_str());
+  }
+
+  repl.reset();
+  if (opt.dir.empty()) fs::remove_all(root);
+
+  // Fails loudly: any byte mismatch, an un-healed replica after scrub, a
+  // failover phase that never repaired, or GC reclaiming nothing.
+  return identical && converged && read_repairs > 0 && gc.reclaimed > 0 ? 0
+                                                                        : 1;
+}

@@ -16,6 +16,14 @@ namespace puppies::net {
 /// harnesses can count BUSY without unwinding; the typed helpers map
 /// non-OK statuses to the error taxonomy (ServerBusy, DeadlineExceeded,
 /// RemoteError) and decode OK payloads.
+///
+/// Retry (off by default): set_retry() arms bounded retries with
+/// exponential backoff + deterministic jitter on BUSY responses and
+/// transient connect/send/recv failures (reconnecting first when the
+/// failure dropped the connection). Hard errors — kError, kNotFound,
+/// kDeadlineExceeded — never retry. When a request carries a nonzero
+/// `deadline_ms`, a backoff that would overrun it gives up immediately
+/// instead of sleeping past the deadline.
 class Client {
  public:
   Client() = default;
@@ -38,6 +46,19 @@ class Client {
     Bytes payload;
   };
 
+  /// Bounded-retry policy for the typed helpers (call() stays raw).
+  struct RetryPolicy {
+    /// Extra attempts after the first; 0 disables retrying entirely.
+    int retries = 0;
+    /// First backoff in ms; doubles per retry with ±25% jitter so a fleet
+    /// of retrying clients decorrelates instead of stampeding.
+    int base_ms = 50;
+    /// Backoff ceiling in ms (pre-jitter).
+    int max_backoff_ms = 2000;
+  };
+  void set_retry(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry() const { return retry_; }
+
   /// Sends one request frame and blocks for its response (matched by
   /// request id). `deadline_ms` rides the frame header; 0 = server default.
   Response call(Op op, const Bytes& payload, std::uint32_t deadline_ms = 0);
@@ -56,9 +77,17 @@ class Client {
   [[noreturn]] static void raise(Status s, const Bytes& payload);
   Response call_checked(Op op, const Bytes& payload,
                         std::uint32_t deadline_ms);
+  bool backoff(int attempt, std::uint32_t deadline_ms, double elapsed_ms);
 
   int fd_ = -1;
   std::uint64_t next_request_id_ = 1;
+  RetryPolicy retry_;
+  // Remembered from connect() so a retry can re-establish a dropped
+  // connection.
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int io_timeout_ms_ = 30000;
+  std::uint64_t jitter_state_ = 0x9e3779b97f4a7c15ull;
 };
 
 }  // namespace puppies::net

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -10,6 +11,7 @@
 #include "puppies/jpeg/codec.h"
 #include "puppies/jpeg/coeffs.h"
 #include "puppies/store/blob_store.h"
+#include "puppies/store/replicated_store.h"
 #include "puppies/store/transform_cache.h"
 #include "puppies/transform/transform.h"
 
@@ -39,8 +41,9 @@ struct Download {
 
 /// Which BlobStore backend a PspService persists perturbed images in.
 enum class StoreBackend : std::uint8_t {
-  kMemory,  ///< default: nothing persists past the service
-  kDisk,    ///< content-addressed files under `data_dir`
+  kMemory,      ///< default: nothing persists past the service
+  kDisk,        ///< content-addressed files under `data_dir`
+  kReplicated,  ///< R-way replicated disk shards under `data_dir`/shard-<i>
 };
 
 /// Serving-side configuration. The defaults reproduce the historical
@@ -64,6 +67,10 @@ struct PspConfig {
   /// is deliberately NOT part of the transform cache key and cached
   /// digests survive any setting.
   int chunk_mcu_rows = 0;
+  /// kReplicated only: number of disk shards under `data_dir` and the
+  /// replication/repair/GC knobs (DESIGN.md §14).
+  int shard_count = 3;
+  store::ReplicationConfig replication;
 };
 
 /// The semi-honest Photo Sharing Platform: stores perturbed images and
@@ -94,8 +101,18 @@ class PspService {
   PspService();
   explicit PspService(const PspConfig& config);
 
-  /// Stores an uploaded perturbed image; returns its id.
+  /// Stores an uploaded perturbed image; returns its id. On a replicated
+  /// backend the upload pins its blob digest, so GC never reclaims a live
+  /// upload.
   std::string upload(const Bytes& jfif, const Bytes& public_params);
+
+  /// Deletes an uploaded image: the id stops resolving, the retained parse
+  /// and any transform result are released, and on a replicated backend the
+  /// blob digest is unpinned — the orphaned blob is reclaimed by
+  /// ReplicatedStore::gc() once the grace period elapses. Idempotence:
+  /// removing an already-removed (or unknown) id throws InvalidArgument,
+  /// same as any other lookup of it.
+  void remove(const std::string& id);
 
   /// Applies `chain` to the stored image. Lossless chains run in the
   /// coefficient domain; pixel chains decode first and deliver per `mode`.
@@ -132,12 +149,20 @@ class PspService {
   const store::BlobStore& blobs() const { return *blobs_; }
   store::TransformCache& cache() { return cache_; }
 
+  /// The replicated composite when config.backend == kReplicated (repair /
+  /// scrub / GC plumbing for the CLI and tests); nullptr otherwise.
+  store::ReplicatedStore* replicated() { return repl_; }
+
  private:
   struct Entry {
     /// Serializes apply/download/heal against this image. Held across the
     /// transform compute, so two requests for one image never race; the
     /// cache's single-flight would have serialized that compute anyway.
     mutable std::mutex mu;
+    /// Tombstone set by remove(). Entries are never erased (the map-lock /
+    /// entry-pointer stability contract above), so deletion is a flag;
+    /// atomic because entry() checks it under the map lock only.
+    std::atomic<bool> removed{false};
     Digest digest;              ///< address of the perturbed JPEG in blobs_
     std::size_t jfif_bytes = 0;
     Bytes public_params;
@@ -158,6 +183,8 @@ class PspService {
 
   PspConfig config_;
   std::unique_ptr<store::BlobStore> blobs_;
+  /// Non-owning view of blobs_ when it is the replicated composite.
+  store::ReplicatedStore* repl_ = nullptr;
   store::TransformCache cache_;
   /// Guards the map structure and next_id_; per-entry state is guarded by
   /// Entry::mu. Node-based map + no erase ⇒ entry addresses are stable.

@@ -20,6 +20,13 @@ struct ScrubReport {
   std::vector<Digest> quarantined;
   std::size_t tmp_removed = 0;        ///< stale tmp files deleted (repair)
   std::size_t quarantine_purged = 0;  ///< quarantined files deleted (repair)
+  /// Entries already in quarantine that this sweep did NOT re-verify (they
+  /// can never be served; re-reading them every pass is wasted I/O). Also
+  /// surfaced as the `store.scrub.skipped_quarantined` counter.
+  std::size_t skipped_quarantined = 0;
+  std::size_t bytes_scanned = 0;   ///< verified replica bytes read this sweep
+  std::size_t repaired = 0;        ///< divergent replicas re-published
+  std::size_t repaired_bytes = 0;  ///< bytes re-published by those repairs
 };
 
 /// Content-addressed blob storage: a blob's address IS its SHA-256 digest,
@@ -62,6 +69,12 @@ class BlobStore {
 
   /// All stored digests, sorted.
   virtual std::vector<Digest> list() const = 0;
+
+  /// Removes a blob if present; returns whether it was. This layer does no
+  /// reference counting — ReplicatedStore's refcounted gc() is the safe
+  /// entry point for reclamation; calling erase() directly on a backend
+  /// behind a composite just creates divergence for scrub to heal.
+  virtual bool erase(const Digest& digest) = 0;
 
   /// Sweeps the whole store, verifying every blob against its address and
   /// quarantining any that fail (a corrupt blob is never served again —

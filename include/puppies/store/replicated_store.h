@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "puppies/store/blob_store.h"
+
+namespace puppies::store {
+
+/// Health of one backend inside a ReplicatedStore, driven by consecutive
+/// operation failures (real I/O errors, digest mismatches, or injected
+/// `store.shard.*` faults). Any successful operation resets a backend to
+/// kUp; the scrub pass is the reinstatement path for a quarantined backend
+/// once its faults clear.
+enum class BackendHealth : std::uint8_t {
+  kUp = 0,
+  kDegraded = 1,     ///< at least one consecutive failure
+  kQuarantined = 2,  ///< failures reached `quarantine_after`; skipped on reads
+};
+
+/// Knobs for open_replicated_store(). Defaults give R=3 / W=2 over however
+/// many backends are supplied (both are clamped to the backend count).
+struct ReplicationConfig {
+  /// Copies kept per blob (R). Clamped to the number of backends.
+  int replicas = 3;
+  /// Acks required before put() acknowledges (W <= R). Replicas that missed
+  /// the write are caught by async repair and the scrub pass (anti-entropy).
+  int write_quorum = 2;
+  /// Ring points per backend. More vnodes = smoother placement spread.
+  int vnodes = 16;
+  /// Hot in-memory LRU tier budget in bytes; 0 disables the tier.
+  std::size_t hot_bytes = 0;
+  /// Consecutive failures that move a backend kDegraded -> kQuarantined.
+  int quarantine_after = 5;
+  /// Operations (put/get/pin/unpin) an orphaned digest must age before gc()
+  /// reclaims it. Op-counted, not wall-clock, so GC tests replay exactly.
+  std::uint64_t gc_grace_ops = 64;
+  /// Bounded queue of asynchronous repair tasks; overflow drops the repair
+  /// (counted) and leaves convergence to the scrub pass.
+  std::size_t repair_queue_depth = 256;
+  /// Background scrub cadence in ms; 0 disables the scheduler thread. Each
+  /// tick runs scrub_step(scrub_budget_bytes, /*repair=*/true).
+  int scrub_interval_ms = 0;
+  /// Byte budget per background scrub tick (and the conventional budget for
+  /// manual scrub_step calls); 0 = unbounded (full sweep per tick).
+  std::size_t scrub_budget_bytes = 0;
+};
+
+/// What one gc() pass found and reclaimed.
+struct GcReport {
+  std::size_t tracked = 0;    ///< digests with refcount state
+  std::size_t orphaned = 0;   ///< refcount 0 but still inside the grace period
+  std::size_t reclaimed = 0;  ///< orphans erased from every backend
+  std::size_t reclaimed_bytes = 0;
+};
+
+/// Consistent-hash sharded composite over N BlobStore backends (memory or
+/// disk, mixed) with R-way replication, quorum writes, digest-verified
+/// failover reads with asynchronous read-repair, a bounded hot in-memory
+/// LRU tier, a budgeted scrub scheduler, and refcounted GC. DESIGN.md §14.
+///
+/// Placement determinism contract: ring points are the first 8 bytes
+/// (big-endian) of sha256("ring/<backend>#<vnode>") and a blob's key is the
+/// first 8 bytes of its digest, so placement depends only on (backend
+/// count, vnodes, digest) — identical across processes, platforms, and
+/// restarts. Tests and operators can predict where every replica lives.
+class ReplicatedStore : public BlobStore {
+ public:
+  /// Takes a reference on `digest` (uploads pin what they store). pin() of
+  /// an unknown digest is allowed — the blob may arrive later.
+  virtual void pin(const Digest& digest) = 0;
+
+  /// Drops one reference. When the count reaches zero the digest becomes an
+  /// orphan and starts aging toward gc() reclamation. Unbalanced unpins are
+  /// counted (`store.repl.unpin_unbalanced`) and otherwise ignored.
+  virtual void unpin(const Digest& digest) = 0;
+
+  /// Erases every orphan whose grace period has elapsed from all backends
+  /// and the hot tier. Never-pinned blobs are never collected.
+  virtual GcReport gc() = 0;
+
+  /// One budgeted anti-entropy step: verifies every replica of each blob
+  /// (resuming from a persistent cursor, wrapping at the end) until about
+  /// `max_bytes` of replica data has been scheduled (0 = everything), and
+  /// with `repair` re-publishes good bytes over divergent replicas.
+  virtual ScrubReport scrub_step(std::size_t max_bytes,
+                                 bool repair = true) = 0;
+
+  /// Blocks until the asynchronous repair queue is empty (tests/shutdown).
+  virtual void flush_repairs() = 0;
+
+  virtual std::size_t backend_count() const = 0;
+  virtual BackendHealth backend_health(std::size_t backend) const = 0;
+
+  /// The R distinct backends holding `digest`, in ring (preference) order.
+  virtual std::vector<std::size_t> placement(const Digest& digest) const = 0;
+};
+
+/// Composes `backends` (at least one) into a ReplicatedStore. Backend order
+/// is part of the placement contract: reopening over the same backends in
+/// the same order reproduces the same ring.
+std::unique_ptr<ReplicatedStore> open_replicated_store(
+    std::vector<std::unique_ptr<BlobStore>> backends,
+    const ReplicationConfig& config = {});
+
+/// Convenience composition: `shards` disk backends under `dir`/shard-<i>.
+std::unique_ptr<ReplicatedStore> open_replicated_disk_store(
+    const std::string& dir, int shards, const ReplicationConfig& config = {});
+
+}  // namespace puppies::store

@@ -52,6 +52,38 @@ grep -q "drained" "$SMOKE_DIR/serve.log" \
   || { echo "serve did not drain cleanly"; exit 1; }
 rm -rf "$SMOKE_DIR"
 
+# Kill-one-backend chaos smoke: serve over a 3-shard replicated store with
+# one shard failing every read (injected via PUPPIES_FAULTS), then the load
+# harness with a fully raw corpus — untransformed downloads bypass the
+# transform cache, so every request exercises replica failover in the blob
+# store. bench_load's exit code asserts zero byte mismatches; the serve
+# metrics dump must record at least one read-repair.
+CHAOS_DIR=$(mktemp -d)
+PUPPIES_FAULTS="store.shard.0.get.fail=always" \
+  ./build/tools/puppies serve --port 0 --port-file "$CHAOS_DIR/port" \
+    --backend replicated --dir "$CHAOS_DIR/data" --shards 3 \
+    --replicas 3 --quorum 2 \
+    >"$CHAOS_DIR/serve.log" 2>"$CHAOS_DIR/serve.err" & CHAOS_PID=$!
+for _ in $(seq 1 100); do [ -s "$CHAOS_DIR/port" ] && break; sleep 0.1; done
+[ -s "$CHAOS_DIR/port" ] || { echo "chaos serve never wrote its port file"; exit 1; }
+( cd "$CHAOS_DIR" && "$REPO_ROOT/build/bench/bench_load" \
+    --connect "127.0.0.1:$(cat port)" --connections 4 --seconds 1 \
+    --raw 1.0 --retries 3 )
+kill -INT "$CHAOS_PID"
+wait "$CHAOS_PID"
+grep -Eq '"store\.repl\.read_repair": [1-9]' "$CHAOS_DIR/serve.err" \
+  || { echo "chaos smoke recorded no read-repair"; exit 1; }
+rm -rf "$CHAOS_DIR"
+
+# Replicated-store failure-lifecycle bench: put/get under failover, scrub
+# repair of real on-disk bit-rot, refcounted GC. Its exit code asserts byte
+# identity, post-scrub convergence, at least one read-repair, and a
+# non-empty GC reclaim.
+BENCH_STORE_DIR=$(mktemp -d)
+( cd "$BENCH_STORE_DIR" && "$REPO_ROOT/build/bench/bench_store" \
+    --blobs 24 --blob-kb 32 --gets 400 )
+rm -rf "$BENCH_STORE_DIR"
+
 # tests_chunked rides under TSan alongside the store suite: the parallel
 # restart-segment writers and the per-chunk pipeline stages are new
 # shared-state concurrency, so races there must surface as failures, not
@@ -83,4 +115,4 @@ cmake -B build-ubsan -S . -DPUPPIES_SANITIZE=undefined
 cmake --build build-ubsan -j"$(nproc)" --target tests_fuzz
 ./build-ubsan/tests/tests_fuzz
 
-echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode/tests_chunked/tests_decode + loopback serve/bench_load smoke + tests_store/tests_chunked/tests_net/tests_decode under TSan + tests_fuzz under ASan/UBSan)"
+echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode/tests_chunked/tests_decode + loopback serve/bench_load smoke + kill-one-backend chaos smoke + bench_store + tests_store/tests_chunked/tests_net/tests_decode under TSan + tests_fuzz under ASan/UBSan)"

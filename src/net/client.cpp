@@ -7,21 +7,37 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
+#include <thread>
 #include <utility>
+
+#include "puppies/common/rng.h"
+#include "puppies/metrics/metrics.h"
 
 namespace puppies::net {
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      next_request_id_(other.next_request_id_) {}
+      next_request_id_(other.next_request_id_),
+      retry_(other.retry_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      io_timeout_ms_(other.io_timeout_ms_),
+      jitter_state_(other.jitter_state_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
     next_request_id_ = other.next_request_id_;
+    retry_ = other.retry_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    io_timeout_ms_ = other.io_timeout_ms_;
+    jitter_state_ = other.jitter_state_;
   }
   return *this;
 }
@@ -53,6 +69,9 @@ void Client::connect(const std::string& host, std::uint16_t port,
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   }
   fd_ = fd;
+  host_ = host;
+  port_ = port;
+  io_timeout_ms_ = io_timeout_ms;
 }
 
 void Client::close() {
@@ -129,11 +148,57 @@ void Client::raise(Status s, const Bytes& payload) {
   throw RemoteError(message);
 }
 
+/// Decides whether a retriable failure gets another attempt and sleeps the
+/// backoff if so. False = budget or deadline exhausted, surface the error.
+bool Client::backoff(int attempt, std::uint32_t deadline_ms,
+                     double elapsed_ms) {
+  if (attempt >= retry_.retries) return false;
+  double delay = static_cast<double>(retry_.base_ms) *
+                 static_cast<double>(1u << std::min(attempt, 16));
+  delay = std::min(delay, static_cast<double>(retry_.max_backoff_ms));
+  delay *= 0.75 + 0.5 * (static_cast<double>(splitmix64(jitter_state_) >> 11) *
+                         0x1.0p-53);
+  if (deadline_ms > 0 && elapsed_ms + delay >= static_cast<double>(deadline_ms)) {
+    // Sleeping past the request deadline would trade a BUSY the caller can
+    // act on for a guaranteed kDeadlineExceeded; give up now instead.
+    metrics::counter("net.client.retry_deadline").add();
+    return false;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+  return true;
+}
+
 Client::Response Client::call_checked(Op op, const Bytes& payload,
                                       std::uint32_t deadline_ms) {
-  Response r = call(op, payload, deadline_ms);
-  if (r.status != Status::kOk) raise(r.status, r.payload);
-  return r;
+  const auto start = std::chrono::steady_clock::now();
+  for (int attempt = 0;; ++attempt) {
+    Response r;
+    std::exception_ptr transient;
+    try {
+      // A prior transient failure closed the socket; re-establish before
+      // resending (the protocol is stateless per request, so this is safe).
+      if (!connected() && !host_.empty())
+        connect(host_, port_, io_timeout_ms_);
+      r = call(op, payload, deadline_ms);
+    } catch (const TransientError&) {
+      transient = std::current_exception();
+    }
+    if (!transient) {
+      if (r.status == Status::kOk) return r;
+      // Only BUSY is worth retrying: admission pressure passes. kError /
+      // kNotFound / kDeadlineExceeded would fail identically again.
+      if (r.status != Status::kBusy) raise(r.status, r.payload);
+    }
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (!backoff(attempt, deadline_ms, elapsed_ms)) {
+      if (transient) std::rethrow_exception(transient);
+      raise(r.status, r.payload);
+    }
+    metrics::counter("net.client.retry").add();
+  }
 }
 
 std::string Client::upload(const Bytes& jfif, const Bytes& public_params,

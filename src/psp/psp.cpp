@@ -20,6 +20,9 @@ std::unique_ptr<store::BlobStore> open_backend(const PspConfig& config) {
     const char* env = std::getenv("PUPPIES_DATA_DIR");
     dir = env && *env ? env : "puppies_data";
   }
+  if (config.backend == StoreBackend::kReplicated)
+    return store::open_replicated_disk_store(dir, config.shard_count,
+                                             config.replication);
   return store::open_disk_store(dir);
 }
 
@@ -55,6 +58,7 @@ PspService::PspService() : PspService(PspConfig{}) {}
 PspService::PspService(const PspConfig& config)
     : config_(config),
       blobs_(open_backend(config)),
+      repl_(dynamic_cast<store::ReplicatedStore*>(blobs_.get())),
       cache_(config.cache_bytes) {}
 
 std::string PspService::upload(const Bytes& jfif, const Bytes& public_params) {
@@ -68,6 +72,8 @@ std::string PspService::upload(const Bytes& jfif, const Bytes& public_params) {
   jpeg::CoefficientImage parsed = parse_measured(jfif);
   auto e = std::make_unique<Entry>();
   e->digest = blobs_->put(jfif);
+  // Live uploads hold a GC reference; remove() is what drops it.
+  if (repl_) repl_->pin(e->digest);
   e->jfif_bytes = jfif.size();
   e->public_params = public_params;
   e->parsed = std::move(parsed);
@@ -84,8 +90,23 @@ std::string PspService::upload(const Bytes& jfif, const Bytes& public_params) {
 PspService::Entry& PspService::entry(const std::string& id) const {
   std::shared_lock lock(mu_);
   auto it = entries_.find(id);
-  require(it != entries_.end(), "unknown image id");
+  require(it != entries_.end() && !it->second->removed.load(),
+          "unknown image id");
   return *it->second;
+}
+
+void PspService::remove(const std::string& id) {
+  Entry& e = entry(id);
+  std::lock_guard entry_lock(e.mu);
+  require(!e.removed.load(), "unknown image id");
+  e.removed.store(true);
+  if (repl_) repl_->unpin(e.digest);
+  // Release the heavy per-image state; the tombstoned Entry itself stays
+  // (entry pointers resolved under the map lock must remain valid).
+  e.parsed = jpeg::CoefficientImage{};
+  e.public_params = Bytes{};
+  e.transformed.reset();
+  metrics::counter("psp.remove").add();
 }
 
 const Digest& PspService::digest_of(const std::string& id) const {
@@ -96,7 +117,10 @@ const Digest& PspService::digest_of(const std::string& id) const {
 
 std::size_t PspService::image_count() const {
   std::shared_lock lock(mu_);
-  return entries_.size();
+  std::size_t live = 0;
+  for (const auto& [id, e] : entries_)
+    if (!e->removed.load()) ++live;
+  return live;
 }
 
 void PspService::apply_transform(const std::string& id,
@@ -199,6 +223,9 @@ store::TransformResult PspService::compute_transform(
 void PspService::transform_entry(Entry& e, const transform::Chain& chain,
                                  DeliveryMode mode, int reencode_quality) {
   std::lock_guard entry_lock(e.mu);
+  // A remove() that raced past the id lookup (apply_transform_all batches
+  // entry pointers): deleted images are silently skipped, not transformed.
+  if (e.removed.load()) return;
   metrics::counter("psp.transform").add();
   // The reencode quality only reaches the output on the clamped-reencode
   // path; masking it elsewhere lets e.g. kCoefficients requests at
@@ -233,6 +260,7 @@ Download PspService::download(const std::string& id) {
   metrics::ScopedTimer timer(metrics::histogram("psp.download_ms"));
   Entry& e = entry(id);
   std::lock_guard entry_lock(e.mu);
+  require(!e.removed.load(), "unknown image id");
   metrics::counter("psp.download").add();
   Download d;
   d.public_params = e.public_params;
@@ -257,7 +285,12 @@ Download PspService::download(const std::string& id) {
         if (!(healed == e.digest)) {
           // The upload was not a serialize() fixpoint, so the healed copy
           // lives at its own address; repoint the entry (the content
-          // address is the name, and this is now the content).
+          // address is the name, and this is now the content) and move the
+          // GC reference with it.
+          if (repl_) {
+            repl_->pin(healed);
+            repl_->unpin(e.digest);
+          }
           e.digest = healed;
           e.jfif_bytes = d.jfif.size();
         }

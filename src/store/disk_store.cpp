@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <thread>
 #include <unordered_map>
@@ -149,9 +150,36 @@ class DiskBlobStore final : public BlobStore {
     return out;
   }
 
+  bool erase(const Digest& digest) override {
+    {
+      std::unique_lock lock(mu_);
+      auto it = index_.find(digest);
+      if (it == index_.end()) return false;
+      total_ -= it->second;
+      index_.erase(it);
+    }
+    std::error_code ignored;
+    fs::remove(blob_path(digest.to_hex()), ignored);
+    metrics::counter("store.erase").add();
+    return true;
+  }
+
   ScrubReport scrub(bool repair) override {
     metrics::ScopedTimer timer(metrics::histogram("store.scrub_ms"));
     ScrubReport report;
+    // Already-quarantined blobs are deliberately NOT re-verified: they can
+    // never be served again, so re-reading them every pass is pure wasted
+    // I/O. The ledger (rebuilt from quarantine/ file names on open) is what
+    // lets the sweep skip them; entries healed by a later re-put are live
+    // again and are walked normally below.
+    {
+      std::shared_lock lock(mu_);
+      for (const Digest& d : quarantined_)
+        if (index_.find(d) == index_.end()) ++report.skipped_quarantined;
+    }
+    if (report.skipped_quarantined)
+      metrics::counter("store.scrub.skipped_quarantined")
+          .add(report.skipped_quarantined);
     for (const Digest& d : list()) {
       ++report.checked;
       bool good = false;
@@ -171,6 +199,8 @@ class DiskBlobStore final : public BlobStore {
     if (repair) {
       report.quarantine_purged = remove_files_in(root_ / "quarantine");
       report.tmp_removed = remove_files_in(root_ / "tmp");
+      std::unique_lock lock(mu_);
+      quarantined_.clear();
     }
     metrics::counter("store.scrub").add();
     return report;
@@ -268,6 +298,7 @@ class DiskBlobStore final : public BlobStore {
       if (it == index_.end()) return false;
       total_ -= it->second;
       index_.erase(it);
+      quarantined_.insert(d);
     }
     const std::string hex = d.to_hex();
     std::error_code ec;
@@ -321,6 +352,19 @@ class DiskBlobStore final : public BlobStore {
         if (index_.emplace(d, size).second) total_ += size;
       }
     }
+    // Rebuild the quarantine ledger too, so a reopened store's scrub keeps
+    // skipping (not re-verifying) blobs an earlier process quarantined.
+    for (const fs::directory_entry& f :
+         fs::directory_iterator(root_ / "quarantine", ec)) {
+      const std::string name = f.path().filename().string();
+      if (!f.is_regular_file() || name.size() != 64 + 5 ||
+          name.substr(64) != ".blob")
+        continue;
+      try {
+        quarantined_.insert(Digest::from_hex(name.substr(0, 64)));
+      } catch (const ParseError&) {
+      }
+    }
     metrics::counter("store.open").add();
   }
 
@@ -329,6 +373,9 @@ class DiskBlobStore final : public BlobStore {
   // Mutable: get() is logically const but quarantining a corrupt blob must
   // drop it from the index so it is never served again.
   mutable std::unordered_map<Digest, std::size_t, DigestHash> index_;
+  /// Ledger of digests whose files sit in quarantine/: scrub skips these
+  /// instead of re-verifying them every pass (cleared by scrub --repair).
+  mutable std::set<Digest> quarantined_;
   mutable std::size_t total_ = 0;
   std::atomic<std::uint64_t> next_tmp_{0};
 };

@@ -67,6 +67,16 @@ class MemoryBlobStore final : public BlobStore {
     return out;
   }
 
+  bool erase(const Digest& digest) override {
+    std::unique_lock lock(mu_);
+    auto it = blobs_.find(digest);
+    if (it == blobs_.end()) return false;
+    total_ -= it->second.size();
+    blobs_.erase(it);
+    metrics::counter("store.erase").add();
+    return true;
+  }
+
   ScrubReport scrub(bool) override {
     // No disk to decay, but the contract is the same: re-verify every blob
     // against its address and drop (never serve) anything that mismatches.

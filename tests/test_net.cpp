@@ -468,6 +468,106 @@ TEST(Concurrency, DeadlineExpiryInQueue) {
   server.shutdown();
 }
 
+// ---- client retry (off by default; bounded backoff on BUSY + transient) ---
+
+TEST(Retry, BusyRetriedUntilSlotFrees) {
+  ServerConfig config;
+  config.threads = 1;
+  config.max_inflight = 1;
+  Server server(config);
+  server.start();
+  const std::string id = [&] {
+    Client setup = connect_to(server);
+    return setup.upload(corpus()[0].jfif, corpus()[0].params);
+  }();
+
+  fault::ScopedPlan stall("net.dispatch.stall=always");
+  std::thread a([&] {
+    Client ca = connect_to(server);
+    EXPECT_NO_THROW(ca.download(id));  // occupies the single slot ~100 ms
+  });
+  wait_until([&] { return server.inflight() >= 1; });
+
+  // B's first attempt is refused BUSY while A holds the slot; with retry
+  // armed the caller never sees ServerBusy — a backed-off attempt lands
+  // once the slot frees.
+  const std::uint64_t retries_before =
+      metrics::counter("net.client.retry").value();
+  Client cb = connect_to(server);
+  cb.set_retry({/*retries=*/10, /*base_ms=*/20, /*max_backoff_ms=*/100});
+  const DownloadReply d = cb.download(id);
+  EXPECT_EQ(d.jfif, corpus()[0].jfif);
+  EXPECT_GT(metrics::counter("net.client.retry").value(), retries_before);
+  a.join();
+  server.shutdown();
+}
+
+TEST(Retry, TransientDropReconnectsAndResends) {
+  const ServerConfig config;
+  Server server(config);
+  server.start();
+  // Every client stays alive until the end of the test: a closing client
+  // wakes the server's read loop, and that stray read would consume a
+  // once-armed net.read.fail before the request it is aimed at.
+  Client setup = connect_to(server);
+  const std::string id = setup.upload(corpus()[0].jfif, corpus()[0].params);
+
+  // The server drops the connection on its next read. Retry off (the
+  // default): the failure surfaces as TransientError.
+  Client plain = connect_to(server);
+  {
+    fault::ScopedPlan drop("net.read.fail=once");
+    EXPECT_THROW(plain.download(id), TransientError);
+  }
+  // Retry on: the client reconnects and resends the (idempotent) request.
+  Client retrying = connect_to(server);
+  retrying.set_retry({/*retries=*/3, /*base_ms=*/5, /*max_backoff_ms=*/50});
+  {
+    fault::ScopedPlan drop("net.read.fail=once");
+    const DownloadReply d = retrying.download(id);
+    EXPECT_EQ(d.jfif, corpus()[0].jfif);
+    EXPECT_TRUE(retrying.connected());
+  }
+  server.shutdown();
+}
+
+TEST(Retry, BackoffNeverSleepsPastTheDeadline) {
+  ServerConfig config;
+  config.threads = 1;
+  config.max_inflight = 1;
+  Server server(config);
+  server.start();
+  const std::string id = [&] {
+    Client setup = connect_to(server);
+    return setup.upload(corpus()[0].jfif, corpus()[0].params);
+  }();
+
+  fault::ScopedPlan stall("net.dispatch.stall=always");
+  std::thread a([&] {
+    Client ca = connect_to(server);
+    EXPECT_NO_THROW(ca.download(id));
+  });
+  wait_until([&] { return server.inflight() >= 1; });
+
+  // A 5 s backoff would overrun the 200 ms request deadline many times
+  // over: the client must give up immediately with the actionable BUSY
+  // instead of sleeping into a guaranteed kDeadlineExceeded.
+  const std::uint64_t gaveup_before =
+      metrics::counter("net.client.retry_deadline").value();
+  Client cb = connect_to(server);
+  cb.set_retry({/*retries=*/10, /*base_ms=*/5000, /*max_backoff_ms=*/5000});
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(cb.download(id, /*deadline_ms=*/200), ServerBusy);
+  const double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+  EXPECT_LT(elapsed_ms, 3000.0) << "client slept past the deadline";
+  EXPECT_GT(metrics::counter("net.client.retry_deadline").value(),
+            gaveup_before);
+  a.join();
+  server.shutdown();
+}
+
 // ---- fault points ---------------------------------------------------------
 
 TEST(Faults, ShortReadsAndWritesStillServeExactBytes) {

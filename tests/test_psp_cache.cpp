@@ -221,5 +221,46 @@ TEST(PspCache, DiskBackendServesUntransformedDownloadFromDisk) {
   fs::remove_all(dir);
 }
 
+TEST(PspReplicated, UploadPinsRemoveUnpinsGcReclaims) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("puppies_psp_repl_test_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  PspConfig config;
+  config.backend = StoreBackend::kReplicated;
+  config.cache_bytes = 0;
+  config.data_dir = dir.string();
+  config.shard_count = 3;
+  config.replication.gc_grace_ops = 2;
+  PspService psp(config);
+  store::ReplicatedStore* repl = psp.replicated();
+  ASSERT_NE(repl, nullptr);
+  EXPECT_EQ(repl->backend_count(), 3u);
+
+  const std::string id = psp.upload(corpus().jfifs[0], corpus().params[0]);
+  const Digest d = psp.digest_of(id);
+  // Uploads pin their blob: GC never reclaims a live image no matter how
+  // many operations age past it.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(psp.download(id).jfif, corpus().jfifs[0]);
+  EXPECT_EQ(repl->gc().reclaimed, 0u);
+  EXPECT_TRUE(repl->contains(d));
+
+  // remove() tombstones the id and unpins the blob; the orphan survives the
+  // grace period, then GC reclaims it from every shard.
+  psp.remove(id);
+  EXPECT_EQ(psp.image_count(), 0u);
+  EXPECT_THROW(psp.download(id), InvalidArgument);
+  EXPECT_THROW(psp.remove(id), InvalidArgument);
+  const std::string id2 = psp.upload(corpus().jfifs[1], corpus().params[1]);
+  for (int i = 0; i < 4; ++i) (void)psp.download(id2);  // ages the orphan
+  const store::GcReport r = repl->gc();
+  EXPECT_EQ(r.reclaimed, 1u);
+  EXPECT_FALSE(repl->contains(d));
+  // The survivor still serves byte-identically after the collection.
+  EXPECT_EQ(psp.download(id2).jfif, corpus().jfifs[1]);
+  fs::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace puppies::psp

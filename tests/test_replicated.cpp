@@ -1,0 +1,352 @@
+// ReplicatedStore suite (DESIGN.md §14): deterministic placement, quorum
+// writes with a backend down, digest-verified failover reads + async
+// read-repair, scrub convergence over real on-disk bit-rot, budgeted
+// scrub-step accounting, backend quarantine/reinstatement, the hot LRU
+// tier, and refcounted GC at the grace-period boundary. Runs in the
+// tests_store binary so the whole suite gets a TSan pass (scripts/tier1.sh).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "puppies/common/error.h"
+#include "puppies/fault/fault.h"
+#include "puppies/metrics/metrics.h"
+#include "puppies/store/replicated_store.h"
+
+namespace puppies::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+Bytes bytes_of(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+class ReplScratchDir {
+ public:
+  explicit ReplScratchDir(const char* tag)
+      : path_(fs::temp_directory_path() /
+              ("puppies_repl_test_" + std::string(tag) + "_" +
+               std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+  }
+  ~ReplScratchDir() { fs::remove_all(path_); }
+  std::string str() const { return path_.string(); }
+  const fs::path& path() const { return path_; }
+
+ private:
+  fs::path path_;
+};
+
+std::unique_ptr<ReplicatedStore> open_memory_replicated(
+    const ReplicationConfig& cfg = {}, int backends = 3) {
+  std::vector<std::unique_ptr<BlobStore>> b;
+  for (int i = 0; i < backends; ++i) b.push_back(open_memory_store());
+  return open_replicated_store(std::move(b), cfg);
+}
+
+/// Path of `d`'s replica file inside shard `i` of a replicated disk store.
+fs::path shard_blob_path(const fs::path& root, std::size_t shard,
+                         const Digest& d) {
+  const std::string hex = d.to_hex();
+  return root / ("shard-" + std::to_string(shard)) / hex.substr(0, 2) /
+         (hex + ".blob");
+}
+
+Digest sha256_of_file(const fs::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  Bytes data((std::istreambuf_iterator<char>(f)),
+             std::istreambuf_iterator<char>());
+  return sha256(data);
+}
+
+// ---- placement ------------------------------------------------------------
+
+TEST(Replicated, PlacementIsDeterministicAndDistinct) {
+  auto s1 = open_memory_replicated();
+  auto s2 = open_memory_replicated();  // an independent process stand-in
+  for (int i = 0; i < 32; ++i) {
+    const Digest d = sha256("placement probe " + std::to_string(i));
+    const std::vector<std::size_t> p = s1->placement(d);
+    ASSERT_EQ(p.size(), 3u);  // R distinct backends
+    std::vector<std::size_t> sorted = p;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    // The determinism contract: same backends + vnodes + digest = same
+    // placement, across instances (and, by construction, processes).
+    EXPECT_EQ(s2->placement(d), p);
+  }
+}
+
+TEST(Replicated, ReplicasClampToBackendCount) {
+  ReplicationConfig cfg;
+  cfg.replicas = 5;
+  cfg.write_quorum = 5;
+  auto s = open_memory_replicated(cfg, 2);
+  const Digest d = s->put(bytes_of("two copies only"));
+  EXPECT_EQ(s->placement(d).size(), 2u);
+  EXPECT_EQ(s->get(d), bytes_of("two copies only"));
+}
+
+// ---- failover + read-repair -----------------------------------------------
+
+TEST(Replicated, ReadFailoverRepairsInjectedCorruption) {
+  auto s = open_memory_replicated();
+  const Bytes data = bytes_of("three replicas, one rots");
+  const Digest d = s->put(data);
+  const std::size_t primary = s->placement(d)[0];
+
+  const std::uint64_t failover_before =
+      metrics::counter("store.repl.failover").value();
+  const std::uint64_t repaired_before =
+      metrics::counter("store.repl.repair.done").value();
+  {
+    // One corrupt read from the preferred replica: the get must fail over,
+    // still return verified bytes, and queue a repair for the bad copy.
+    fault::ScopedPlan rot("store.shard." + std::to_string(primary) +
+                          ".corrupt=once");
+    EXPECT_EQ(s->get(d), data);
+  }
+  EXPECT_GT(metrics::counter("store.repl.failover").value(), failover_before);
+  s->flush_repairs();
+  EXPECT_GT(metrics::counter("store.repl.repair.done").value(),
+            repaired_before);
+  // The fault is gone and the replica was re-published: reads are clean.
+  EXPECT_EQ(s->get(d), data);
+}
+
+TEST(Replicated, DiskBitRotHealsViaFailoverAndRepair) {
+  ReplScratchDir scratch("bitrot");
+  auto s = open_replicated_disk_store(scratch.str(), 3);
+  const Bytes data = bytes_of("bytes that will rot on one disk");
+  const Digest d = s->put(data);
+
+  // Real bit-rot: flip a byte in the preferred replica's file on disk. The
+  // backend's own get-verification catches it (quarantine + CorruptionError)
+  // and the composite fails over.
+  const std::size_t primary = s->placement(d)[0];
+  const fs::path victim = shard_blob_path(scratch.path(), primary, d);
+  ASSERT_TRUE(fs::exists(victim));
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(0);
+    f.write(&byte, 1);
+  }
+
+  EXPECT_EQ(s->get(d), data);  // failover serves verified bytes
+  s->flush_repairs();          // async repair re-publishes to the primary
+
+  // Every replica file exists again and hashes to the content address.
+  for (const std::size_t shard : s->placement(d)) {
+    const fs::path p = shard_blob_path(scratch.path(), shard, d);
+    ASSERT_TRUE(fs::exists(p)) << "shard " << shard;
+    EXPECT_EQ(sha256_of_file(p), d) << "shard " << shard;
+  }
+}
+
+// ---- quorum writes ---------------------------------------------------------
+
+TEST(Replicated, WritesSucceedAtQuorumWithBackendDown) {
+  auto s = open_memory_replicated();  // R=3, W=2
+  const Bytes data = bytes_of("quorum write survives one loss");
+  const Digest expect = sha256(data);
+  const std::size_t down = s->placement(expect)[0];
+
+  fault::ScopedPlan dead("store.shard." + std::to_string(down) +
+                         ".put.fail=always,store.repair.fail=always");
+  const std::uint64_t partial_before =
+      metrics::counter("store.repl.put_partial").value();
+  EXPECT_EQ(s->put(data), expect);  // 2/3 acks >= W=2
+  EXPECT_GT(metrics::counter("store.repl.put_partial").value(),
+            partial_before);
+  EXPECT_EQ(s->get(expect), data);
+  s->flush_repairs();  // repairs are blocked too; convergence waits for scrub
+
+  // With the fault still armed, scrub cannot republish to the dead backend
+  // (shard_put is the funnel) but must not lose the blob either.
+  const ScrubReport degraded = s->scrub(/*repair=*/true);
+  EXPECT_EQ(degraded.checked, 1u);
+  EXPECT_TRUE(degraded.quarantined.empty());
+}
+
+TEST(Replicated, QuorumNotMetThrowsAndScrubConvergesAfter) {
+  ReplicationConfig cfg;
+  cfg.write_quorum = 3;  // strict: all three replicas must ack
+  auto s = open_memory_replicated(cfg);
+  const Bytes data = bytes_of("strict quorum");
+  const Digest expect = sha256(data);
+  const std::size_t down = s->placement(expect)[0];
+  {
+    fault::ScopedPlan dead("store.shard." + std::to_string(down) +
+                           ".put.fail=always");
+    EXPECT_THROW(s->put(data), TransientError);
+  }
+  // Fault cleared: the same put succeeds and every replica verifies.
+  EXPECT_EQ(s->put(data), expect);
+  const ScrubReport report = s->scrub(/*repair=*/false);
+  EXPECT_EQ(report.ok, report.checked);
+}
+
+// ---- backend health --------------------------------------------------------
+
+TEST(Replicated, QuarantineAfterConsecutiveFailuresAndScrubReinstates) {
+  ReplicationConfig cfg;
+  cfg.quarantine_after = 3;
+  auto s = open_memory_replicated(cfg);
+  const Bytes data = bytes_of("health probe");
+  const Digest d = s->put(data);
+  const std::size_t sick = s->placement(d)[0];
+  EXPECT_EQ(s->backend_health(sick), BackendHealth::kUp);
+  {
+    // Reads AND repair writes fail: after `quarantine_after` consecutive
+    // read failures the backend is quarantined (repairs may not reinstate
+    // it because they fail too).
+    fault::ScopedPlan dead("store.shard." + std::to_string(sick) +
+                           ".get.fail=always,store.shard." +
+                           std::to_string(sick) + ".put.fail=always");
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(s->get(d), data);
+    s->flush_repairs();
+    EXPECT_EQ(s->backend_health(sick), BackendHealth::kQuarantined);
+    // Quarantined backends are demoted, not dropped: reads still work.
+    EXPECT_EQ(s->get(d), data);
+  }
+  // Faults cleared: the scrub pass is the reinstatement path.
+  const ScrubReport report = s->scrub(/*repair=*/true);
+  EXPECT_EQ(report.ok + report.repaired, report.checked);
+  EXPECT_EQ(s->backend_health(sick), BackendHealth::kUp);
+}
+
+// ---- scrub budget ----------------------------------------------------------
+
+TEST(Replicated, ScrubStepBudgetAndCursorCoverEverything) {
+  auto s = open_memory_replicated();  // R=3
+  constexpr std::size_t kBlob = 1000;
+  for (int i = 0; i < 6; ++i) {
+    Bytes data(kBlob, static_cast<std::uint8_t>(i + 1));
+    data[0] = static_cast<std::uint8_t>(i);  // distinct content
+    s->put(data);
+  }
+  // Budget = 3 blobs x 3 replicas x 1000 bytes: each step verifies exactly
+  // three blobs and accounts exactly the replica bytes it read.
+  const ScrubReport s1 = s->scrub_step(9000, /*repair=*/true);
+  EXPECT_EQ(s1.checked, 3u);
+  EXPECT_EQ(s1.bytes_scanned, 9000u);
+  EXPECT_EQ(s1.ok, 3u);
+  const ScrubReport s2 = s->scrub_step(9000, true);
+  EXPECT_EQ(s2.checked, 3u);
+  EXPECT_EQ(s2.bytes_scanned, 9000u);
+  // The cursor wrapped: a third step re-verifies from the start rather
+  // than going idle.
+  const ScrubReport s3 = s->scrub_step(9000, true);
+  EXPECT_EQ(s3.checked, 3u);
+  // An unbudgeted step sweeps the whole keyspace in one go.
+  const ScrubReport full = s->scrub_step(0, true);
+  EXPECT_EQ(full.checked, 6u);
+  EXPECT_EQ(full.bytes_scanned, 18000u);
+}
+
+// ---- hot tier --------------------------------------------------------------
+
+TEST(Replicated, HotTierServesRepeatsAndEvictsLru) {
+  ReplicationConfig cfg;
+  cfg.hot_bytes = 2500;  // fits two 1000-byte blobs, not three
+  auto s = open_memory_replicated(cfg);
+  const Bytes a(1000, 0xaa), b(1000, 0xbb), c(1000, 0xcc);
+  const Digest da = s->put(a), db = s->put(b), dc = s->put(c);
+
+  const std::uint64_t hits_before =
+      metrics::counter("store.repl.hot_hit").value();
+  const std::uint64_t evicts_before =
+      metrics::counter("store.repl.hot_evict").value();
+  EXPECT_EQ(s->get(da), a);  // miss, fills the tier
+  EXPECT_EQ(s->get(da), a);  // hit
+  EXPECT_GT(metrics::counter("store.repl.hot_hit").value(), hits_before);
+  EXPECT_EQ(s->get(db), b);
+  EXPECT_EQ(s->get(dc), c);  // over budget: LRU (a) evicted
+  EXPECT_GT(metrics::counter("store.repl.hot_evict").value(), evicts_before);
+  // Evicted is not gone — it just refills from the backends.
+  EXPECT_EQ(s->get(da), a);
+}
+
+// ---- refcounted GC ---------------------------------------------------------
+
+TEST(Replicated, GcReclaimsOrphansOnlyAfterGracePeriod) {
+  ReplicationConfig cfg;
+  cfg.gc_grace_ops = 3;
+  auto s = open_memory_replicated(cfg);
+  const Bytes data = bytes_of("orphan-to-be");
+  const Digest d = s->put(data);  // op 1
+  s->pin(d);                      // op 2
+  s->unpin(d);                    // op 3: orphaned at op 3
+
+  GcReport r = s->gc();  // age 0 < grace
+  EXPECT_EQ(r.reclaimed, 0u);
+  EXPECT_EQ(r.orphaned, 1u);
+  EXPECT_TRUE(s->contains(d));
+
+  (void)s->get(d);       // op 4
+  (void)s->get(d);       // op 5: age 2, still inside the grace period
+  r = s->gc();
+  EXPECT_EQ(r.reclaimed, 0u);
+  EXPECT_TRUE(s->contains(d));
+
+  (void)s->get(d);       // op 6: age 3 == grace — reclaimable
+  r = s->gc();
+  EXPECT_EQ(r.reclaimed, 1u);
+  EXPECT_EQ(r.reclaimed_bytes, data.size());
+  EXPECT_FALSE(s->contains(d));
+  EXPECT_THROW(s->get(d), InvalidArgument);
+}
+
+TEST(Replicated, GcNeverTouchesPinnedOrNeverPinnedBlobs) {
+  ReplicationConfig cfg;
+  cfg.gc_grace_ops = 1;
+  auto s = open_memory_replicated(cfg);
+  const Digest pinned = s->put(bytes_of("still referenced"));
+  s->pin(pinned);
+  const Digest unpinned_ever = s->put(bytes_of("no refcount state"));
+  for (int i = 0; i < 8; ++i) (void)s->get(pinned);  // plenty of op aging
+  const GcReport r = s->gc();
+  EXPECT_EQ(r.reclaimed, 0u);
+  EXPECT_TRUE(s->contains(pinned));
+  EXPECT_TRUE(s->contains(unpinned_ever));
+}
+
+TEST(Replicated, RePinDuringGraceCancelsReclamation) {
+  ReplicationConfig cfg;
+  cfg.gc_grace_ops = 2;
+  auto s = open_memory_replicated(cfg);
+  const Digest d = s->put(bytes_of("rescued"));
+  s->pin(d);
+  s->unpin(d);
+  s->pin(d);  // re-referenced before the grace elapsed
+  for (int i = 0; i < 8; ++i) (void)s->get(d);
+  EXPECT_EQ(s->gc().reclaimed, 0u);
+  EXPECT_TRUE(s->contains(d));
+}
+
+// ---- reopen ----------------------------------------------------------------
+
+TEST(Replicated, ReopenRecoversUnionOfShardIndexes) {
+  ReplScratchDir scratch("reopen");
+  const Bytes a = bytes_of("first"), b = bytes_of("second");
+  Digest da, db;
+  {
+    auto s = open_replicated_disk_store(scratch.str(), 3);
+    da = s->put(a);
+    db = s->put(b);
+  }
+  auto s = open_replicated_disk_store(scratch.str(), 3);
+  EXPECT_EQ(s->count(), 2u);
+  EXPECT_EQ(s->get(da), a);
+  EXPECT_EQ(s->get(db), b);
+  // Same shards, same order: placement survives the restart byte-for-byte.
+  EXPECT_EQ(s->placement(da).size(), 3u);
+}
+
+}  // namespace
+}  // namespace puppies::store

@@ -11,6 +11,7 @@
 #include "puppies/jpeg/codec.h"
 #include "puppies/metrics/metrics.h"
 #include "puppies/store/blob_store.h"
+#include "puppies/store/replicated_store.h"
 #include "puppies/store/transform_cache.h"
 #include "puppies/synth/synth.h"
 
@@ -43,7 +44,15 @@ class ScratchDir {
 class BlobStoreContract : public ::testing::TestWithParam<const char*> {
  protected:
   std::unique_ptr<BlobStore> open() {
-    if (std::string(GetParam()) == "memory") return open_memory_store();
+    const std::string which = GetParam();
+    if (which == "memory") return open_memory_store();
+    if (which == "replicated") {
+      // The composite must honor the same contract as the single-node
+      // backends it wraps: R=3 over three memory stores.
+      std::vector<std::unique_ptr<BlobStore>> backends;
+      for (int i = 0; i < 3; ++i) backends.push_back(open_memory_store());
+      return open_replicated_store(std::move(backends));
+    }
     return open_disk_store(scratch_.str());
   }
   ScratchDir scratch_{"contract"};
@@ -98,8 +107,23 @@ TEST_P(BlobStoreContract, ConcurrentPutsOfSameContentKeepOneBlob) {
   EXPECT_EQ(s->get(sha256(data)), data);
 }
 
+TEST_P(BlobStoreContract, EraseRemovesBlobAndIsIdempotent) {
+  auto s = open();
+  const Bytes keep = bytes_of("survivor");
+  const Bytes gone = bytes_of("reclaim me");
+  const Digest dk = s->put(keep);
+  const Digest dg = s->put(gone);
+  EXPECT_TRUE(s->erase(dg));
+  EXPECT_FALSE(s->erase(dg));  // second erase reports absence
+  EXPECT_FALSE(s->contains(dg));
+  EXPECT_THROW(s->get(dg), InvalidArgument);
+  EXPECT_EQ(s->count(), 1u);
+  EXPECT_EQ(s->total_bytes(), keep.size());
+  EXPECT_EQ(s->get(dk), keep);  // neighbors untouched
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, BlobStoreContract,
-                         ::testing::Values("memory", "disk"),
+                         ::testing::Values("memory", "disk", "replicated"),
                          [](const auto& info) { return info.param; });
 
 TEST(DiskStore, ReopenRebuildsIndexFromDirectory) {

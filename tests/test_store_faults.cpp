@@ -251,6 +251,45 @@ TEST(StoreFaults, ScrubQuarantinesRottenBlobsAndRepairPurges) {
   EXPECT_TRUE(dir_is_empty(scratch.path() / "quarantine"));
 }
 
+// --- Satellite: entries already sitting in quarantine are skipped by the
+// verification sweep (they can never be served; re-reading them every pass
+// is wasted I/O) and the skips are accounted.
+
+TEST(StoreFaults, ScrubSkipsAlreadyQuarantinedEntries) {
+  ScratchDir scratch("skipq");
+  auto s = open_disk_store(scratch.str());
+  const Digest keep = s->put(bytes_of("healthy"));
+  const Digest rot = s->put(bytes_of("decaying"));
+  std::ofstream(blob_file(scratch.path(), rot),
+                std::ios::binary | std::ios::app)
+      << "bitrot";
+
+  // First sweep quarantines the rotten blob; nothing was skipped yet.
+  const ScrubReport first = s->scrub(false);
+  EXPECT_EQ(first.quarantined.size(), 1u);
+  EXPECT_EQ(first.skipped_quarantined, 0u);
+
+  // Second verify-only sweep: the quarantined entry is skipped, counted in
+  // the report and the store.scrub.skipped_quarantined counter — not
+  // re-read, not re-quarantined.
+  const std::uint64_t counter_before =
+      metrics::counter("store.scrub.skipped_quarantined").value();
+  const ScrubReport second = s->scrub(false);
+  EXPECT_EQ(second.checked, 1u);
+  EXPECT_EQ(second.ok, 1u);
+  EXPECT_TRUE(second.quarantined.empty());
+  EXPECT_EQ(second.skipped_quarantined, 1u);
+  EXPECT_EQ(metrics::counter("store.scrub.skipped_quarantined").value(),
+            counter_before + 1);
+
+  // A repair sweep purges the quarantine; afterwards there is nothing left
+  // to skip.
+  (void)s->scrub(true);
+  const ScrubReport after = s->scrub(false);
+  EXPECT_EQ(after.skipped_quarantined, 0u);
+  EXPECT_TRUE(s->contains(keep));
+}
+
 TEST(StoreFaults, MemoryStoreScrubEvictsCorruptEntries) {
   auto s = open_memory_store();
   const Bytes data = bytes_of("in memory");

@@ -10,13 +10,16 @@
 //           [--restart N]
 //   puppies inspect <in.jpg> [<in.pub>]
 //   puppies attack <in.jpg> <in.pub> <out.ppm> --method inference|inpaint|pca
-//   puppies store put <file>... [--dir DIR]
-//   puppies store get <digest> <out> [--dir DIR]
-//   puppies store stats [--json] [--dir DIR]
-//   puppies store scrub [--repair] [--json] [--dir DIR]
+//   puppies store put <file>... [--dir DIR] [--shards N]
+//   puppies store get <digest> <out> [--dir DIR] [--shards N]
+//   puppies store stats [--json] [--dir DIR] [--shards N]
+//   puppies store scrub [--repair] [--json] [--dir DIR] [--shards N]
+//   puppies store gc [--json] [--dir DIR] --shards N [--gc-grace N]
 //   puppies serve [--port N] [--host H] [--max-inflight N] [--deadline-ms N]
-//          [--max-request-bytes N] [--backend memory|disk] [--dir DIR]
-//          [--port-file PATH]
+//          [--max-request-bytes N] [--backend memory|disk|replicated]
+//          [--dir DIR] [--shards N] [--replicas R] [--quorum W]
+//          [--hot-bytes N] [--gc-grace N] [--scrub-interval-ms N]
+//          [--scrub-budget-bytes N] [--port-file PATH]
 //
 // Images are PPM on the pixel side and baseline JPEG (this codec) on the
 // shared side; keys are 64-hex-char files produced by `keygen`. The store
@@ -24,6 +27,9 @@
 // is --dir, else $PUPPIES_DATA_DIR, else ./puppies_data. `store scrub`
 // re-verifies every blob against its address and quarantines mismatches;
 // --repair additionally purges the quarantine area and stale temp files.
+// --shards N switches the store commands to the replicated composite over
+// N disk shards under --dir (DESIGN.md §14): scrub then verifies and
+// repairs replica divergence, and `store gc` reclaims unpinned orphans.
 // The global --faults flag (equivalently PUPPIES_FAULTS) arms deterministic
 // fault injection for robustness testing, e.g.
 // --faults "store.put.write=once,store.get.read=p:0.3:7" (DESIGN.md §9).
@@ -51,6 +57,7 @@
 #include "puppies/net/server.h"
 #include "puppies/roi/detect.h"
 #include "puppies/store/blob_store.h"
+#include "puppies/store/replicated_store.h"
 #include "puppies/synth/synth.h"
 
 using namespace puppies;
@@ -73,14 +80,17 @@ namespace {
                "  puppies inspect <in.jpg> [<in.pub>]\n"
                "  puppies attack <in.jpg> <in.pub> <out.ppm> --method "
                "inference|inpaint|pca\n"
-               "  puppies store put <file>... [--dir DIR]\n"
-               "  puppies store get <digest> <out> [--dir DIR]\n"
-               "  puppies store stats [--json] [--dir DIR]\n"
-               "  puppies store scrub [--repair] [--json] [--dir DIR]\n"
+               "  puppies store put <file>... [--dir DIR] [--shards N]\n"
+               "  puppies store get <digest> <out> [--dir DIR] [--shards N]\n"
+               "  puppies store stats [--json] [--dir DIR] [--shards N]\n"
+               "  puppies store scrub [--repair] [--json] [--dir DIR] [--shards N]\n"
+               "  puppies store gc [--json] [--dir DIR] --shards N [--gc-grace N]\n"
                "  puppies serve [--port N] [--host H] [--max-inflight N]\n"
                "          [--deadline-ms N] [--max-request-bytes N]\n"
-               "          [--backend memory|disk] [--dir DIR]\n"
-               "          [--port-file PATH]\n"
+               "          [--backend memory|disk|replicated] [--dir DIR]\n"
+               "          [--shards N] [--replicas R] [--quorum W]\n"
+               "          [--hot-bytes N] [--gc-grace N] [--scrub-interval-ms N]\n"
+               "          [--scrub-budget-bytes N] [--port-file PATH]\n"
                "\n"
                "global options:\n"
                "  --threads N   worker threads for parallel stages (default:\n"
@@ -98,8 +108,13 @@ namespace {
                "store options:\n"
                "  --dir DIR     blob directory (default: PUPPIES_DATA_DIR env\n"
                "                var, else ./puppies_data)\n"
-               "  --json        stats/scrub report as JSON\n"
+               "  --json        stats/scrub/gc report as JSON\n"
                "  --repair      scrub also purges quarantine/ and stale tmp files\n"
+               "  --shards N    replicated composite over N disk shards under\n"
+               "                --dir (DESIGN.md \xc2\xa714); enables `store gc`\n"
+               "  --replicas R / --quorum W   copies per blob and write acks\n"
+               "                required (defaults 3 / 2, clamped to N)\n"
+               "  --gc-grace N  operations an orphan ages before gc reclaims it\n"
                "\n"
                "serve options (DESIGN.md \xc2\xa712):\n"
                "  --port N      TCP port; 0 (default) picks an ephemeral port\n"
@@ -110,8 +125,14 @@ namespace {
                "  --max-request-bytes N  request payload cap enforced before\n"
                "                allocation (default derived from\n"
                "                PUPPIES_MAX_PIXELS: 3 bytes/pixel + 1 MiB)\n"
-               "  --backend B   memory (default) or disk (content-addressed\n"
-               "                blobs under --dir)\n"
+               "  --backend B   memory (default), disk (content-addressed\n"
+               "                blobs under --dir), or replicated (R-way\n"
+               "                replication over --shards disk shards under\n"
+               "                --dir, with failover reads + read-repair)\n"
+               "  --shards/--replicas/--quorum/--hot-bytes/--gc-grace/\n"
+               "  --scrub-interval-ms/--scrub-budget-bytes   replicated-store\n"
+               "                knobs (DESIGN.md \xc2\xa714); the scrub pair arms\n"
+               "                the background anti-entropy scheduler\n"
                "  --port-file PATH   write the bound port to PATH once\n"
                "                listening (scripts wait on this)\n"
                "  dispatcher threads follow the global --threads flag;\n"
@@ -411,15 +432,30 @@ int cmd_store(std::vector<std::string> args) {
   std::string dir;
   bool json = false;
   bool repair = false;
+  int shards = 0;
+  store::ReplicationConfig repl_cfg;
   std::vector<std::string> positional;
   for (std::size_t i = 0; i < args.size(); ++i) {
+    auto next = [&]() -> std::string {
+      if (i + 1 >= args.size())
+        usage(("missing value after " + args[i]).c_str());
+      return args[++i];
+    };
     if (args[i] == "--dir") {
-      if (i + 1 >= args.size()) usage("missing value after --dir");
-      dir = args[++i];
+      dir = next();
     } else if (args[i] == "--json") {
       json = true;
     } else if (args[i] == "--repair") {
       repair = true;
+    } else if (args[i] == "--shards") {
+      shards = std::stoi(next());
+    } else if (args[i] == "--replicas") {
+      repl_cfg.replicas = std::stoi(next());
+    } else if (args[i] == "--quorum") {
+      repl_cfg.write_quorum = std::stoi(next());
+    } else if (args[i] == "--gc-grace") {
+      repl_cfg.gc_grace_ops =
+          static_cast<std::uint64_t>(std::stoull(next()));
     } else {
       positional.push_back(args[i]);
     }
@@ -428,10 +464,21 @@ int cmd_store(std::vector<std::string> args) {
     const char* env = std::getenv("PUPPIES_DATA_DIR");
     dir = env && *env ? env : "puppies_data";
   }
-  if (positional.empty()) usage("store needs put|get|stats");
+  if (positional.empty()) usage("store needs put|get|stats|scrub|gc");
   const std::string sub = positional[0];
   positional.erase(positional.begin());
-  const auto blobs = store::open_disk_store(dir);
+  // --shards N opens the replicated composite over N disk shards under
+  // --dir (same layout `serve --backend replicated` uses); otherwise the
+  // plain single-directory disk store.
+  std::unique_ptr<store::BlobStore> blobs;
+  store::ReplicatedStore* repl = nullptr;
+  if (shards > 0) {
+    auto replicated = store::open_replicated_disk_store(dir, shards, repl_cfg);
+    repl = replicated.get();
+    blobs = std::move(replicated);
+  } else {
+    blobs = store::open_disk_store(dir);
+  }
 
   if (sub == "put") {
     if (positional.empty()) usage("store put needs <file>...");
@@ -439,6 +486,7 @@ int cmd_store(std::vector<std::string> args) {
       const Digest d = blobs->put(read_file(path));
       std::printf("%s  %s\n", d.to_hex().c_str(), path.c_str());
     }
+    if (repl) repl->flush_repairs();
     return 0;
   }
   if (sub == "get") {
@@ -450,12 +498,23 @@ int cmd_store(std::vector<std::string> args) {
   }
   if (sub == "stats") {
     if (!positional.empty()) usage("store stats takes no extra arguments");
+    std::string backends_json;
+    if (repl) {
+      static const char* kHealthNames[] = {"up", "degraded", "quarantined"};
+      for (std::size_t b = 0; b < repl->backend_count(); ++b) {
+        backends_json += backends_json.empty() ? "\"" : ", \"";
+        backends_json +=
+            kHealthNames[static_cast<int>(repl->backend_health(b))];
+        backends_json += "\"";
+      }
+    }
     if (json) {
       std::printf("{\"dir\": \"%s\", \"blobs\": %zu, \"bytes\": %zu,\n"
+                  "\"backend_health\": [%s],\n"
                   "\"simd_tier\": \"%.*s\",\n"
                   "\"metrics\": %s}\n",
                   json_escape(dir).c_str(), blobs->count(),
-                  blobs->total_bytes(),
+                  blobs->total_bytes(), backends_json.c_str(),
                   static_cast<int>(
                       kernels::to_string(kernels::active_tier()).size()),
                   kernels::to_string(kernels::active_tier()).data(),
@@ -466,6 +525,26 @@ int cmd_store(std::vector<std::string> args) {
                   static_cast<int>(
                       kernels::to_string(kernels::active_tier()).size()),
                   kernels::to_string(kernels::active_tier()).data());
+      if (repl)
+        std::printf("  replicated: %zu backends [%s]\n", repl->backend_count(),
+                    backends_json.c_str());
+    }
+    return 0;
+  }
+  if (sub == "gc") {
+    if (!positional.empty()) usage("store gc takes no extra arguments");
+    if (!repl) usage("store gc needs --shards N (replicated store only)");
+    const store::GcReport r = repl->gc();
+    if (json) {
+      std::printf("{\"dir\": \"%s\", \"tracked\": %zu, \"orphaned\": %zu,\n"
+                  "\"reclaimed\": %zu, \"reclaimed_bytes\": %zu}\n",
+                  json_escape(dir).c_str(), r.tracked, r.orphaned, r.reclaimed,
+                  r.reclaimed_bytes);
+    } else {
+      std::printf("%s: gc tracked %zu digests, %zu aging orphans, reclaimed "
+                  "%zu (%zu bytes)\n",
+                  dir.c_str(), r.tracked, r.orphaned, r.reclaimed,
+                  r.reclaimed_bytes);
     }
     return 0;
   }
@@ -479,13 +558,21 @@ int cmd_store(std::vector<std::string> args) {
       for (std::size_t i = 0; i < r.quarantined.size(); ++i)
         std::printf("%s\"%s\"", i ? ", " : "",
                     r.quarantined[i].to_hex().c_str());
-      std::printf("],\n\"tmp_removed\": %zu, \"quarantine_purged\": %zu}\n",
-                  r.tmp_removed, r.quarantine_purged);
+      std::printf("],\n\"tmp_removed\": %zu, \"quarantine_purged\": %zu,\n"
+                  "\"skipped_quarantined\": %zu, \"bytes_scanned\": %zu,\n"
+                  "\"repaired\": %zu, \"repaired_bytes\": %zu}\n",
+                  r.tmp_removed, r.quarantine_purged, r.skipped_quarantined,
+                  r.bytes_scanned, r.repaired, r.repaired_bytes);
     } else {
-      std::printf("%s: scrubbed %zu blobs, %zu ok, %zu quarantined\n",
-                  dir.c_str(), r.checked, r.ok, r.quarantined.size());
+      std::printf("%s: scrubbed %zu blobs, %zu ok, %zu quarantined, "
+                  "%zu skipped (already quarantined)\n",
+                  dir.c_str(), r.checked, r.ok, r.quarantined.size(),
+                  r.skipped_quarantined);
       for (const Digest& d : r.quarantined)
         std::printf("  quarantined %s\n", d.to_hex().c_str());
+      if (r.repaired)
+        std::printf("  repaired %zu divergent replicas (%zu bytes)\n",
+                    r.repaired, r.repaired_bytes);
       if (repair)
         std::printf("  repair: removed %zu tmp files, purged %zu from "
                     "quarantine\n",
@@ -526,10 +613,27 @@ int cmd_serve(std::vector<std::string> args) {
         config.psp.backend = psp::StoreBackend::kMemory;
       else if (b == "disk")
         config.psp.backend = psp::StoreBackend::kDisk;
+      else if (b == "replicated")
+        config.psp.backend = psp::StoreBackend::kReplicated;
       else
-        usage("bad --backend, expected memory|disk");
+        usage("bad --backend, expected memory|disk|replicated");
     } else if (a == "--dir")
       config.psp.data_dir = next();
+    else if (a == "--shards")
+      config.psp.shard_count = std::stoi(next());
+    else if (a == "--replicas")
+      config.psp.replication.replicas = std::stoi(next());
+    else if (a == "--quorum")
+      config.psp.replication.write_quorum = std::stoi(next());
+    else if (a == "--hot-bytes")
+      config.psp.replication.hot_bytes = std::stoull(next());
+    else if (a == "--gc-grace")
+      config.psp.replication.gc_grace_ops =
+          static_cast<std::uint64_t>(std::stoull(next()));
+    else if (a == "--scrub-interval-ms")
+      config.psp.replication.scrub_interval_ms = std::stoi(next());
+    else if (a == "--scrub-budget-bytes")
+      config.psp.replication.scrub_budget_bytes = std::stoull(next());
     else if (a == "--port-file")
       port_file = next();
     else
@@ -546,7 +650,9 @@ int cmd_serve(std::vector<std::string> args) {
               config.max_inflight, config.deadline_ms,
               net::resolve_max_request_bytes(config),
               config.psp.backend == psp::StoreBackend::kDisk ? "disk"
-                                                             : "memory");
+              : config.psp.backend == psp::StoreBackend::kReplicated
+                  ? "replicated"
+                  : "memory");
   std::fflush(stdout);
   if (!port_file.empty()) {
     // Written after listen succeeds: a script that waits for this file can
