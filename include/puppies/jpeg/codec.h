@@ -89,6 +89,37 @@ struct ParseStats {
   bool parallel = false;
 };
 
+/// One restart segment's byte range within an entropy-coded scan:
+/// [begin, end) holds the segment's entropy bytes; the RSTn marker (or the
+/// scan-terminating marker) sits at `end`.
+struct ScanSegment {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// The retained source-scan context serialize_delta copies clean segments
+/// from: the entropy bytes of a previously parsed (or serialized) stream,
+/// its restart cadence, the per-segment byte ranges, and whether the scan
+/// was coded with exactly the Annex K standard tables serialize() assigns in
+/// HuffmanMode::kStandard. parse() fills one on request whenever the scan's
+/// restart structure partitions cleanly (DESIGN.md §15).
+struct ScanSource {
+  int restart_interval = 0;           ///< MCUs per segment (DRI value)
+  Bytes entropy;                      ///< scan bytes, RSTn markers included
+  std::vector<ScanSegment> segments;  ///< byte ranges within `entropy`
+  /// True iff every component's DC and AC spec equals the standard spec
+  /// serialize() would assign it (luma tables for component 0, chroma for
+  /// the rest) — the table-compatibility precondition of the delta path.
+  bool standard_tables = false;
+  // Geometry the entropy bytes encode; a delta target must match exactly.
+  int width = 0;
+  int height = 0;
+  int components = 0;
+  ChromaMode chroma = ChromaMode::k444;
+
+  bool valid() const { return restart_interval > 0 && !segments.empty(); }
+};
+
 /// Parses a JFIF stream produced by serialize() (baseline, 4:4:4 or gray).
 /// Malformed or hostile input throws ParseError — never anything else, and
 /// never an unbounded allocation: SOF dimensions whose pixel footprint
@@ -100,16 +131,53 @@ struct ParseStats {
 /// marker-aware segment scanner cannot cleanly partition falls back to the
 /// serial decoder, so output bytes and error taxonomy are identical to a
 /// serial decode at any thread count.
+///
+/// A non-null `source` is filled with the scan's delta-serving context
+/// (entropy bytes + segment table) when the stream has a restart interval
+/// and its markers partition cleanly; otherwise it is left !valid(). Purely
+/// an extra retained output — the parse result never depends on it.
 CoefficientImage parse(std::span<const std::uint8_t> data,
-                       ParseStats* stats = nullptr);
+                       ParseStats* stats = nullptr,
+                       ScanSource* source = nullptr);
 
-/// One restart segment's byte range within an entropy-coded scan:
-/// [begin, end) holds the segment's entropy bytes; the RSTn marker (or the
-/// scan-terminating marker) sits at `end`.
-struct ScanSegment {
-  std::size_t begin = 0;
-  std::size_t end = 0;
+/// What serialize_delta did with each restart segment.
+struct DeltaStats {
+  int segments_total = 0;
+  int segments_copied = 0;     ///< clean: entropy bytes copied verbatim
+  int segments_reencoded = 0;  ///< dirty: entropy-coded on the exec pool
+  /// True iff a precondition miss routed the call through full serialize().
+  bool fallback = false;
 };
+
+/// Incremental re-encode (DESIGN.md §15): entropy-codes only the restart
+/// segments `dirty` touches and copies every clean segment's bytes verbatim
+/// from `src`, splicing segment·RSTn in scan order under freshly written
+/// headers. Requires HuffmanMode::kStandard, opts.restart_interval ==
+/// src.restart_interval > 0, a standard-table source, matching geometry, and
+/// a `dirty` set sized to this image's MCU grid; ANY precondition miss falls
+/// back to serialize() (same bytes, full cost) and reports
+/// DeltaStats::fallback.
+///
+/// Contract: the result always parses back to `coeffs` exactly. When `src`
+/// holds canonical entropy bytes — produced by this library's serialize()
+/// for coefficients that equal `coeffs` on every clean segment — the result
+/// is byte-identical to a full serialize(coeffs, opts) at every thread count
+/// and SIMD tier (DC predictors reset at each RSTn and BitWriter pads
+/// flush() with 1-bits, so a segment's bytes depend only on its own
+/// coefficients; tests_delta differences the two paths).
+Bytes serialize_delta(const CoefficientImage& coeffs,
+                      const EncodeOptions& opts, const ScanSource& src,
+                      const DirtyMcuSet& dirty, const ScanIndex* scan = nullptr,
+                      EncodeStats* stats = nullptr,
+                      DeltaStats* delta_stats = nullptr);
+
+/// Marks every MCU whose coefficients differ between `a` and `b` into
+/// `dirty` (reset to the shared grid first). Requires identical geometry.
+/// This is the diff that feeds serialize_delta when a transform recomputed
+/// coefficients wholesale — e.g. the identity-fold recompress round trip,
+/// where most blocks survive bit-exactly and only clamped ROIs change.
+void diff_dirty_mcus(const CoefficientImage& a, const CoefficientImage& b,
+                     DirtyMcuSet& dirty);
 
 /// Marker-aware partition of an entropy-coded byte range at its RSTn
 /// boundaries: O(bytes), stuffed-0xFF-safe, no entropy decoding. Returns
@@ -129,8 +197,19 @@ bool parallel_decode_enabled();
 /// Overrides the knob at runtime; pass -1 to restore env/default resolution.
 void set_parallel_decode_enabled(int enabled);
 
+/// Enables/disables the delta re-encode path (default on; the PUPPIES_DELTA
+/// environment variable set to "0" disables it). When off, serialize_delta
+/// routes straight to serialize() — output bytes are identical either way,
+/// so benches toggle it to difference delta-on vs delta-off serving.
+bool delta_reencode_enabled();
+
+/// Overrides the knob at runtime; pass -1 to restore env/default resolution.
+void set_delta_reencode_enabled(int enabled);
+
 /// Decoder allocation guard: the largest width*height (in pixels) parse()
-/// will accept from an SOF header. Default 100'000'000 (100 MP), overridable
+/// will accept from an SOF header. Default 1'000'000'000 (1 GP — both codec
+/// directions stream MCU-row bands, so pixel scratch stays O(width × chunk
+/// rows) and only the coefficient planes scale with the image), overridable
 /// with the PUPPIES_MAX_PIXELS environment variable; a crafted 65535x65535
 /// header would otherwise commit the decoder to multi-GB coefficient
 /// buffers before a single MCU is decoded.

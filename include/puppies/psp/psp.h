@@ -67,6 +67,14 @@ struct PspConfig {
   /// is deliberately NOT part of the transform cache key and cached
   /// digests survive any setting.
   int chunk_mcu_rows = 0;
+  /// Restart interval (MCUs) for every serving-side encode. Restart markers
+  /// make served scans segment-parallel decodable AND delta-servable: with
+  /// huffman == kStandard, coefficient-domain downloads and identity-chain
+  /// recompress copy every untouched segment's entropy bytes verbatim from
+  /// the retained upload scan (jpeg::serialize_delta, DESIGN.md §15).
+  /// Changes served bytes (DRI + RSTn), so it IS part of the transform
+  /// cache key. 0 disables restart markers (the pre-delta byte layout).
+  int restart_interval = 64;
   /// kReplicated only: number of disk shards under `data_dir` and the
   /// replication/repair/GC knobs (DESIGN.md §14).
   int shard_count = 3;
@@ -169,6 +177,12 @@ class PspService {
     /// Parsed once at upload; transforms start here instead of re-parsing
     /// the byte stream on every apply_transform call.
     jpeg::CoefficientImage parsed;
+    /// The upload scan's entropy bytes + restart-segment table, retained by
+    /// the same parse. When the upload carries restart markers and standard
+    /// tables, serving-side encodes splice clean segments from here instead
+    /// of re-entropy-coding them (jpeg::serialize_delta); otherwise
+    /// !valid() and every encode takes the full path.
+    jpeg::ScanSource scan_src;
     transform::Chain chain;
     DeliveryMode mode = DeliveryMode::kCoefficients;
     store::TransformCache::ResultPtr transformed;  ///< null until transformed

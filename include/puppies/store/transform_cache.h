@@ -33,14 +33,18 @@ struct TransformResult {
 /// results serialized with different table modes are different bytes, so
 /// they must not share an entry. The default matches PspConfig's default,
 /// keeping keys identical to pre-encode-mode builds' behavior for default
-/// configurations. The encode mode lives only in this key; the chain wire
-/// format (transform::write_chain) is unchanged, so previously serialized
-/// chains still parse.
+/// configurations. `restart_interval` is the serving-side restart cadence
+/// (PspConfig::restart_interval): DRI + RSTn markers change the served
+/// bytes, so two intervals never share an entry; the default 0 keys
+/// restart-free encodes exactly as pre-delta builds did. Both knobs live
+/// only in this key; the chain wire format (transform::write_chain) is
+/// unchanged, so previously serialized chains still parse.
 Digest transform_cache_key(
     const Digest& source, const transform::Chain& chain,
     std::uint8_t delivery_mode, int reencode_quality, bool quality_relevant,
     std::uint8_t encode_mode =
-        static_cast<std::uint8_t>(jpeg::HuffmanMode::kOptimized));
+        static_cast<std::uint8_t>(jpeg::HuffmanMode::kOptimized),
+    int restart_interval = 0);
 
 /// LRU transform-result cache with a byte budget and single-flight
 /// computation: concurrent get_or_compute() calls for the same key (e.g.

@@ -65,6 +65,18 @@ YccImage apply(const Chain& chain, YccImage img);
 jpeg::CoefficientImage apply_lossless(const Step& step,
                                       const jpeg::CoefficientImage& img);
 
+/// Applies a chain of lossless steps in the coefficient domain (throws
+/// InvalidArgument on the first non-lossless step). A non-null `dirty`
+/// reports what the chain did to the MCU grid, feeding
+/// jpeg::serialize_delta: identity steps leave the set untouched (sized
+/// clean on first use, so an all-identity chain copies every segment); any
+/// other lossless step permutes blocks or changes geometry, so the set is
+/// reset to the OUTPUT grid and fully marked — the delta path then falls
+/// back or re-encodes everything, the correct cost for such chains.
+jpeg::CoefficientImage apply_lossless(const Chain& chain,
+                                      jpeg::CoefficientImage img,
+                                      jpeg::DirtyMcuSet* dirty = nullptr);
+
 /// Maps a pixel rect through a step/chain: where an ROI lands after the PSP
 /// transformation (image size `w` x `h` before the step).
 Rect map_rect(const Step& step, const Rect& r, int w, int h);

@@ -33,6 +33,11 @@ PUPPIES_SIMD=scalar ./build/tests/tests_chunked
 # one.
 PUPPIES_SIMD=scalar ./build/tests/tests_decode
 
+# The ROI-delta differential suite on the forced-scalar tier: delta-vs-full
+# byte identity is claimed per SIMD tier (the fuzz matrix walks the tiers
+# this host supports; the forced-scalar run pins the override path too).
+PUPPIES_SIMD=scalar ./build/tests/tests_delta
+
 # Loopback serving smoke: a real `puppies serve` process (ephemeral port,
 # discovered through --port-file), the zipfian load harness against it over
 # 8 connections with byte-identity checked per download, then SIGINT and a
@@ -84,6 +89,17 @@ BENCH_STORE_DIR=$(mktemp -d)
     --blobs 24 --blob-kb 32 --gets 400 )
 rm -rf "$BENCH_STORE_DIR"
 
+# Delta re-encode acceptance gate: the codec bench perturbs a 10%-area ROI
+# on a canonical restart stream and serializes it both ways; the emitted
+# BENCH_codec.json must report the delta output byte-identical to the full
+# serial re-encode, or the delta path is corrupting served images.
+BENCH_DIR=$(mktemp -d)
+( cd "$BENCH_DIR" && "$REPO_ROOT/build/bench/codec_throughput" \
+    --benchmark_filter='^$' )
+grep -q '"delta_byte_identical": true' "$BENCH_DIR/BENCH_codec.json" \
+  || { echo "BENCH_codec.json: delta output diverged from full re-encode"; exit 1; }
+rm -rf "$BENCH_DIR"
+
 # tests_chunked rides under TSan alongside the store suite: the parallel
 # restart-segment writers and the per-chunk pipeline stages are new
 # shared-state concurrency, so races there must surface as failures, not
@@ -92,13 +108,16 @@ rm -rf "$BENCH_STORE_DIR"
 # hand-off are the newest shared-state code in the repo, and the suite
 # hammers them from eight client threads on purpose. tests_decode joins
 # too: the segment-parallel entropy decoder's per-segment readers and the
-# fallback flag are shared-state code on the same pool.
+# fallback flag are shared-state code on the same pool. tests_delta joins
+# for the same reason: the partial-index fill and dirty-segment writers
+# run on the pool against shared masks and segment slots.
 cmake -B build-tsan -S . -DPUPPIES_SANITIZE=thread
-cmake --build build-tsan -j"$(nproc)" --target tests_store tests_chunked tests_net tests_decode
+cmake --build build-tsan -j"$(nproc)" --target tests_store tests_chunked tests_net tests_decode tests_delta
 ./build-tsan/tests/tests_store
 ./build-tsan/tests/tests_chunked
 ./build-tsan/tests/tests_net
 ./build-tsan/tests/tests_decode
+./build-tsan/tests/tests_delta
 
 # Mutation fuzzing of the JPEG parser under the memory sanitizers: ten
 # thousand seeded mutants per run must produce clean ParseErrors, never a
@@ -115,4 +134,4 @@ cmake -B build-ubsan -S . -DPUPPIES_SANITIZE=undefined
 cmake --build build-ubsan -j"$(nproc)" --target tests_fuzz
 ./build-ubsan/tests/tests_fuzz
 
-echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode/tests_chunked/tests_decode + loopback serve/bench_load smoke + kill-one-backend chaos smoke + bench_store + tests_store/tests_chunked/tests_net/tests_decode under TSan + tests_fuzz under ASan/UBSan)"
+echo "tier-1: OK (full suite + scalar-tier tests_kernels/tests_encode/tests_chunked/tests_decode/tests_delta + loopback serve/bench_load smoke + kill-one-backend chaos smoke + bench_store + codec delta byte-identity gate + tests_store/tests_chunked/tests_net/tests_decode/tests_delta under TSan + tests_fuzz under ASan/UBSan)"

@@ -43,12 +43,47 @@ Bytes serialize_measured(const jpeg::CoefficientImage& img,
 /// Decode-side twin of serialize_measured: upload-time parses funnel through
 /// here so `store stats --json` shows the decode cost next to the encode
 /// cost, plus how many restart segments fed the segment-parallel decoder.
-jpeg::CoefficientImage parse_measured(std::span<const std::uint8_t> data) {
+/// A non-null `source` retains the scan's delta-serving context.
+jpeg::CoefficientImage parse_measured(std::span<const std::uint8_t> data,
+                                      jpeg::ScanSource* source = nullptr) {
   metrics::ScopedTimer timer(metrics::histogram("psp.codec.decode_ms"));
   jpeg::ParseStats stats;
-  jpeg::CoefficientImage img = jpeg::parse(data, &stats);
+  jpeg::CoefficientImage img = jpeg::parse(data, &stats, source);
   metrics::counter("psp.codec.decode_segments").add(stats.restart_segments);
   return img;
+}
+
+/// Per-request delta accounting: how many segments were spliced from the
+/// retained upload bytes vs re-entropy-coded, and how often a precondition
+/// miss (optimized tables, no restart markers, geometry change) fell back
+/// to the full path.
+void record_delta_metrics(const jpeg::DeltaStats& ds) {
+  if (ds.fallback) {
+    metrics::counter("psp.codec.delta_fallbacks").add();
+    return;
+  }
+  metrics::counter("psp.codec.segments_copied")
+      .add(static_cast<std::uint64_t>(ds.segments_copied));
+  metrics::counter("psp.codec.segments_reencoded")
+      .add(static_cast<std::uint64_t>(ds.segments_reencoded));
+}
+
+/// serialize_measured's delta twin: routes through jpeg::serialize_delta
+/// (which itself falls back to serialize() on any precondition miss), under
+/// the same encode timer and entropy counters.
+Bytes serialize_delta_measured(const jpeg::CoefficientImage& img,
+                               const jpeg::EncodeOptions& opts,
+                               const jpeg::ScanSource& src,
+                               const jpeg::DirtyMcuSet& dirty) {
+  metrics::ScopedTimer timer(metrics::histogram("psp.codec.encode_ms"));
+  jpeg::EncodeStats stats;
+  jpeg::DeltaStats ds;
+  Bytes out = jpeg::serialize_delta(img, opts, src, dirty, nullptr, &stats,
+                                    &ds);
+  metrics::counter("psp.codec.entropy_bytes").add(stats.entropy_bytes);
+  metrics::counter("psp.codec.entropy_saved_bytes").add(stats.saved_bytes);
+  record_delta_metrics(ds);
+  return out;
 }
 
 }  // namespace
@@ -69,8 +104,10 @@ std::string PspService::upload(const Bytes& jfif, const Bytes& public_params) {
   // Parse and blob publication run outside the map lock: only the cheap
   // insert serializes against other uploads.
   metrics::counter("psp.codec.parse").add();
-  jpeg::CoefficientImage parsed = parse_measured(jfif);
+  jpeg::ScanSource scan_src;
+  jpeg::CoefficientImage parsed = parse_measured(jfif, &scan_src);
   auto e = std::make_unique<Entry>();
+  e->scan_src = std::move(scan_src);
   e->digest = blobs_->put(jfif);
   // Live uploads hold a GC reference; remove() is what drops it.
   if (repl_) repl_->pin(e->digest);
@@ -104,6 +141,7 @@ void PspService::remove(const std::string& id) {
   // Release the heavy per-image state; the tombstoned Entry itself stays
   // (entry pointers resolved under the map lock must remain valid).
   e.parsed = jpeg::CoefficientImage{};
+  e.scan_src = jpeg::ScanSource{};
   e.public_params = Bytes{};
   e.transformed.reset();
   metrics::counter("psp.remove").add();
@@ -157,15 +195,20 @@ store::TransformResult PspService::compute_transform(
   store::TransformResult r;
   if (all_lossless && mode == DeliveryMode::kCoefficients) {
     metrics::ScopedTimer timer(metrics::histogram("psp.transform.lossless_ms"));
-    jpeg::CoefficientImage img = e.parsed;
-    for (const transform::Step& s : chain) {
-      metrics::counter("psp.codec.lossless_op").add();
-      img = transform::apply_lossless(s, img);
-    }
+    metrics::counter("psp.codec.lossless_op")
+        .add(static_cast<std::uint64_t>(chain.size()));
+    // Chain-level lossless apply with dirty-MCU tracking: identity steps
+    // leave the grid clean (every segment of the retained upload scan can
+    // be copied verbatim); crops/rotates/flips mark everything and the
+    // delta serializer falls back on the geometry mismatch.
+    jpeg::DirtyMcuSet dirty;
+    jpeg::CoefficientImage img =
+        transform::apply_lossless(chain, e.parsed, &dirty);
     metrics::counter("psp.codec.serialize").add();
     jpeg::EncodeOptions eo;
     eo.huffman = config_.huffman;
-    r.jfif = serialize_measured(img, eo);
+    eo.restart_interval = config_.restart_interval;
+    r.jfif = serialize_delta_measured(img, eo, e.scan_src, dirty);
   } else {
     require(mode != DeliveryMode::kCoefficients,
             "coefficient delivery requires an all-lossless chain");
@@ -184,12 +227,24 @@ store::TransformResult PspService::compute_transform(
       metrics::counter("psp.codec.recompress_streamed").add();
       jpeg::EncodeOptions eo;
       eo.huffman = config_.huffman;
+      eo.restart_interval = config_.restart_interval;
       jpeg::ChunkOptions copt;
       copt.mcu_rows = config_.chunk_mcu_rows;
-      jpeg::ScanIndex scan;
-      const jpeg::CoefficientImage coeffs = jpeg::transcode_chunked(
-          e.parsed, reencode_quality, eo.chroma, copt, &scan);
-      r.jfif = serialize_measured(coeffs, eo, &scan);
+      // Delta recompress: the round trip at the right quality leaves most
+      // blocks bit-identical to the upload parse, so only the segments the
+      // clamp actually changed re-entropy-code; the rest splice from the
+      // retained upload bytes. Bytes equal the full path's in every case
+      // (fallback included), so the shared cache key stays safe.
+      metrics::ScopedTimer enc_timer(
+          metrics::histogram("psp.codec.encode_ms"));
+      jpeg::EncodeStats stats;
+      jpeg::DeltaStats ds;
+      r.jfif = jpeg::recompress_delta_chunked(e.parsed, e.scan_src,
+                                              reencode_quality, eo, copt,
+                                              nullptr, &stats, &ds);
+      metrics::counter("psp.codec.entropy_bytes").add(stats.entropy_bytes);
+      metrics::counter("psp.codec.entropy_saved_bytes").add(stats.saved_bytes);
+      record_delta_metrics(ds);
       return r;
     }
     metrics::counter("psp.codec.inverse").add();
@@ -208,6 +263,7 @@ store::TransformResult PspService::compute_transform(
       metrics::counter("psp.codec.forward").add();
       jpeg::EncodeOptions eo;
       eo.huffman = config_.huffman;
+      eo.restart_interval = config_.restart_interval;
       jpeg::ChunkOptions copt;
       copt.mcu_rows = config_.chunk_mcu_rows;
       jpeg::ScanIndex scan;
@@ -233,7 +289,8 @@ void PspService::transform_entry(Entry& e, const transform::Chain& chain,
   const bool quality_relevant = mode == DeliveryMode::kClampedReencode;
   const Digest key = store::transform_cache_key(
       e.digest, chain, static_cast<std::uint8_t>(mode), reencode_quality,
-      quality_relevant, static_cast<std::uint8_t>(config_.huffman));
+      quality_relevant, static_cast<std::uint8_t>(config_.huffman),
+      config_.restart_interval);
   try {
     e.transformed = cache_.get_or_compute(key, [&] {
       return compute_transform(e, chain, mode, reencode_quality);
@@ -279,6 +336,10 @@ Download PspService::download(const std::string& id) {
         metrics::counter("psp.degraded.store_corrupt").add();
       jpeg::EncodeOptions eo;
       eo.huffman = config_.huffman;
+      // Reproduce the upload's own restart layout (not the serving
+      // config's): the heal re-publishes under the original content
+      // address, so the bytes must match the upload, not a transform.
+      eo.restart_interval = e.scan_src.restart_interval;
       d.jfif = serialize_measured(e.parsed, eo);
       try {
         const Digest healed = blobs_->put(d.jfif);

@@ -14,12 +14,16 @@ std::size_t TransformResult::cost_bytes() const {
 Digest transform_cache_key(const Digest& source,
                            const transform::Chain& chain,
                            std::uint8_t delivery_mode, int reencode_quality,
-                           bool quality_relevant, std::uint8_t encode_mode) {
+                           bool quality_relevant, std::uint8_t encode_mode,
+                           int restart_interval) {
   ByteWriter w;
   w.raw(source.bytes);
   w.u8(delivery_mode);
   w.i32(quality_relevant ? reencode_quality : 0);
   w.u8(encode_mode);
+  // Appended only when set, so restart-free keys stay byte-for-byte what
+  // pre-delta builds computed (cached digests survive the upgrade).
+  if (restart_interval > 0) w.i32(restart_interval);
   transform::write_chain(w, transform::canonicalize(chain));
   return sha256(w.bytes());
 }

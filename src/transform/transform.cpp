@@ -290,6 +290,27 @@ jpeg::CoefficientImage apply_lossless(const Step& step,
   }
 }
 
+jpeg::CoefficientImage apply_lossless(const Chain& chain,
+                                      jpeg::CoefficientImage img,
+                                      jpeg::DirtyMcuSet* dirty) {
+  bool rewritten = false;
+  for (const Step& s : chain) {
+    if (s.kind == Kind::kIdentity) continue;  // no blocks move
+    img = apply_lossless(s, img);
+    rewritten = true;
+  }
+  if (dirty) {
+    // Crops/rotates/flips permute every block (and may change the grid), so
+    // no source segment's entropy bytes survive: size the set to the output
+    // grid and mark it wholesale. Identity-only chains leave a clean set of
+    // the (unchanged) grid — every segment copies.
+    if (rewritten || dirty->total != img.mcu_count())
+      dirty->reset(img.mcu_count());
+    if (rewritten) dirty->mark_all();
+  }
+  return img;
+}
+
 std::pair<int, int> map_size(const Step& step, int w, int h) {
   switch (step.kind) {
     case Kind::kScale:

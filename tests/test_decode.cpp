@@ -384,7 +384,9 @@ TEST(ChunkedTranscode, PspStreamsIdentityChainRecompress) {
   EXPECT_EQ(metrics::counter("psp.codec.recompress_streamed").value(),
             streamed_before + 1);
 
-  EncodeOptions eo;  // PSP defaults: optimized Huffman, 4:4:4
+  // PSP defaults: optimized Huffman, 4:4:4, restart every 64 MCUs.
+  EncodeOptions eo;
+  eo.restart_interval = psp::PspConfig{}.restart_interval;
   ScanIndex scan;
   const CoefficientImage want =
       transcode_chunked(parse(upload), 70, eo.chroma, {}, &scan);

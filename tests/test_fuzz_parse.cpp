@@ -192,7 +192,7 @@ TEST(FuzzParse, HostileScanTableIdsAreRejected) {
 
 TEST(FuzzParse, HostileSofDimensionsRejectedBeforeAllocation) {
   // 65535 x 65535 would be a ~4.3 gigapixel commitment (tens of GB of
-  // coefficient buffers); the default 100 MP guard must refuse up front.
+  // coefficient buffers); the default 1 GP guard must refuse up front.
   const Bytes hostile = with_sof_dimensions(corpus()[0], 0xFFFF, 0xFFFF);
   try {
     (void)parse(hostile);
@@ -210,7 +210,11 @@ TEST(FuzzParse, MaxPixelsOverrideBoundsOrdinaryImages) {
   EXPECT_EQ(max_decode_pixels(), 1000u);
   EXPECT_THROW((void)parse(data), ParseError);
   set_max_decode_pixels(0);  // back to env/default resolution
-  EXPECT_GE(max_decode_pixels(), 100'000'000u);
+  // Gigapixel-tier default: big enough for stitched panoramas, still a
+  // hard ceiling well under the hostile-SOF commitment above.
+  EXPECT_GE(max_decode_pixels(), 1'000'000'000u);
+  EXPECT_LT(max_decode_pixels(),
+            static_cast<std::size_t>(0xFFFF) * 0xFFFF);
   EXPECT_NO_THROW((void)parse(data));
 }
 

@@ -90,7 +90,8 @@ namespace {
                "          [--backend memory|disk|replicated] [--dir DIR]\n"
                "          [--shards N] [--replicas R] [--quorum W]\n"
                "          [--hot-bytes N] [--gc-grace N] [--scrub-interval-ms N]\n"
-               "          [--scrub-budget-bytes N] [--port-file PATH]\n"
+               "          [--scrub-budget-bytes N] [--restart-interval N]\n"
+               "          [--port-file PATH]\n"
                "\n"
                "global options:\n"
                "  --threads N   worker threads for parallel stages (default:\n"
@@ -125,6 +126,10 @@ namespace {
                "  --max-request-bytes N  request payload cap enforced before\n"
                "                allocation (default derived from\n"
                "                PUPPIES_MAX_PIXELS: 3 bytes/pixel + 1 MiB)\n"
+               "  --restart-interval N  MCUs per restart segment for every\n"
+               "                serving-side encode (default 64); enables\n"
+               "                delta re-encode of untouched segments\n"
+               "                (DESIGN.md \xc2\xa715); 0 disables restart markers\n"
                "  --backend B   memory (default), disk (content-addressed\n"
                "                blobs under --dir), or replicated (R-way\n"
                "                replication over --shards disk shards under\n"
@@ -607,6 +612,8 @@ int cmd_serve(std::vector<std::string> args) {
       config.deadline_ms = std::stoi(next());
     else if (a == "--max-request-bytes")
       config.max_request_bytes = std::stoull(next());
+    else if (a == "--restart-interval")
+      config.psp.restart_interval = std::stoi(next());
     else if (a == "--backend") {
       const std::string b = next();
       if (b == "memory")
